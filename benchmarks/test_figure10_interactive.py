@@ -1,0 +1,92 @@
+"""Figure 10 — impact of releasing on interactive response time.
+
+(a) MATVEC across a sleep sweep for all four versions plus the alone
+    baseline; (b) normalized response at the intermediate sleep for all
+    benchmarks; (c) the interactive task's hard faults per sweep.
+"""
+
+import pytest
+
+from repro.experiments.figure10 import (
+    Figure10bcResult,
+    Figure10bcRow,
+    format_figure10a,
+    format_figure10bc,
+    run_figure10a,
+)
+from repro.experiments.harness import interactive_alone
+from repro.workloads import BENCHMARKS
+
+from conftest import publish
+
+
+def test_figure10a_response(benchmark, scale):
+    sleep_times = [
+        scale.figure_sleep_times_s[0],
+        scale.figure_sleep_times_s[3],
+        scale.figure_sleep_times_s[-1],
+    ]
+    result = benchmark.pedantic(
+        run_figure10a, args=(scale,), kwargs={"sleep_times": sleep_times},
+        rounds=1, iterations=1,
+    )
+    publish("figure10a_response", format_figure10a(result))
+
+    # With releasing, the response curve tracks the alone curve at every
+    # sleep time; prefetching-alone blows up at long sleeps.
+    for index in range(len(sleep_times)):
+        alone = result.series["alone"][index]
+        assert result.series["R"][index] < 5 * alone + 1e-3
+        assert result.series["B"][index] < 5 * alone + 1e-3
+    assert result.series["P"][-1] > 20 * result.series["alone"][-1]
+
+
+def _assemble_bc(scale, run_cache):
+    alone = interactive_alone(scale, scale.intermediate_sleep_s, sweeps=6)
+    alone_mean = sum(s.response_time for s in alone[1:]) / (len(alone) - 1)
+    result = Figure10bcResult(
+        scale=scale.name,
+        sleep_time_s=scale.intermediate_sleep_s,
+        alone_response_s=alone_mean,
+        interactive_pages=scale.interactive_pages,
+    )
+    for name in BENCHMARKS:
+        suite = run_cache.suite(name, "OPRB")
+        for version, run in suite.items():
+            response = run.mean_response()
+            result.rows.append(
+                Figure10bcRow(
+                    workload=name,
+                    version=version,
+                    normalized_response=response / alone_mean,
+                    hard_faults_per_sweep=run.mean_interactive_hard_faults(),
+                    response_s=response,
+                )
+            )
+    return result
+
+
+def test_figure10bc_response_and_faults(benchmark, scale, run_cache):
+    result = benchmark.pedantic(
+        _assemble_bc, args=(scale, run_cache), rounds=1, iterations=1
+    )
+    publish("figure10bc_interactive", format_figure10bc(result))
+
+    pages = scale.interactive_pages
+    worst_prefetch_faults = max(
+        result.row(name, "P").hard_faults_per_sweep for name in BENCHMARKS
+    )
+    # Under prefetching alone, the worst case approaches the full data set
+    # being paged back in every sweep (the paper's "maximum level").
+    assert worst_prefetch_faults > 0.3 * pages
+
+    # Releasing eliminates or substantially reduces the degradation —
+    # FFTPDE-with-buffering is the exception (fails to release enough).
+    for name in BENCHMARKS:
+        r_row = result.row(name, "R")
+        assert r_row.hard_faults_per_sweep < 0.05 * pages, name
+        if name != "FFTPDE":
+            b_row = result.row(name, "B")
+            assert b_row.hard_faults_per_sweep < 0.05 * pages, name
+    fft = result.row("FFTPDE", "B")
+    assert fft.hard_faults_per_sweep >= result.row("FFTPDE", "R").hard_faults_per_sweep

@@ -1,0 +1,37 @@
+"""Figure 1 — the motivating experiment.
+
+Interactive response time vs. sleep time: alone, with the original MATVEC,
+and with the prefetching MATVEC.  The paper's shape: flat when alone;
+rising with sleep time against the original; rising at much shorter sleep
+times, faster, and higher against the prefetcher.
+"""
+
+from repro.experiments.figure1 import format_figure1, run_figure1
+
+from conftest import publish
+
+
+def test_figure1_motivation(benchmark, scale):
+    sleep_times = [
+        scale.figure_sleep_times_s[0],
+        scale.figure_sleep_times_s[2],
+        scale.figure_sleep_times_s[4],
+        scale.figure_sleep_times_s[-1],
+    ]
+    result = benchmark.pedantic(
+        run_figure1, args=(scale,), kwargs={"sleep_times": sleep_times},
+        rounds=1, iterations=1,
+    )
+    publish("figure1_motivation", format_figure1(result))
+
+    alone = result.series("alone")
+    original = result.series("O")
+    prefetch = result.series("P")
+    # Alone: flat (no competitor ever steals the pages).
+    assert max(alone) < 2 * max(min(alone), 1e-6)
+    # At long sleeps the prefetcher inflates response far beyond alone.
+    assert prefetch[-1] > 20 * alone[-1]
+    # And beyond the original's effect at the same sleep.
+    assert prefetch[-1] > original[-1]
+    # At zero sleep the task defends its memory against both.
+    assert original[0] < 5 * alone[0] + 1e-3

@@ -1,0 +1,58 @@
+"""Figure 9 — breakdown of outcomes for freed pages.
+
+Daemon-freed vs. release-freed, and the rescued fraction of each.  The
+rows the paper highlights: MATVEC-R rescues about half of what it releases
+(the vector) while MATVEC-B does not; FFTPDE-B performs very few useful
+releases; MGRID keeps the daemon partially busy even with releasing.
+"""
+
+from repro.experiments.figure9 import Figure9Result, Figure9Row, format_figure9
+from repro.workloads import BENCHMARKS
+
+from conftest import publish
+
+
+def _assemble(run_cache):
+    result = Figure9Result(scale=run_cache.scale.name)
+    for name in BENCHMARKS:
+        suite = run_cache.suite(name, "OPRB")
+        for version, run in suite.items():
+            vm = run.vm
+            result.rows.append(
+                Figure9Row(
+                    workload=name,
+                    version=version,
+                    freed_by_daemon=vm.freed_by_daemon,
+                    freed_by_release=vm.freed_by_release,
+                    rescued_from_daemon=vm.rescued_from_daemon,
+                    rescued_from_release=vm.rescued_from_release,
+                    release_revalidated=run.app_stats.release_revalidates,
+                )
+            )
+    return result
+
+
+def test_figure9_freed_pages(benchmark, scale, run_cache):
+    result = benchmark.pedantic(_assemble, args=(run_cache,), rounds=1, iterations=1)
+    publish("figure9_freed_pages", format_figure9(result))
+
+    # Without releasing, all freeing is the paging daemon's.
+    for name in BENCHMARKS:
+        for version in "OP":
+            assert result.row(name, version).daemon_fraction == 1.0
+
+    # MATVEC-R: "approximately half of the pages released ... need to be
+    # rescued from the free list"; buffering eliminates the churn.
+    matvec_r = result.row("MATVEC", "R")
+    assert 0.25 < matvec_r.release_rescue_fraction < 0.75
+    matvec_b = result.row("MATVEC", "B")
+    assert matvec_b.release_rescue_fraction < 0.1
+
+    # FFTPDE-B "performs very few useful releases".
+    fft_b = result.row("FFTPDE", "B")
+    assert fft_b.daemon_fraction > 0.8
+
+    # With releasing, the releaser dominates the freeing for the
+    # well-analysed benchmarks.
+    for name in ("EMBAR", "BUK", "CGM"):
+        assert result.row(name, "R").daemon_fraction < 0.2, name

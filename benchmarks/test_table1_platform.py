@@ -1,0 +1,55 @@
+"""Table 1 — hardware characteristics of the (simulated) platform.
+
+The paper's Table 1 lists the experimental platform: 4-processor SGI
+Origin 200, ~75 MB of user memory, 16 KB pages, swap striped over ten
+Seagate Cheetah 4LP disks on five SCSI adapters.  This bench prints the
+simulated platform's characteristics and times a calibration probe: the
+measured service time of sequential vs. random page reads, which is the
+disk model the whole reproduction stands on.
+"""
+
+from repro.disk.swap import StripedSwap
+from repro.experiments.report import format_table
+from repro.sim.engine import Engine
+
+from conftest import publish
+
+
+def _disk_probe(scale):
+    """Measure effective sequential and random page service times."""
+    engine = Engine()
+    swap = StripedSwap(engine, scale.disk)
+
+    def sequential():
+        for vpn in range(100):
+            yield swap.read_page(1, vpn)
+
+    engine.run_process(sequential())
+    sequential_time = engine.now / 100
+
+    engine2 = Engine()
+    swap2 = StripedSwap(engine2, scale.disk)
+
+    def scattered():
+        for vpn in range(0, 100 * 997, 997):
+            yield swap2.read_page(1, vpn)
+
+    engine2.run_process(scattered())
+    random_time = engine2.now / 100
+    return sequential_time, random_time
+
+
+def test_table1_platform(benchmark, scale):
+    sequential_time, random_time = benchmark(_disk_probe, scale)
+    rows = list(scale.describe().items())
+    rows.append(("seq_page_read_ms", round(sequential_time * 1e3, 3)))
+    rows.append(("random_page_read_ms", round(random_time * 1e3, 3)))
+    publish(
+        "table1_platform",
+        format_table(
+            ["characteristic", "value"],
+            rows,
+            title="Table 1 — simulated platform characteristics",
+        ),
+    )
+    assert random_time > sequential_time

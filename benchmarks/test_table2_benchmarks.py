@@ -1,0 +1,51 @@
+"""Table 2 — characteristics of the out-of-core benchmarks.
+
+Prints data-set sizes and analysis hazards for the six benchmarks, and
+times the full compiler pass over all of them (the cost of the analysis
+itself).
+"""
+
+from repro.core.compiler import compile_program
+from repro.experiments.report import format_table
+from repro.workloads import BENCHMARKS, table2_rows
+
+from conftest import publish
+
+
+def _compile_all(scale):
+    summaries = {}
+    for name, workload in BENCHMARKS.items():
+        instance = workload.build(scale)
+        compiled = compile_program(instance.program, scale.compiler)
+        summaries[name] = compiled.summary()
+    return summaries
+
+
+def test_table2_benchmarks(benchmark, scale):
+    summaries = benchmark(_compile_all, scale)
+    rows = []
+    for row in table2_rows(scale):
+        name = row["benchmark"]
+        hint_sites = sum(
+            nest["prefetch_sites"] + nest["release_sites"]
+            for nest in summaries[name].values()
+        )
+        rows.append(
+            (
+                name,
+                row["description"],
+                row["data_set_mb"],
+                row["nests"],
+                hint_sites,
+                row["analysis_hazard"],
+            )
+        )
+    publish(
+        "table2_benchmarks",
+        format_table(
+            ["benchmark", "description", "MB", "nests", "hint_sites", "hazard"],
+            rows,
+            title=f"Table 2 — benchmark characteristics ({rows and 'compiled'})",
+        ),
+    )
+    assert len(rows) == 6

@@ -1,0 +1,47 @@
+"""Table 3 — page reclamation and allocation activity, O vs. R.
+
+"In the worst case, the number of times that the paging daemon needs to
+operate is reduced by more than half, and the total number of pages stolen
+is reduced by more than a factor of three.  In the other cases, the
+activity of the paging daemon is reduced by one to two orders of
+magnitude."
+"""
+
+from repro.experiments.table3 import Table3Result, Table3Row, format_table3
+from repro.workloads import BENCHMARKS
+
+from conftest import publish
+
+
+def _assemble(run_cache):
+    result = Table3Result(scale=run_cache.scale.name)
+    for name in BENCHMARKS:
+        suite = run_cache.suite(name, "OR")
+        original, release = suite["O"], suite["R"]
+        result.rows.append(
+            Table3Row(
+                workload=name,
+                daemon_runs_original=original.vm.daemon_runs,
+                daemon_runs_release=release.vm.daemon_runs,
+                pages_stolen_original=original.vm.daemon_pages_stolen,
+                pages_stolen_release=release.vm.daemon_pages_stolen,
+                allocations_original=original.vm.total_allocations,
+                allocations_release=release.vm.total_allocations,
+                pages_released=release.vm.releaser_pages_freed,
+            )
+        )
+    return result
+
+
+def test_table3_reclaim(benchmark, scale, run_cache):
+    result = benchmark.pedantic(_assemble, args=(run_cache,), rounds=1, iterations=1)
+    publish("table3_reclaim", format_table3(result))
+
+    for row in result.rows:
+        # Worst case: pages stolen reduced by more than a factor of three.
+        assert row.steal_reduction > 3.0, row.workload
+        # Releasing shoulders the reclamation work.
+        assert row.pages_released > 0, row.workload
+    # And in the best cases the reduction is orders of magnitude.
+    best = max(row.steal_reduction for row in result.rows)
+    assert best > 50.0

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""A tour of the compiler pass on the paper's Section 2.4 example.
+
+The paper's running example is a nearest-neighbour averaging stencil:
+
+    for (i = 0; i < N; i++)
+      for (j = 0; j < N; j++)
+        a[i][j] = (a[i+1][j-1] + a[i+1][j] + a[i+1][j+1] +
+                   a[i][j-1]   + a[i][j]   + a[i][j+1]   +
+                   a[i-1][j-1] + a[i-1][j] + a[i-1][j+1]) / 9.0;
+
+This script builds that nest in the IR, runs reuse and locality analysis,
+and shows how the pass finds the group structure the paper describes: the
+leading edge (`a[i+1][*]`) is prefetched and the trailing edge
+(`a[i-1][*]`) is released.
+
+Run:  python examples/compiler_tour.py
+"""
+
+from repro.config import CompilerParams
+from repro.core.compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    affine,
+    compile_program,
+)
+
+
+def build_stencil(n: int) -> Program:
+    a = Array("a", (n, n))
+    refs = []
+    for di in (1, 0, -1):
+        for dj in (-1, 0, 1):
+            refs.append(
+                ArrayRef(
+                    a,
+                    (affine("i", const_term=di), affine("j", const_term=dj)),
+                    is_write=(di == 0 and dj == 0),
+                )
+            )
+    stencil = Stmt(refs=tuple(refs), flops=9.0)
+    nest = Nest(
+        "average",
+        Loop("i", 1, n - 1, body=(Loop("j", 1, n - 1, body=(stencil,)),)),
+    )
+    return Program("nearest_neighbour", (a,), (nest,))
+
+
+def main() -> None:
+    n = 8192  # a 512 MB matrix: far larger than the 75 MB machine
+    program = build_stencil(n)
+    params = CompilerParams()
+    compiled = compile_program(program, params)
+    nest = compiled.nest("average")
+
+    print("== Reuse analysis")
+    for group in nest.reuse.groups:
+        offsets = sorted(
+            tuple(s.const for s in member.ref.subscripts)
+            for member in group.members
+        )
+        print(
+            f"  group on {group.array.name}: {len(group.members)} refs, "
+            f"constant offsets {offsets}"
+        )
+        print(f"    leader (prefetch target):  {group.leader.ref!r}")
+        print(f"    trailer (release target):  {group.trailer.ref!r}")
+        print(f"    temporal reuse carried by: {group.temporal_loops or '(none)'}")
+        print(f"    spatial reuse carried by:  {group.leader.spatial_loops}")
+
+    print("\n== Locality analysis")
+    print(f"  memory the compiler counts on: {nest.locality.effective_pages} pages")
+    for verdict in nest.locality.by_group:
+        print(
+            f"  {verdict.group.array.name}: reuse volumes {verdict.reuse_volumes} "
+            f"pages, captured loops: {verdict.locality_loops or '(none)'}"
+        )
+
+    print("\n== Inserted hints (the paper's Figure 5 output)")
+    for spec in nest.plan.prefetches:
+        print(f"  prefetch(&{spec.target.ref!r}, distance={spec.distance_pages})")
+    for spec in nest.plan.releases:
+        print(
+            f"  release(&{spec.target.ref!r}, priority={spec.priority}, "
+            f"tag={spec.tag})"
+        )
+
+    print(
+        "\nAll nine references collapse into one locality group: the leading\n"
+        "edge a[i+1][j+1] is the only reference prefetched and the trailing\n"
+        "edge a[i-1][j-1] the only one released — Section 2.4's first-level\n"
+        "working set.  Holding three matrix rows (the second-level set) would\n"
+        "capture the group reuse across i, but on a multiprogrammed machine\n"
+        "the compiler prefers the smallest working set, so the trailing edge\n"
+        "is released and the run-time layer arbitrates from there."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Bring your own out-of-core application.
+
+The library is not limited to the paper's six benchmarks: any array-based
+loop nest can be expressed in the IR, compiled, and run under the four hint
+policies.  This example builds an out-of-core *stream triad with a reused
+coefficient table* —
+
+    for (r = 0; r < REPS; r++)
+      for (i = 0; i < N; i++)
+        c[i] = a[i] + scale[i % T] * b[i];
+
+— where ``a``, ``b`` and ``c`` stream through memory within one sweep but
+are re-swept on every repetition.  The compiler correctly detects that
+repeat-carried reuse, so every release carries a *positive* Equation-2
+priority — which makes this workload a miniature FFTPDE: under the
+buffering policy everything is retained "for reuse", the pressure trigger's
+hysteresis disarms, and the paging daemon ends up doing the freeing, while
+aggressive releasing keeps it idle.  Compare the ``daemon_runs`` and
+``released`` columns of R and B in the output.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.config import small
+from repro.core.compiler import (
+    Array,
+    ArrayRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    affine,
+    compile_program,
+)
+from repro.core.runtime.policies import VERSIONS
+from repro.experiments.harness import run_multiprogram
+from repro.experiments.report import format_table
+from repro.workloads.base import OutOfCoreWorkload, WorkloadInstance
+
+
+class TriadWorkload(OutOfCoreWorkload):
+    """An out-of-core stream triad, built entirely from the public IR."""
+
+    name = "TRIAD"
+    description = "out-of-core stream triad with a hot coefficient table"
+    analysis_hazard = "none — streaming with known bounds"
+    repeats = 2
+
+    def build(self, scale):
+        page_elements = scale.machine.page_elements
+        stream_pages = max(4, scale.out_of_core_pages // 3)
+        n = stream_pages * page_elements
+        table_pages = max(1, scale.machine.total_frames // 100)
+
+        a = Array("a", (n,))
+        b = Array("b", (n,))
+        c = Array("c", (n,))
+        coeff = Array("coeff", (table_pages * page_elements,))
+        # The i % T table access is approximated by its page behaviour: the
+        # table is touched throughout the sweep; model the hot table with a
+        # slow-moving wrapped stride.
+        triad = Stmt(
+            refs=(
+                ArrayRef(c, (affine("i"),), is_write=True),
+                ArrayRef(a, (affine("i"),)),
+                ArrayRef(b, (affine("i"),)),
+                ArrayRef(coeff, (affine("r"),)),
+            ),
+            flops=2.0,
+        )
+        nest = Nest(
+            "triad",
+            Loop("r", 0, table_pages, body=(Loop("i", 0, n, body=(triad,)),)),
+        )
+        program = Program("triad", (a, b, c, coeff), (nest,))
+        return WorkloadInstance(
+            name=self.name,
+            program=program,
+            env={},
+            repeats=self.repeats,
+            invocations=[("triad", {})],
+            rng_seed=scale.rng_seed,
+        )
+
+
+def main() -> None:
+    scale = small()
+    workload = TriadWorkload()
+    instance = workload.build(scale)
+
+    compiled = compile_program(instance.program, scale.compiler)
+    print("Hint plan:")
+    for name, summary in compiled.summary().items():
+        print(f"  {name}: {summary}")
+    print()
+
+    rows = []
+    for version in "OPRB":
+        run = run_multiprogram(scale, workload, VERSIONS[version])
+        rows.append(
+            (
+                version,
+                round(run.elapsed_s, 2),
+                round(run.app_buckets.stall_io, 2),
+                run.vm.daemon_runs,
+                run.vm.releaser_pages_freed,
+                round(run.mean_response() * 1e3, 2),
+            )
+        )
+    print(
+        format_table(
+            ["ver", "app_s", "io_stall_s", "daemon_runs", "released", "interactive_ms"],
+            rows,
+            title="Custom out-of-core triad under the four hint policies",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

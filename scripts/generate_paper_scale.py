@@ -1,0 +1,105 @@
+"""Generate all paper-scale experiment tables for EXPERIMENTS.md.
+
+Runs every benchmark in all four versions at the paper scale (75 MB
+memory, 400 MB data sets) plus the MATVEC sleep-time sweeps, and writes
+the paper-shaped tables to results/paper_scale.txt.  Takes ~15 minutes.
+
+Usage:  python scripts/generate_paper_scale.py
+"""
+import time
+from repro.config import paper
+from repro.experiments.figure7 import Figure7Bar, Figure7Result, format_figure7
+from repro.experiments.figure8 import Figure8Result, format_figure8
+from repro.experiments.figure9 import Figure9Result, Figure9Row, format_figure9
+from repro.experiments.figure10 import Figure10bcResult, Figure10bcRow, format_figure10bc
+from repro.experiments.table3 import Table3Result, Table3Row, format_table3
+from repro.experiments.figure1 import run_figure1, format_figure1
+from repro.experiments.figure10 import run_figure10a, format_figure10a
+from repro.experiments.harness import interactive_alone, run_version_suite
+from repro.workloads import BENCHMARKS, table2_rows
+from repro.experiments.report import format_table
+
+scale = paper()
+import os
+os.makedirs("results", exist_ok=True)
+out = open("results/paper_scale.txt", "w")
+
+def emit(text):
+    print(text, flush=True)
+    out.write(text + "\n\n")
+    out.flush()
+
+emit(format_table(["characteristic", "value"], list(scale.describe().items()),
+                  title="Table 1 — simulated platform"))
+emit(format_table(
+    ["benchmark", "description", "MB", "nests", "hazard"],
+    [(r["benchmark"], r["description"], r["data_set_mb"], r["nests"], r["analysis_hazard"])
+     for r in table2_rows(scale)],
+    title="Table 2 — benchmarks"))
+
+suites = {}
+for name in BENCHMARKS:
+    t0 = time.time()
+    suites[name] = run_version_suite(scale, BENCHMARKS[name], "OPRB")
+    print(f"[{name} done in {time.time()-t0:.0f}s]", flush=True)
+
+# Figure 7
+f7 = Figure7Result(scale=scale.name)
+for name, suite in suites.items():
+    base = suite["O"].app_buckets.total
+    for v, run in suite.items():
+        b = run.app_buckets
+        f7.bars.append(Figure7Bar(name, v, b.user/base, b.system/base,
+                                  b.stall_memory/base, b.stall_io/base, run.elapsed_s))
+emit(format_figure7(f7))
+rows = [(n, f"{f7.speedup_of_release_over_prefetch(n)*100:.0f}%") for n in suites]
+emit(format_table(["benchmark", "R_speedup_over_P"], rows,
+                  title="Speedup of prefetch+release over prefetch alone"))
+
+# Figure 8
+f8 = Figure8Result(scale=scale.name)
+for name, suite in suites.items():
+    f8.soft_faults[name] = {v: r.app_stats.soft_faults for v, r in suite.items()}
+    f8.invalidations[name] = {v: r.vm.daemon_invalidations for v, r in suite.items()}
+emit(format_figure8(f8))
+
+# Table 3
+t3 = Table3Result(scale=scale.name)
+for name, suite in suites.items():
+    o, r = suite["O"], suite["R"]
+    t3.rows.append(Table3Row(name, o.vm.daemon_runs, r.vm.daemon_runs,
+                             o.vm.daemon_pages_stolen, r.vm.daemon_pages_stolen,
+                             o.vm.total_allocations, r.vm.total_allocations,
+                             r.vm.releaser_pages_freed))
+emit(format_table3(t3))
+
+# Figure 9
+f9 = Figure9Result(scale=scale.name)
+for name, suite in suites.items():
+    for v, run in suite.items():
+        vm = run.vm
+        f9.rows.append(Figure9Row(name, v, vm.freed_by_daemon, vm.freed_by_release,
+                                  vm.rescued_from_daemon, vm.rescued_from_release,
+                                  run.app_stats.release_revalidates))
+emit(format_figure9(f9))
+
+# Figure 10(b)/(c)
+alone = interactive_alone(scale, scale.intermediate_sleep_s, sweeps=6)
+alone_mean = sum(s.response_time for s in alone[1:]) / (len(alone)-1)
+fbc = Figure10bcResult(scale=scale.name, sleep_time_s=scale.intermediate_sleep_s,
+                       alone_response_s=alone_mean, interactive_pages=scale.interactive_pages)
+for name, suite in suites.items():
+    for v, run in suite.items():
+        resp = run.mean_response()
+        fbc.rows.append(Figure10bcRow(name, v, resp/alone_mean,
+                                      run.mean_interactive_hard_faults(), resp))
+emit(format_figure10bc(fbc))
+
+# Figure 1 + 10(a): MATVEC sleep sweep (reduced points to bound cost)
+sweep = [0.0, 1.0, 2.0, 5.0, 10.0]
+f1 = run_figure1(scale, sleep_times=sweep)
+emit(format_figure1(f1))
+f10a = run_figure10a(scale, sleep_times=sweep, versions="PRB")
+emit(format_figure10a(f10a))
+out.close()
+print("ALL DONE", flush=True)

@@ -1,0 +1,52 @@
+"""repro — a full-system reproduction of "Taming the Memory Hogs" (OSDI 2000).
+
+Compiler-inserted prefetch/release hints for out-of-core applications,
+reproduced end to end on a simulated IRIX 6.5 / SGI Origin 200 platform:
+the VM subsystem, the striped-swap disk array, the compiler pass, the
+run-time layer, the six benchmarks, and every figure and table of the
+paper's evaluation.
+
+Typical entry points:
+
+>>> from repro import small, run_multiprogram, VERSIONS, benchmark
+>>> result = run_multiprogram(small(), benchmark("MATVEC"), VERSIONS["B"])
+>>> result.elapsed_s            # the out-of-core app's completion time
+>>> result.mean_response()      # the interactive task's response time
+
+See README.md for the architecture tour, DESIGN.md for the paper-to-module
+mapping, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.config import SimScale, paper, small, tiny
+from repro.core.compiler import compile_program
+from repro.core.runtime.policies import VERSIONS, VersionConfig
+from repro.experiments.harness import (
+    MultiprogramResult,
+    interactive_alone,
+    run_multiprogram,
+    run_version_suite,
+)
+from repro.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.workloads import BENCHMARKS, benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "Engine",
+    "Kernel",
+    "MultiprogramResult",
+    "SimScale",
+    "VERSIONS",
+    "VersionConfig",
+    "__version__",
+    "benchmark",
+    "compile_program",
+    "interactive_alone",
+    "paper",
+    "run_multiprogram",
+    "run_version_suite",
+    "small",
+    "tiny",
+]

@@ -1,0 +1,290 @@
+"""Command-line interface: run benchmarks and regenerate paper artifacts.
+
+Examples::
+
+    python -m repro list
+    python -m repro compile --benchmark MATVEC
+    python -m repro run --benchmark MATVEC --version B --scale small
+    python -m repro suite --benchmark BUK --scale tiny
+    python -m repro figure 7 --scale tiny
+    python -m repro table 3 --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import SimScale, paper, small, tiny
+from repro.core.compiler import compile_program
+from repro.core.runtime.policies import VERSIONS
+from repro.experiments import (
+    format_figure1,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_figure10a,
+    format_figure10bc,
+    format_table3,
+    run_figure1,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10a,
+    run_figure10bc,
+    run_multiprogram,
+    run_table3,
+    run_version_suite,
+)
+from repro.experiments.report import format_table
+from repro.workloads import BENCHMARKS, benchmark, table2_rows
+
+_SCALES = {"tiny": tiny, "small": small, "paper": paper}
+
+
+def _scale_from(args: argparse.Namespace) -> SimScale:
+    return _SCALES[args.scale]()
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="platform scale preset (default: small)",
+    )
+
+
+def _add_benchmark(parser: argparse.ArgumentParser, required: bool = True) -> None:
+    parser.add_argument(
+        "--benchmark",
+        required=required,
+        type=str.upper,
+        choices=sorted(BENCHMARKS),
+        help="which out-of-core benchmark",
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    rows = [
+        (r["benchmark"], r["description"], r["data_set_mb"], r["analysis_hazard"])
+        for r in table2_rows(scale)
+    ]
+    print(
+        format_table(
+            ["benchmark", "description", "MB", "hazard"],
+            rows,
+            title=f"Benchmarks at scale '{scale.name}' (the paper's Table 2)",
+        )
+    )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    instance = benchmark(args.benchmark).build(scale)
+    compiled = compile_program(instance.program, scale.compiler)
+    for name, nest in compiled.nests.items():
+        print(f"nest {name}:")
+        for spec in nest.plan.prefetches:
+            print(
+                f"  prefetch {spec.target.ref!r}  "
+                f"distance={spec.distance_pages} pages  tag={spec.tag}"
+            )
+        for spec in nest.plan.releases:
+            extra = " (despite reuse)" if spec.despite_reuse else ""
+            print(
+                f"  release  {spec.target.ref!r}  priority={spec.priority}"
+                f"  tag={spec.tag}{extra}"
+            )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    result = run_multiprogram(
+        scale,
+        benchmark(args.benchmark),
+        VERSIONS[args.version],
+        sleep_time_s=args.sleep,
+    )
+    buckets = result.app_buckets
+    rows = [
+        ("elapsed_s", round(result.elapsed_s, 3)),
+        ("user_s", round(buckets.user, 3)),
+        ("system_s", round(buckets.system, 3)),
+        ("stall_memory_s", round(buckets.stall_memory, 3)),
+        ("stall_io_s", round(buckets.stall_io, 3)),
+        ("hard_faults", result.app_stats.hard_faults),
+        ("soft_faults", result.app_stats.soft_faults),
+        ("rescues", result.app_stats.rescues),
+        ("daemon_runs", result.vm.daemon_runs),
+        ("daemon_pages_stolen", result.vm.daemon_pages_stolen),
+        ("pages_released", result.vm.releaser_pages_freed),
+        ("interactive_response_ms", round(result.mean_response() * 1e3, 3)),
+        (
+            "interactive_hard_faults_per_sweep",
+            round(result.mean_interactive_hard_faults(), 2),
+        ),
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"{args.benchmark} version {args.version} "
+                f"at scale '{scale.name}'"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    suite = run_version_suite(scale, benchmark(args.benchmark), args.versions)
+    base = suite.get("O")
+    rows = []
+    for version, run in suite.items():
+        normalized = (
+            run.app_buckets.total / base.app_buckets.total if base else float("nan")
+        )
+        rows.append(
+            (
+                version,
+                round(run.elapsed_s, 3),
+                round(normalized, 3),
+                run.vm.daemon_pages_stolen,
+                run.vm.releaser_pages_freed,
+                round(run.mean_response() * 1e3, 3),
+            )
+        )
+    print(
+        format_table(
+            [
+                "ver",
+                "elapsed_s",
+                "normalized",
+                "daemon_stole",
+                "released",
+                "interactive_ms",
+            ],
+            rows,
+            title=f"{args.benchmark} at scale '{scale.name}'",
+        )
+    )
+    return 0
+
+
+_FIGURES = {
+    "1": lambda scale: format_figure1(run_figure1(scale)),
+    "7": lambda scale: format_figure7(run_figure7(scale)),
+    "8": lambda scale: format_figure8(run_figure8(scale)),
+    "9": lambda scale: format_figure9(run_figure9(scale)),
+    "10a": lambda scale: format_figure10a(run_figure10a(scale)),
+    "10bc": lambda scale: format_figure10bc(run_figure10bc(scale)),
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    print(_FIGURES[args.number](scale))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    if args.number == "1":
+        print(
+            format_table(
+                ["characteristic", "value"],
+                list(scale.describe().items()),
+                title="Table 1 — simulated platform",
+            )
+        )
+    elif args.number == "2":
+        return _cmd_list(args)
+    else:
+        print(format_table3(run_table3(scale)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Taming the Memory Hogs' (OSDI 2000): run the "
+            "simulated platform, benchmarks, and evaluation artifacts."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser("list", help="list the benchmarks (Table 2)")
+    _add_scale(list_parser)
+    list_parser.set_defaults(handler=_cmd_list)
+
+    compile_parser = commands.add_parser(
+        "compile", help="show the compiler's hint plan for a benchmark"
+    )
+    _add_benchmark(compile_parser)
+    _add_scale(compile_parser)
+    compile_parser.set_defaults(handler=_cmd_compile)
+
+    run_parser = commands.add_parser(
+        "run", help="run one benchmark version alongside the interactive task"
+    )
+    _add_benchmark(run_parser)
+    run_parser.add_argument(
+        "--version",
+        default="B",
+        type=str.upper,
+        choices=sorted(VERSIONS),
+        help="program version (O, P, R, B; default B)",
+    )
+    run_parser.add_argument(
+        "--sleep",
+        type=float,
+        default=None,
+        help="interactive task sleep time in seconds (default: the scale's "
+        "intermediate sleep)",
+    )
+    _add_scale(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    suite_parser = commands.add_parser(
+        "suite", help="run all four versions of one benchmark"
+    )
+    _add_benchmark(suite_parser)
+    suite_parser.add_argument(
+        "--versions", default="OPRB", help="which versions to run (default OPRB)"
+    )
+    _add_scale(suite_parser)
+    suite_parser.set_defaults(handler=_cmd_suite)
+
+    figure_parser = commands.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    figure_parser.add_argument("number", choices=sorted(_FIGURES))
+    _add_scale(figure_parser)
+    figure_parser.set_defaults(handler=_cmd_figure)
+
+    table_parser = commands.add_parser(
+        "table", help="regenerate one of the paper's tables"
+    )
+    table_parser.add_argument("number", choices=["1", "2", "3"])
+    _add_scale(table_parser)
+    table_parser.set_defaults(handler=_cmd_table)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""The paper's primary contribution: compiler-inserted prefetch/release.
+
+- :mod:`repro.core.compiler` — the analysis and hint-insertion pass
+  (the SUIF pass of Section 3.2, reimplemented over a small loop-nest IR);
+- :mod:`repro.core.runtime` — the run-time layer of Section 3.3, with both
+  the aggressive and the buffering release policies;
+- :mod:`repro.core.hints` — the hint records that flow between them.
+"""
+
+from repro.core.hints import PrefetchHint, ReleaseHint
+
+__all__ = ["PrefetchHint", "ReleaseHint"]

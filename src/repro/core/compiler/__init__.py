@@ -1,0 +1,73 @@
+"""The compiler pass: reuse analysis, locality analysis, hint insertion.
+
+This reimplements the algorithm of Section 3.2 over a small loop-nest IR:
+
+1. **Reuse analysis** (:mod:`~repro.core.compiler.reuse`) detects the
+   intrinsic temporal, spatial, and group reuse of every array reference.
+2. **Locality analysis** (:mod:`~repro.core.compiler.locality`) uses the
+   page size and memory parameters to predict which reuses will actually be
+   captured by memory — deciding where page faults are likely.
+3. **Hint insertion** (:mod:`~repro.core.compiler.insertion`) prefetches
+   the *leading* reference of each group and releases the *trailing* one,
+   encoding reuse into Equation-2 priorities; indirect references are
+   prefetched but never released.
+4. **Code generation** (:mod:`~repro.core.compiler.codegen`) produces a
+   :class:`~repro.core.compiler.codegen.CompiledProgram` whose nests the
+   page-granularity interpreter (:mod:`~repro.core.compiler.interp`)
+   executes against the simulated kernel.
+
+The parameters handed to the compiler match the paper's: main memory size,
+page size, and page fault latency (:class:`repro.config.CompilerParams`).
+"""
+
+from repro.core.compiler.codegen import CompiledNest, CompiledProgram, CompiledRef
+from repro.core.compiler.insertion import PrefetchSpec, ReleaseSpec
+from repro.core.compiler.ir import (
+    AffineExpr,
+    Array,
+    ArrayRef,
+    IndirectRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    Symbol,
+    VaryingStrideRef,
+    affine,
+    bound_estimate,
+    bound_known,
+    bound_value,
+    const,
+)
+from repro.core.compiler.locality import LocalityInfo, analyze_locality
+from repro.core.compiler.pipeline import compile_program
+from repro.core.compiler.reuse import RefGroup, ReuseInfo, analyze_reuse
+
+__all__ = [
+    "AffineExpr",
+    "Array",
+    "ArrayRef",
+    "CompiledNest",
+    "CompiledProgram",
+    "CompiledRef",
+    "IndirectRef",
+    "LocalityInfo",
+    "Loop",
+    "Nest",
+    "PrefetchSpec",
+    "Program",
+    "RefGroup",
+    "ReleaseSpec",
+    "ReuseInfo",
+    "Stmt",
+    "Symbol",
+    "VaryingStrideRef",
+    "affine",
+    "analyze_locality",
+    "analyze_reuse",
+    "bound_estimate",
+    "bound_known",
+    "bound_value",
+    "compile_program",
+    "const",
+]

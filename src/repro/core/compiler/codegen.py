@@ -1,0 +1,101 @@
+"""Code generation: the compiled program the trace interpreter executes.
+
+The real system rewrote the application (Figure 4: original source →
+analysis → loop splitting → software pipelining → specialised executable).
+Here the "executable" is a :class:`CompiledProgram`: for every nest, the
+reference list in statement order with the prefetch/release specs attached
+to the references the insertion pass chose.  The interpreter in
+:mod:`repro.core.compiler.interp` then plays the nest at page granularity,
+emitting touches and hints exactly where the specialised executable would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CompilerParams
+from repro.core.compiler.insertion import HintPlan, PrefetchSpec, ReleaseSpec
+from repro.core.compiler.ir import Nest, Program, Reference, Stmt
+from repro.core.compiler.locality import LocalityInfo
+from repro.core.compiler.reuse import RefReuse, ReuseInfo
+
+__all__ = ["CompiledNest", "CompiledProgram", "CompiledRef"]
+
+
+@dataclass
+class CompiledRef:
+    """One reference with its attached hint sites."""
+
+    reuse: RefReuse
+    prefetch: Optional[PrefetchSpec] = None
+    release: Optional[ReleaseSpec] = None
+
+    @property
+    def ref(self) -> Reference:
+        return self.reuse.ref
+
+
+@dataclass
+class CompiledNest:
+    """One analysed, hint-annotated nest."""
+
+    nest: Nest
+    reuse: ReuseInfo
+    locality: LocalityInfo
+    plan: HintPlan
+    refs: List[CompiledRef] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.refs:
+            return
+        by_target: Dict[int, CompiledRef] = {}
+        for entry in self.reuse.refs:
+            compiled = CompiledRef(reuse=entry)
+            by_target[id(entry)] = compiled
+            self.refs.append(compiled)
+        for spec in self.plan.prefetches:
+            by_target[id(spec.target)].prefetch = spec
+        for spec in self.plan.releases:
+            by_target[id(spec.target)].release = spec
+
+    def prefetch_count(self) -> int:
+        return sum(1 for r in self.refs if r.prefetch is not None)
+
+    def release_count(self) -> int:
+        return sum(1 for r in self.refs if r.release is not None)
+
+
+@dataclass
+class CompiledProgram:
+    """The specialised executable: all nests plus the compile parameters."""
+
+    program: Program
+    params: CompilerParams
+    nests: Dict[str, CompiledNest] = field(default_factory=dict)
+
+    def nest(self, name: str) -> CompiledNest:
+        return self.nests[name]
+
+    def all_release_specs(self) -> List[ReleaseSpec]:
+        return [
+            spec for nest in self.nests.values() for spec in nest.plan.releases
+        ]
+
+    def all_prefetch_specs(self) -> List[PrefetchSpec]:
+        return [
+            spec for nest in self.nests.values() for spec in nest.plan.prefetches
+        ]
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-nest hint counts (used by the compiler-tour example)."""
+        return {
+            name: {
+                "prefetch_sites": nest.prefetch_count(),
+                "release_sites": nest.release_count(),
+                "zero_priority_releases": sum(
+                    1 for s in nest.plan.releases if s.priority == 0
+                ),
+            }
+            for name, nest in self.nests.items()
+        }

@@ -1,0 +1,147 @@
+"""Hint insertion: where to prefetch, where to release, at what priority.
+
+From Section 3.2 of the paper:
+
+- for each locality group, the **leading** reference is prefetched and the
+  **trailing** reference is released;
+- a prefetch is skipped when the page is expected to have *remained in
+  memory since its last use* (captured nearest reuse);
+- a release is skipped when the page is expected to *remain in memory until
+  its next use*; otherwise a release is inserted even for data with reuse,
+  carrying the Equation-2 priority so the run-time layer can retain the
+  pages it most wants to keep:
+
+      priority(x) = Σ_{i ∈ temporal(x)} 2^depth(i)
+
+  (outermost loop depth 0; larger values mean earlier expected reuse);
+- **indirect references are never released** — "it is not possible to
+  reason statically about any reuse that they may have" — but they are
+  prefetched through runtime-computed addresses;
+- the prefetch distance comes from software pipelining: enough iterations
+  ahead to cover the page-fault latency given the estimated compute rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import CompilerParams
+from repro.core.compiler.ir import IndirectRef, Nest
+from repro.core.compiler.locality import GroupLocality, LocalityInfo
+from repro.core.compiler.reuse import RefGroup, RefReuse, ReuseInfo
+
+__all__ = ["HintPlan", "PrefetchSpec", "ReleaseSpec", "plan_hints", "release_priority"]
+
+
+@dataclass(frozen=True)
+class PrefetchSpec:
+    """A static prefetch site: which reference, how far ahead."""
+
+    tag: int
+    target: RefReuse
+    distance_pages: int
+
+    def __post_init__(self) -> None:
+        if self.distance_pages < 1:
+            raise ValueError("prefetch distance must be at least one page")
+
+
+@dataclass(frozen=True)
+class ReleaseSpec:
+    """A static release site: which reference, at what priority."""
+
+    tag: int
+    target: RefReuse
+    priority: int
+    # True when the compiler knew reuse existed but expected it to be
+    # flushed (Section 2.3.2's second case).
+    despite_reuse: bool = False
+
+
+@dataclass
+class HintPlan:
+    """All hints for one nest."""
+
+    nest: Nest
+    prefetches: List[PrefetchSpec]
+    releases: List[ReleaseSpec]
+
+
+def release_priority(group: RefGroup, depth_of) -> int:
+    """Equation 2 over the group's temporal-reuse loops."""
+    return sum(2 ** depth_of[var] for var in group.temporal_loops)
+
+
+def prefetch_distance(params: CompilerParams) -> int:
+    """Software-pipelined distance, in pages, covering the fault latency."""
+    page_elements = max(1, params.page_size // 8)
+    seconds_per_page = page_elements * params.estimated_s_per_element
+    if seconds_per_page <= 0:
+        return params.max_prefetch_distance_pages
+    distance = -(-params.page_fault_latency_s // seconds_per_page)
+    return int(
+        min(
+            params.max_prefetch_distance_pages,
+            max(params.min_prefetch_distance_pages, distance),
+        )
+    )
+
+
+class _TagAllocator:
+    """Request identifiers, unique across a whole compiled program."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def allocate(self) -> int:
+        tag = self._next
+        self._next += 1
+        return tag
+
+
+def plan_hints(
+    reuse: ReuseInfo,
+    locality: LocalityInfo,
+    params: CompilerParams,
+    tags: Optional[_TagAllocator] = None,
+) -> HintPlan:
+    """Decide the prefetch and release sites for one nest."""
+    if tags is None:
+        tags = _TagAllocator()
+    distance = prefetch_distance(params)
+    prefetches: List[PrefetchSpec] = []
+    releases: List[ReleaseSpec] = []
+
+    for group in reuse.groups:
+        verdict: GroupLocality = locality.for_group(group)
+        captured = verdict.nearest_reuse_captured(reuse.depth_of)
+        leader = group.leader
+        trailer = group.trailer
+        if not captured:
+            # Page will not have remained in memory since its last use (or
+            # there is no reuse at all): prefetch the leading reference.
+            prefetches.append(
+                PrefetchSpec(
+                    tag=tags.allocate(), target=leader, distance_pages=distance
+                )
+            )
+            # ... and it will not remain until its next use: release the
+            # trailing reference, with the Equation-2 priority.
+            has_reuse = bool(group.temporal_loops)
+            releases.append(
+                ReleaseSpec(
+                    tag=tags.allocate(),
+                    target=trailer,
+                    priority=release_priority(group, reuse.depth_of),
+                    despite_reuse=has_reuse,
+                )
+            )
+
+    for entry in reuse.indirect_refs:
+        # Prefetch through runtime-computed addresses; never release.
+        prefetches.append(
+            PrefetchSpec(tag=tags.allocate(), target=entry, distance_pages=distance)
+        )
+
+    return HintPlan(nest=reuse.nest, prefetches=prefetches, releases=releases)

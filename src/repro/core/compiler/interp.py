@@ -1,0 +1,511 @@
+"""The trace interpreter: plays a compiled nest at page granularity.
+
+The specialised executable's behaviour is reproduced as a stream of *ops*:
+
+- ``('w', seconds)`` — user compute;
+- ``('t', vpn, write, extra_seconds)`` — a page touch (the driver runs the
+  fast path or the fault path against the kernel);
+- ``('p', tag, vpns)`` — a compiler-scheduled prefetch hint;
+- ``('r', tag, vpns, priority)`` — a compiler-inserted release hint.
+
+Touches are emitted only when a reference crosses onto a new page: the
+element-level iteration inside a page is collapsed into the ``'w'`` op, so
+the op count is proportional to page crossings, not elements.  This is
+exactly the strip-mining by page size that the paper's loop-splitting step
+performs, and it is what makes full-scale (400 MB data set) simulation
+tractable.
+
+Release hints are emitted for the page the trailing reference *just left*
+(the software pipeline's steady state) with a final hint at nest end, and
+prefetch hints lead the leading reference by the compiler-chosen distance,
+with a prologue batch when the reference starts.
+
+Indirect references follow DESIGN.md §4: each index-stream page yields a
+bounded number of sampled random-page touches of the target array
+(deterministic per chunk), with prefetch hints for the *next* chunk issued
+one chunk ahead — mirroring the paper's software-pipelined prefetching of
+``a[b[i]]`` — and never any releases.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.config import MachineConfig
+from repro.core.compiler.codegen import CompiledNest, CompiledRef
+from repro.core.compiler.ir import (
+    AffineExpr,
+    ArrayRef,
+    IndirectRef,
+    Loop,
+    Stmt,
+    VaryingStrideRef,
+    bound_value,
+)
+
+__all__ = ["NestRunner", "Op", "nest_ops"]
+
+Op = tuple
+
+
+class _RefState:
+    """Per-invocation runtime state for one compiled reference."""
+
+    __slots__ = (
+        "cref",
+        "write",
+        "base_vpn",
+        "array_pages",
+        "epp",
+        "subscripts",
+        "actual_fn",
+        "indirect",
+        "index_epp",
+        "pending_iters",
+        "chunk_id",
+        "sample_count",
+        "rng_tag",
+        "last_page",
+        "pf_tag",
+        "pf_distance",
+        "rel_tag",
+        "rel_priority",
+        "reemit",
+        "hints_apparent",
+        "apparent_subs",
+        "last_hint_page",
+    )
+
+    def __init__(
+        self,
+        cref: CompiledRef,
+        env: Dict[str, int],
+        layout: Dict[str, int],
+        page_size: int,
+    ) -> None:
+        ref = cref.ref
+        self.cref = cref
+        self.write = ref.is_write
+        array = ref.array
+        if array.name not in layout:
+            raise KeyError(
+                f"array {array.name!r} missing from the layout; map it to a "
+                "segment before running"
+            )
+        self.base_vpn = layout[array.name]
+        self.epp = max(1, page_size // array.element_size)
+        total_elements = array.total_elements(env)
+        self.array_pages = max(
+            1, -(-(total_elements * array.element_size) // page_size)
+        )
+        self.last_page: Optional[int] = None
+        self.pending_iters = 0
+        self.chunk_id = 0
+        self.actual_fn = None
+        self.hints_apparent = False
+        self.apparent_subs = None
+        self.last_hint_page = None
+        if isinstance(ref, IndirectRef):
+            self.indirect = True
+            self.subscripts = None
+            index_array = ref.index_source.array
+            self.index_epp = max(1, page_size // index_array.element_size)
+            self.sample_count = ref.sample_touches_per_chunk
+            self.rng_tag = ref.rng_stream
+        else:
+            self.indirect = False
+            self.index_epp = 0
+            self.sample_count = 0
+            self.rng_tag = ""
+            if isinstance(ref, VaryingStrideRef):
+                # Resolved afresh at each inner-loop entry: the real stride
+                # can change with the enclosing loop state (FFTPDE stages).
+                self.actual_fn = ref.actual_subscripts
+                self.subscripts = None
+                self.hints_apparent = ref.hints_follow_apparent
+                self.apparent_subs = ref.apparent_subscripts
+            else:
+                assert isinstance(ref, ArrayRef)
+                self.subscripts = ref.subscripts
+        spec = cref.prefetch
+        self.pf_tag = spec.tag if spec is not None else -1
+        self.pf_distance = spec.distance_pages if spec is not None else 0
+        spec = cref.release
+        self.rel_tag = spec.tag if spec is not None else -1
+        self.rel_priority = spec.priority if spec is not None else 0
+        # When the compiler could not strip-mine the innermost dependent
+        # loop (unknown trip count), the software-pipelined prologue and
+        # epilogue execute on *every* entry of that loop — the source of
+        # CGM's flood of unnecessary, runtime-filtered hints.
+        self.reemit = False
+        if (self.pf_tag >= 0 or self.rel_tag >= 0) and not self.indirect:
+            from repro.core.compiler.ir import bound_known
+
+            chain = cref.reuse.chain
+            for loop in reversed(chain):
+                if cref.ref.depends_on(loop.var):
+                    self.reemit = not bound_known(loop.upper)
+                    break
+
+    # -- linear access function for the innermost loop ---------------------
+    def linear_coeffs(
+        self, env: Dict[str, int], var: str
+    ) -> Tuple[int, int]:
+        """Return (A0, c) with element(v) = A0 + c*v for innermost var."""
+        if self.actual_fn is not None:
+            self.subscripts = self.actual_fn(env)
+        assert self.subscripts is not None
+        dims = self.cref.ref.array.dim_values(env)
+        strides = self.cref.ref.array.row_strides(dims)
+        saved = env.get(var)
+        env[var] = 0
+        base = 0
+        coeff = 0
+        for sub, stride in zip(self.subscripts, strides):
+            base += sub.evaluate(env) * stride
+            coeff += sub.coeff(var) * stride
+        if saved is None:
+            del env[var]
+        else:
+            env[var] = saved
+        return base, coeff
+
+    def linear_coeffs_apparent(
+        self, env: Dict[str, int], var: str
+    ) -> Tuple[int, int]:
+        """Like linear_coeffs, but over the miscompiled (apparent) form."""
+        assert self.apparent_subs is not None
+        dims = self.cref.ref.array.dim_values(env)
+        strides = self.cref.ref.array.row_strides(dims)
+        saved = env.get(var)
+        env[var] = 0
+        base = 0
+        coeff = 0
+        for sub, stride in zip(self.apparent_subs, strides):
+            base += sub.evaluate(env) * stride
+            coeff += sub.coeff(var) * stride
+        if saved is None:
+            del env[var]
+        else:
+            env[var] = saved
+        return base, coeff
+
+    def page_of(self, elem: int) -> int:
+        index = elem // self.epp
+        if index < 0:
+            index = 0
+        elif index >= self.array_pages:
+            index = self.array_pages - 1
+        return self.base_vpn + index
+
+
+class NestRunner:
+    """Interprets one compiled nest under a runtime environment."""
+
+    def __init__(
+        self,
+        compiled: CompiledNest,
+        env: Dict[str, int],
+        layout: Dict[str, int],
+        machine: MachineConfig,
+        rng_seed: int = 0,
+        emit_prefetch: bool = True,
+        emit_release: bool = True,
+    ) -> None:
+        self.compiled = compiled
+        self.env = dict(env)
+        self.layout = layout
+        self.machine = machine
+        self.rng_seed = rng_seed
+        self.emit_prefetch = emit_prefetch
+        self.emit_release = emit_release
+        self._states: List[_RefState] = [
+            _RefState(cref, self.env, layout, machine.page_size)
+            for cref in compiled.refs
+        ]
+        # Map each statement to the states of its references, in order.
+        self._by_stmt: Dict[int, List[_RefState]] = {}
+        for state in self._states:
+            self._by_stmt.setdefault(id(state.cref.reuse.stmt), []).append(state)
+
+    # -- public entry -----------------------------------------------------
+    def run(self) -> Iterator[Op]:
+        yield from self._walk(self.compiled.nest.loop)
+        # Epilogue: release the final page each trailing reference left.
+        if self.emit_release:
+            for state in self._states:
+                if state.rel_tag < 0:
+                    continue
+                final = (
+                    state.last_hint_page if state.hints_apparent else state.last_page
+                )
+                if final is not None:
+                    yield ("r", state.rel_tag, (final,), state.rel_priority)
+
+    # -- loop walking -------------------------------------------------------
+    def _walk(self, loop: Loop) -> Iterator[Op]:
+        body = loop.body
+        if all(isinstance(item, Stmt) for item in body):
+            yield from self._run_innermost(loop)
+            return
+        hi = bound_value(loop.upper, self.env)
+        v = loop.lower
+        while v < hi:
+            self.env[loop.var] = v
+            for item in body:
+                if isinstance(item, Loop):
+                    yield from self._walk(item)
+                else:
+                    yield from self._run_stmt_once(item)
+            v += loop.step
+
+    def _run_stmt_once(self, stmt: Stmt) -> Iterator[Op]:
+        """A statement at a non-innermost level: one iteration's worth."""
+        work = stmt.flops * self.machine.cpu_s_per_element
+        yield ("w", work)
+        for state in self._by_stmt.get(id(stmt), ()):
+            if state.indirect:
+                yield from self._advance_indirect(state, 1)
+                continue
+            base, _coeff = state.linear_coeffs(self.env, "\x00unused")
+            page = state.page_of(base)
+            if state.hints_apparent:
+                if page != state.last_page:
+                    yield ("t", page, state.write, 0.0)
+                    state.last_page = page
+                abase, _ac = state.linear_coeffs_apparent(self.env, "\x00unused")
+                hint_page = state.page_of(abase)
+                if hint_page != state.last_hint_page:
+                    yield from self._apparent_hint_event(state, hint_page, +1, 1)
+            elif page != state.last_page:
+                yield from self._page_event(state, page, +1)
+
+    # -- the page-chunked innermost loop -------------------------------------
+    def _run_innermost(self, loop: Loop) -> Iterator[Op]:
+        env = self.env
+        hi = bound_value(loop.upper, env)
+        lo = loop.lower
+        step = loop.step
+        if hi <= lo or step <= 0:
+            if step < 0:
+                yield from self._run_innermost_slow(loop)
+            return
+        body = loop.body
+        total_flops = sum(stmt.flops for stmt in body)
+        affine_entries: List[Tuple[_RefState, int, int, int, int]] = []
+        indirect_entries: List[_RefState] = []
+        for stmt in body:
+            for state in self._by_stmt.get(id(stmt), ()):
+                if state.indirect:
+                    indirect_entries.append(state)
+                else:
+                    base, coeff = state.linear_coeffs(env, loop.var)
+                    if state.hints_apparent:
+                        abase, acoeff = state.linear_coeffs_apparent(env, loop.var)
+                    else:
+                        abase, acoeff = base, coeff
+                    affine_entries.append((state, base, coeff, abase, acoeff))
+        cpu = self.machine.cpu_s_per_element
+        # Un-strip-mined prologue/epilogue hints (unknown inner bound).
+        for state, base, coeff, abase, acoeff in affine_entries:
+            if not state.reemit:
+                continue
+            hint_last = (
+                state.last_hint_page if state.hints_apparent else state.last_page
+            )
+            page = state.page_of(abase + acoeff * lo)
+            if self.emit_prefetch and state.pf_tag >= 0:
+                yield ("p", state.pf_tag, (page,))
+            if self.emit_release and state.rel_tag >= 0 and hint_last is not None:
+                yield ("r", state.rel_tag, (hint_last,), state.rel_priority)
+        v = lo
+        iterations_left = (hi - lo + step - 1) // step
+        while iterations_left > 0:
+            chunk = iterations_left
+            for state, base, coeff, abase, acoeff in affine_entries:
+                if coeff != 0:
+                    within = (base + coeff * v) % state.epp
+                    delta = coeff * step
+                    if delta > 0:
+                        to_cross = (state.epp - within + delta - 1) // delta
+                    else:
+                        to_cross = within // (-delta) + 1
+                    if to_cross < chunk:
+                        chunk = to_cross
+                if state.hints_apparent and acoeff != 0:
+                    within = (abase + acoeff * v) % state.epp
+                    delta = acoeff * step
+                    if delta > 0:
+                        to_cross = (state.epp - within + delta - 1) // delta
+                    else:
+                        to_cross = within // (-delta) + 1
+                    if to_cross < chunk:
+                        chunk = to_cross
+            if chunk < 1:
+                chunk = 1
+            yield ("w", chunk * total_flops * cpu)
+            for state, base, coeff, abase, acoeff in affine_entries:
+                page = state.page_of(base + coeff * v)
+                if state.hints_apparent:
+                    if page != state.last_page:
+                        yield ("t", page, state.write, 0.0)
+                        state.last_page = page
+                    hint_page = state.page_of(abase + acoeff * v)
+                    if hint_page != state.last_hint_page:
+                        direction = 1 if acoeff >= 0 else -1
+                        page_step = max(1, abs(acoeff * step) // state.epp)
+                        yield from self._apparent_hint_event(
+                            state, hint_page, direction, page_step
+                        )
+                elif page != state.last_page:
+                    direction = 1 if coeff >= 0 else -1
+                    # Pages advanced per crossing: 1 for (sub-)unit strides,
+                    # the hop size for page-jumping strides — the compiled
+                    # code prefetches the address D iterations ahead, which
+                    # for a strided stream is D hops away.
+                    page_step = max(1, abs(coeff * step) // state.epp)
+                    yield from self._page_event(state, page, direction, page_step)
+            for state in indirect_entries:
+                yield from self._advance_indirect(state, chunk)
+            v += chunk * step
+            iterations_left -= chunk
+
+    def _run_innermost_slow(self, loop: Loop) -> Iterator[Op]:
+        """Fallback for negative steps: plain per-iteration execution."""
+        env = self.env
+        hi = bound_value(loop.upper, env)
+        for v in range(loop.lower, hi, loop.step):
+            env[loop.var] = v
+            for stmt in loop.body:
+                yield from self._run_stmt_once(stmt)
+
+    # -- events ---------------------------------------------------------------
+    def _page_event(
+        self, state: _RefState, page: int, direction: int, page_step: int = 1
+    ) -> Iterator[Op]:
+        if self.emit_prefetch and state.pf_tag >= 0:
+            first = state.base_vpn
+            last = state.base_vpn + state.array_pages - 1
+            reach = state.pf_distance * page_step
+            if (
+                state.last_page is None
+                or abs(page - state.last_page) > reach
+            ):
+                # Prologue: the software pipeline fetches the first window
+                # along the stream (inclusive of page + reach, which the
+                # steady state starts beyond).  A jump beyond the pipeline's
+                # reach means a fresh pipelined region — the compiled code
+                # re-runs its prologue there too.
+                if direction >= 0:
+                    window_hi = min(last, page + reach)
+                    pages = tuple(range(page, window_hi + 1, page_step))
+                else:
+                    window_lo = max(first, page - reach)
+                    pages = tuple(range(page, window_lo - 1, -page_step))
+                if pages:
+                    yield ("p", state.pf_tag, pages)
+            else:
+                target = page + reach * direction
+                if first <= target <= last:
+                    yield ("p", state.pf_tag, (target,))
+        yield ("t", page, state.write, 0.0)
+        if (
+            self.emit_release
+            and state.rel_tag >= 0
+            and state.last_page is not None
+            and state.last_page != page
+        ):
+            yield ("r", state.rel_tag, (state.last_page,), state.rel_priority)
+        state.last_page = page
+
+    def _apparent_hint_event(
+        self, state: _RefState, hint_page: int, direction: int, page_step: int
+    ) -> Iterator[Op]:
+        """Hints whose addresses come from the miscompiled (apparent) form.
+
+        Same emission pattern as :meth:`_page_event`, but tracking the
+        apparent page stream — the addresses the single compiled version of
+        the code computes, which for MGRID's coarse grids are simply wrong.
+        """
+        if self.emit_prefetch and state.pf_tag >= 0:
+            first = state.base_vpn
+            last = state.base_vpn + state.array_pages - 1
+            reach = state.pf_distance * page_step
+            if (
+                state.last_hint_page is None
+                or abs(hint_page - state.last_hint_page) > reach
+            ):
+                if direction >= 0:
+                    window_hi = min(last, hint_page + reach)
+                    pages = tuple(range(hint_page, window_hi + 1, page_step))
+                else:
+                    window_lo = max(first, hint_page - reach)
+                    pages = tuple(range(hint_page, window_lo - 1, -page_step))
+                if pages:
+                    yield ("p", state.pf_tag, pages)
+            else:
+                target = hint_page + reach * direction
+                if first <= target <= last:
+                    yield ("p", state.pf_tag, (target,))
+        if (
+            self.emit_release
+            and state.rel_tag >= 0
+            and state.last_hint_page is not None
+            and state.last_hint_page != hint_page
+        ):
+            yield ("r", state.rel_tag, (state.last_hint_page,), state.rel_priority)
+        state.last_hint_page = hint_page
+
+    # -- indirect references ----------------------------------------------------
+    def _chunk_pages(self, state: _RefState, chunk_id: int) -> Tuple[int, ...]:
+        # Deterministic per (seed, reference, chunk): versions O/P/R/B of a
+        # benchmark sample identical random pages.
+        seed = (
+            self.rng_seed * 0x9E3779B1
+            ^ zlib.crc32(state.rng_tag.encode())
+            ^ zlib.crc32(state.cref.ref.array.name.encode()) << 1
+            ^ chunk_id * 0x85EBCA6B
+        ) & 0xFFFFFFFFFFFF
+        rng = random.Random(seed)
+        span = state.array_pages
+        return tuple(
+            state.base_vpn + rng.randrange(span) for _ in range(state.sample_count)
+        )
+
+    def _advance_indirect(self, state: _RefState, iterations: int) -> Iterator[Op]:
+        state.pending_iters += iterations
+        while state.pending_iters >= state.index_epp:
+            state.pending_iters -= state.index_epp
+            chunk = state.chunk_id
+            state.chunk_id += 1
+            if self.emit_prefetch and state.pf_tag >= 0:
+                if chunk == 0:
+                    yield ("p", state.pf_tag, self._chunk_pages(state, 0))
+                # Software pipelining: fetch next chunk's targets now.
+                yield ("p", state.pf_tag, self._chunk_pages(state, chunk + 1))
+            for vpn in self._chunk_pages(state, chunk):
+                yield ("t", vpn, state.write, 0.0)
+
+
+def nest_ops(
+    compiled: CompiledNest,
+    env: Dict[str, int],
+    layout: Dict[str, int],
+    machine: MachineConfig,
+    rng_seed: int = 0,
+    emit_prefetch: bool = True,
+    emit_release: bool = True,
+) -> Iterator[Op]:
+    """Convenience wrapper: interpret one nest invocation."""
+    runner = NestRunner(
+        compiled,
+        env,
+        layout,
+        machine,
+        rng_seed=rng_seed,
+        emit_prefetch=emit_prefetch,
+        emit_release=emit_release,
+    )
+    return runner.run()

@@ -1,0 +1,390 @@
+"""The loop-nest intermediate representation the compiler pass analyses.
+
+This is a deliberately small IR in the spirit of SUIF's representation of
+array-based scientific codes: perfect-or-imperfect loop nests over
+row-major arrays with affine subscripts, plus the two non-affine reference
+kinds the paper's benchmarks need:
+
+- :class:`IndirectRef` — ``a[b[i]]`` patterns (BUK, CGM): the index stream
+  is data-dependent, so the compiler can prefetch (through the run-time
+  layer) but cannot reason about reuse and therefore never releases;
+- :class:`VaryingStrideRef` — FFTPDE's hazard: the subscript expression the
+  compiler sees treats the stride as a loop-invariant symbol, but the real
+  stride changes across invocations, so reuse analysis draws conclusions
+  the execution never realises.
+
+Loop bounds may be integers or :class:`Symbol`\\ s.  A symbol carries a
+compile-time *estimate* and a ``known`` flag: Table 2 of the paper
+classifies the benchmarks precisely by whether their loop bounds are known,
+and the analyses consult this flag when deciding how much to trust a trip
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "AffineExpr",
+    "Array",
+    "ArrayRef",
+    "Bound",
+    "IndirectRef",
+    "Loop",
+    "Nest",
+    "Program",
+    "Reference",
+    "Stmt",
+    "Symbol",
+    "VaryingStrideRef",
+    "affine",
+    "bound_estimate",
+    "bound_known",
+    "bound_value",
+    "const",
+]
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A compile-time-symbolic quantity with a runtime value in the env."""
+
+    name: str
+    estimate: int
+    known: bool = False
+
+    def value(self, env: Dict[str, int]) -> int:
+        return int(env.get(self.name, self.estimate))
+
+
+Bound = Union[int, Symbol]
+
+
+def bound_value(bound: Bound, env: Dict[str, int]) -> int:
+    """The runtime value of a bound."""
+    if isinstance(bound, Symbol):
+        return bound.value(env)
+    return int(bound)
+
+
+def bound_estimate(bound: Bound) -> int:
+    """The compiler's best estimate of a bound."""
+    if isinstance(bound, Symbol):
+        return bound.estimate
+    return int(bound)
+
+
+def bound_known(bound: Bound) -> bool:
+    """Is the bound exactly known at compile time?"""
+    if isinstance(bound, Symbol):
+        return bound.known
+    return True
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``const + Σ coeff_v · v`` over loop variables."""
+
+    coeffs: Tuple[Tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def build(coeffs: Dict[str, int], const: int = 0) -> "AffineExpr":
+        filtered = tuple(sorted((v, c) for v, c in coeffs.items() if c != 0))
+        return AffineExpr(filtered, const)
+
+    def coeff(self, var: str) -> int:
+        for name, c in self.coeffs:
+            if name == var:
+                return c
+        return 0
+
+    def depends_on(self, var: str) -> bool:
+        return self.coeff(var) != 0
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _c in self.coeffs)
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        total = self.const
+        for name, c in self.coeffs:
+            total += c * env[name]
+        return total
+
+    def shifted(self, delta: int) -> "AffineExpr":
+        return AffineExpr(self.coeffs, self.const + delta)
+
+    def __add__(self, other: "AffineExpr") -> "AffineExpr":
+        merged: Dict[str, int] = dict(self.coeffs)
+        for name, c in other.coeffs:
+            merged[name] = merged.get(name, 0) + c
+        return AffineExpr.build(merged, self.const + other.const)
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v}" if c != 1 else v for v, c in self.coeffs]
+        text = "+".join(parts)
+        if self.const or not parts:
+            sign = "+" if self.const >= 0 and parts else ""
+            text += f"{sign}{self.const}"
+        return text
+
+
+def affine(var: str, coeff: int = 1, const_term: int = 0) -> AffineExpr:
+    """Shorthand: ``affine('i')`` is the subscript ``i``."""
+    return AffineExpr.build({var: coeff}, const_term)
+
+
+def const(value: int) -> AffineExpr:
+    """Shorthand for a constant subscript."""
+    return AffineExpr((), value)
+
+
+@dataclass(frozen=True)
+class Array:
+    """A row-major array of fixed-size elements."""
+
+    name: str
+    shape: Tuple[Bound, ...]
+    element_size: int = 8
+
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def dim_values(self, env: Dict[str, int]) -> Tuple[int, ...]:
+        return tuple(bound_value(d, env) for d in self.shape)
+
+    def dim_estimates(self) -> Tuple[int, ...]:
+        return tuple(bound_estimate(d) for d in self.shape)
+
+    def total_elements(self, env: Dict[str, int]) -> int:
+        total = 1
+        for d in self.dim_values(env):
+            total *= d
+        return total
+
+    def row_strides(self, dims: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Element stride of each dimension under row-major layout."""
+        strides = [1] * len(dims)
+        for i in range(len(dims) - 2, -1, -1):
+            strides[i] = strides[i + 1] * dims[i + 1]
+        return tuple(strides)
+
+    def pages(self, env: Dict[str, int], page_size: int) -> int:
+        total_bytes = self.total_elements(env) * self.element_size
+        return max(1, -(-total_bytes // page_size))
+
+    def __repr__(self) -> str:
+        dims = "][".join(
+            d.name if isinstance(d, Symbol) else str(d) for d in self.shape
+        )
+        return f"{self.name}[{dims}]"
+
+
+class Reference:
+    """Base class for the three reference kinds."""
+
+    array: Array
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class ArrayRef(Reference):
+    """An affine reference, e.g. ``a[i+1][j-1]``."""
+
+    array: Array
+    subscripts: Tuple[AffineExpr, ...]
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.subscripts) != self.array.rank():
+            raise ValueError(
+                f"{self.array.name}: {len(self.subscripts)} subscripts for "
+                f"rank-{self.array.rank()} array"
+            )
+
+    def depends_on(self, var: str) -> bool:
+        return any(s.depends_on(var) for s in self.subscripts)
+
+    def __repr__(self) -> str:
+        subs = "][".join(repr(s) for s in self.subscripts)
+        rw = "W" if self.is_write else "R"
+        return f"{self.array.name}[{subs}]({rw})"
+
+
+@dataclass(frozen=True)
+class IndirectRef(Reference):
+    """``target[index_source[...]]``: a data-dependent reference.
+
+    ``sample_touches_per_chunk`` is the trace-sampling parameter documented
+    in DESIGN.md §4: each page-sized chunk of the index stream generates
+    this many distinct random-page touches of the target, while the compute
+    time still accounts for every element.
+    """
+
+    array: Array  # the randomly-accessed target
+    index_source: ArrayRef  # the sequential reference producing indices
+    is_write: bool = False
+    sample_touches_per_chunk: int = 12
+    rng_stream: str = "indirect"
+
+    def depends_on(self, var: str) -> bool:
+        return self.index_source.depends_on(var)
+
+    def __repr__(self) -> str:
+        return f"{self.array.name}[{self.index_source!r}]"
+
+
+@dataclass(frozen=True)
+class VaryingStrideRef(Reference):
+    """A reference whose real stride varies at run time (FFTPDE's hazard).
+
+    ``apparent_subscripts`` is what the compiler analyses — the stride
+    appears as a loop-invariant symbol, so reuse analysis concludes there is
+    temporal reuse in the loops the apparent form is independent of.
+    ``actual_subscripts`` maps the runtime environment (which carries the
+    current stride) to the concrete affine subscripts the execution uses.
+
+    ``hints_follow_apparent`` distinguishes the two miscompilation modes the
+    paper reports:
+
+    - **False** (FFTPDE): the compiled code computes hint addresses from the
+      run-time index values, so the addresses are right but the *reuse
+      classification* (priorities) is wrong;
+    - **True** (MGRID): the single compiled version bakes the wrong array
+      stride into its address arithmetic, so the hint *addresses themselves*
+      are computed from the apparent form — releases land on the wrong
+      pages while the right ones are left for the paging daemon.
+    """
+
+    array: Array
+    apparent_subscripts: Tuple[AffineExpr, ...]
+    actual_subscripts: Callable[[Dict[str, int]], Tuple[AffineExpr, ...]] = field(
+        compare=False, hash=False, repr=False, default=None
+    )  # type: ignore[assignment]
+    is_write: bool = False
+    hints_follow_apparent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.actual_subscripts is None:
+            raise ValueError("VaryingStrideRef requires actual_subscripts")
+
+    def depends_on(self, var: str) -> bool:
+        return any(s.depends_on(var) for s in self.apparent_subscripts)
+
+    def __repr__(self) -> str:
+        subs = "][".join(repr(s) for s in self.apparent_subscripts)
+        return f"{self.array.name}[~{subs}]"
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """A loop-body statement: its references and its per-iteration work."""
+
+    refs: Tuple[Reference, ...]
+    flops: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.refs:
+            raise ValueError("statement with no references")
+
+
+BodyItem = Union["Loop", Stmt]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop ``for var in range(lower, upper, step)``."""
+
+    var: str
+    lower: int
+    upper: Bound
+    body: Tuple[BodyItem, ...]
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step == 0:
+            raise ValueError("loop step cannot be zero")
+        if not self.body:
+            raise ValueError(f"loop over {self.var} has an empty body")
+
+    def trip_estimate(self) -> int:
+        return max(0, (bound_estimate(self.upper) - self.lower + self.step - 1) // self.step)
+
+    def trip_value(self, env: Dict[str, int]) -> int:
+        return max(0, (bound_value(self.upper, env) - self.lower + self.step - 1) // self.step)
+
+
+@dataclass(frozen=True)
+class Nest:
+    """One top-level loop nest, analysed independently (Section 3.2:
+    "The compiler analyzes each set of nested loops independently")."""
+
+    name: str
+    loop: Loop
+
+    def loops_by_depth(self) -> List[Tuple[int, Loop]]:
+        """All loops with their depths (outermost = 0), preorder."""
+        result: List[Tuple[int, Loop]] = []
+
+        def visit(loop: Loop, depth: int) -> None:
+            result.append((depth, loop))
+            for item in loop.body:
+                if isinstance(item, Loop):
+                    visit(item, depth + 1)
+
+        visit(self.loop, 0)
+        return result
+
+    def statements(self) -> List[Tuple[Tuple[Loop, ...], Stmt]]:
+        """All statements, each with its enclosing loop chain."""
+        result: List[Tuple[Tuple[Loop, ...], Stmt]] = []
+
+        def visit(loop: Loop, chain: Tuple[Loop, ...]) -> None:
+            chain = chain + (loop,)
+            for item in loop.body:
+                if isinstance(item, Loop):
+                    visit(item, chain)
+                else:
+                    result.append((chain, item))
+
+        visit(self.loop, ())
+        return result
+
+    def references(self) -> List[Tuple[Tuple[Loop, ...], Stmt, Reference]]:
+        """All references with their loop chain and statement."""
+        result = []
+        for chain, stmt in self.statements():
+            for ref in stmt.refs:
+                result.append((chain, stmt, ref))
+        return result
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole application: its arrays and its nests in program order."""
+
+    name: str
+    arrays: Tuple[Array, ...]
+    nests: Tuple[Nest, ...]
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.arrays]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate array names in {self.name}")
+        nest_names = [n.name for n in self.nests]
+        if len(nest_names) != len(set(nest_names)):
+            raise ValueError(f"duplicate nest names in {self.name}")
+
+    def array(self, name: str) -> Array:
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        raise KeyError(f"no array named {name!r} in {self.name}")
+
+    def nest(self, name: str) -> Nest:
+        for nest in self.nests:
+            if nest.name == name:
+                return nest
+        raise KeyError(f"no nest named {name!r} in {self.name}")

@@ -1,0 +1,166 @@
+"""Locality analysis: which intrinsic reuses does memory actually capture?
+
+The compiler is given the size of main memory, the page size, and the page
+fault latency (Section 3.2).  For each group with temporal reuse carried by
+loop ℓ, it estimates the *reuse volume* — the number of distinct pages all
+references in the nest touch during one ℓ-iteration — and compares it
+against the memory it is willing to count on.
+
+Two conservatisms, both from the paper:
+
+- **Unknown bounds** (Section 2.4): if any loop between the reuse and the
+  data has an unknown trip count, the volume cannot be trusted; assume the
+  reuse will *not* result in locality ("it is preferable to assume that only
+  the smallest working set will fit in memory").
+- **Multiprogramming** (Section 2.3.2): compile-time assumptions about
+  available memory "may be wildly inaccurate" on a shared machine, so the
+  analysis multiplies stated memory by ``memory_confidence`` (default 2%).
+  With confidence 1.0 the analysis trusts all of memory — the
+  dedicated-machine setting of the authors' earlier paper, under which few
+  releases are inserted; the ablation benchmark sweeps this knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CompilerParams
+from repro.core.compiler.ir import IndirectRef, Loop, Nest
+from repro.core.compiler.reuse import (
+    RefGroup,
+    RefReuse,
+    ReuseInfo,
+    analysis_subscripts,
+)
+
+__all__ = ["GroupLocality", "LocalityInfo", "analyze_locality"]
+
+
+@dataclass
+class GroupLocality:
+    """Locality verdict for one reference group."""
+
+    group: RefGroup
+    # loop var -> estimated pages touched between successive reuses there
+    reuse_volumes: Dict[str, int] = field(default_factory=dict)
+    # loop vars whose carried reuse the analysis expects memory to capture
+    locality_loops: Tuple[str, ...] = ()
+    # trip counts trusted? (False as soon as an unknown bound intervenes)
+    bounds_known: bool = True
+
+    def nearest_reuse_captured(self, depth_of: Dict[str, int]) -> bool:
+        """Will a page survive until its *soonest* reuse?
+
+        The soonest reuse is carried by the deepest temporal loop; release
+        insertion skips the release exactly when that reuse is captured.
+        """
+        temporal = self.group.temporal_loops
+        if not temporal:
+            return False
+        nearest = max(temporal, key=lambda var: depth_of[var])
+        return nearest in self.locality_loops
+
+
+@dataclass
+class LocalityInfo:
+    """Locality analysis results for one nest."""
+
+    nest: Nest
+    effective_pages: int
+    by_group: List[GroupLocality]
+
+    def for_group(self, group: RefGroup) -> GroupLocality:
+        for entry in self.by_group:
+            if entry.group is group:
+                return entry
+        raise KeyError(f"group for {group.array.name} not analysed")
+
+
+def _inner_loops(chain: Tuple[Loop, ...], var: str) -> Tuple[Loop, ...]:
+    """Loops strictly inside ``var``'s loop in this reference's chain."""
+    for index, loop in enumerate(chain):
+        if loop.var == var:
+            return chain[index + 1 :]
+    return ()
+
+
+def _pages_per_iteration(
+    entry: RefReuse, carrying_var: str, params: CompilerParams
+) -> Tuple[int, bool]:
+    """Estimate (pages touched per iteration of ``carrying_var``,
+    bounds_known) for one reference."""
+    ref = entry.ref
+    element_size = ref.array.element_size
+    inner = _inner_loops(entry.chain, carrying_var)
+    if carrying_var not in (loop.var for loop in entry.chain):
+        # The reference is outside this loop entirely; it contributes its
+        # single current page.
+        return 1, True
+
+    subs = analysis_subscripts(ref)
+    if subs is None:
+        # Indirect reference: every element may land on a new page; the
+        # bound is the index stream's trip count (itself untrustworthy).
+        elements = 1
+        known = True
+        source = ref.index_source if isinstance(ref, IndirectRef) else None
+        for loop in inner:
+            if source is not None and source.depends_on(loop.var):
+                elements *= loop.trip_estimate()
+                known = known and _loop_known(loop)
+        return max(1, elements), known
+
+    elements = 1
+    known = True
+    innermost_dependent: Optional[Loop] = None
+    for loop in inner:
+        if any(s.depends_on(loop.var) for s in subs):
+            elements *= loop.trip_estimate()
+            known = known and _loop_known(loop)
+            innermost_dependent = loop
+    if innermost_dependent is None:
+        return 1, known
+    page_elements = max(1, params.page_size // element_size)
+    if innermost_dependent.var in entry.spatial_loops:
+        pages = -(-elements // page_elements)
+    else:
+        pages = elements  # large stride: a fresh page per iteration
+    return max(1, pages), known
+
+
+def _loop_known(loop: Loop) -> bool:
+    from repro.core.compiler.ir import bound_known
+
+    return bound_known(loop.upper)
+
+
+def analyze_locality(reuse: ReuseInfo, params: CompilerParams) -> LocalityInfo:
+    """Decide which carried reuses will be captured by memory."""
+    # Never trust less than a first-level working set (a handful of pages;
+    # Section 2.4's example needs six).
+    effective_pages = max(
+        8, int(params.memory_bytes * params.memory_confidence) // params.page_size
+    )
+    results: List[GroupLocality] = []
+    for group in reuse.groups:
+        verdict = GroupLocality(group=group)
+        locality: List[str] = []
+        for var in group.temporal_loops:
+            volume = 0
+            known = True
+            for entry in reuse.refs:
+                pages, entry_known = _pages_per_iteration(entry, var, params)
+                volume += pages
+                known = known and entry_known
+            verdict.reuse_volumes[var] = volume
+            if not known:
+                verdict.bounds_known = False
+                continue  # untrusted volume: assume no locality here
+            if volume <= effective_pages:
+                locality.append(var)
+        verdict.locality_loops = tuple(locality)
+        results.append(verdict)
+    return LocalityInfo(
+        nest=reuse.nest, effective_pages=effective_pages, by_group=results
+    )

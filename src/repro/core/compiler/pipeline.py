@@ -1,0 +1,41 @@
+"""The end-to-end compile driver (Figure 4 of the paper).
+
+``compile_program`` takes the original program (the IR) plus the target
+description (memory size, page size, fault latency) and produces the
+specialised executable: reuse analysis → locality analysis → hint
+insertion → code generation, nest by nest.  Nests are analysed
+independently — "reuses that occur between independent sets of loops are
+not considered" — which is precisely the limitation that makes MGRID
+release pages that later calls still want.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import CompilerParams
+from repro.core.compiler.codegen import CompiledNest, CompiledProgram
+from repro.core.compiler.insertion import _TagAllocator, plan_hints
+from repro.core.compiler.ir import Program
+from repro.core.compiler.locality import analyze_locality
+from repro.core.compiler.reuse import analyze_reuse
+
+__all__ = ["compile_program"]
+
+
+def compile_program(
+    program: Program, params: Optional[CompilerParams] = None
+) -> CompiledProgram:
+    """Run the whole pass; returns the hint-annotated executable."""
+    if params is None:
+        params = CompilerParams()
+    compiled = CompiledProgram(program=program, params=params)
+    tags = _TagAllocator()
+    for nest in program.nests:
+        reuse = analyze_reuse(nest, params.page_size)
+        locality = analyze_locality(reuse, params)
+        plan = plan_hints(reuse, locality, params, tags=tags)
+        compiled.nests[nest.name] = CompiledNest(
+            nest=nest, reuse=reuse, locality=locality, plan=plan
+        )
+    return compiled

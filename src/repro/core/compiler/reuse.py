@@ -1,0 +1,254 @@
+"""Reuse analysis: intrinsic temporal, spatial, and group reuse.
+
+Following the locality framework the paper builds on (its earlier prefetch
+algorithm), each reference in a nest is classified per enclosing loop:
+
+- **self-temporal** reuse in loop ℓ — no subscript depends on ℓ's variable,
+  so successive ℓ-iterations touch the very same data (e.g. ``x[j]`` inside
+  the ``i`` loop of MATVEC);
+- **self-spatial** reuse in loop ℓ — ℓ's variable strides only through the
+  innermost dimension with a small enough stride that successive iterations
+  usually stay on the same page;
+- **group** reuse — references differing only in constant offsets
+  effectively share data; the *leading* reference (first to touch new data)
+  is the one to prefetch and the *trailing* reference (last to touch it) is
+  the one to release (Section 3.2).
+
+Indirect references are deliberately unanalysable: the paper inserts no
+release for them because "it is not possible to reason statically about any
+reuse that they may have".  Varying-stride references are analysed from
+their *apparent* subscripts — faithfully reproducing the FFTPDE
+misclassification the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compiler.ir import (
+    AffineExpr,
+    Array,
+    ArrayRef,
+    IndirectRef,
+    Loop,
+    Nest,
+    Reference,
+    Stmt,
+    VaryingStrideRef,
+)
+
+__all__ = ["RefGroup", "RefReuse", "ReuseInfo", "analyze_reuse"]
+
+
+def analysis_subscripts(ref: Reference) -> Optional[Tuple[AffineExpr, ...]]:
+    """The subscripts the compiler believes the reference uses.
+
+    Returns None for indirect references, which have no static form.
+    """
+    if isinstance(ref, ArrayRef):
+        return ref.subscripts
+    if isinstance(ref, VaryingStrideRef):
+        return ref.apparent_subscripts
+    if isinstance(ref, IndirectRef):
+        return None
+    raise TypeError(f"unknown reference kind {type(ref).__name__}")
+
+
+@dataclass
+class RefReuse:
+    """Per-reference reuse classification."""
+
+    ref: Reference
+    chain: Tuple[Loop, ...]  # enclosing loops, outermost first
+    stmt: Stmt
+    temporal_loops: Tuple[str, ...] = ()  # loop vars carrying temporal reuse
+    spatial_loops: Tuple[str, ...] = ()
+    indirect: bool = False
+
+    @property
+    def depth_of(self) -> Dict[str, int]:
+        return {loop.var: depth for depth, loop in enumerate(self.chain)}
+
+    def has_temporal_reuse(self) -> bool:
+        return bool(self.temporal_loops)
+
+
+@dataclass
+class RefGroup:
+    """References to one array sharing coefficients (group locality).
+
+    The paper: "the compiler identifies groups of references that
+    effectively share the same data and can be treated as a single
+    reference".  ``leader`` is prefetched; ``trailer`` is released.
+    """
+
+    array: Array
+    members: List[RefReuse] = field(default_factory=list)
+
+    @property
+    def leader(self) -> RefReuse:
+        return max(self.members, key=_offset_key)
+
+    @property
+    def trailer(self) -> RefReuse:
+        return min(self.members, key=_offset_key)
+
+    @property
+    def temporal_loops(self) -> Tuple[str, ...]:
+        # Members share coefficients, hence the same temporal loop set;
+        # use the leader's for determinism.
+        return self.leader.temporal_loops
+
+    @property
+    def has_writes(self) -> bool:
+        return any(m.ref.is_write for m in self.members)
+
+
+def _offset_key(member: RefReuse) -> Tuple[int, ...]:
+    subs = analysis_subscripts(member.ref)
+    assert subs is not None  # groups never contain indirect refs
+    return tuple(s.const for s in subs)
+
+
+@dataclass
+class ReuseInfo:
+    """Everything reuse analysis learned about one nest."""
+
+    nest: Nest
+    refs: List[RefReuse]
+    groups: List[RefGroup]
+    indirect_refs: List[RefReuse]
+    depth_of: Dict[str, int]
+
+    def reuse_for(self, ref: Reference) -> RefReuse:
+        for entry in self.refs:
+            if entry.ref is ref:
+                return entry
+        raise KeyError(f"reference {ref!r} not in nest {self.nest.name}")
+
+
+def _temporal_loops(
+    subs: Sequence[AffineExpr], chain: Sequence[Loop]
+) -> Tuple[str, ...]:
+    result = []
+    for loop in chain:
+        if loop.trip_estimate() <= 1:
+            continue
+        if not any(s.depends_on(loop.var) for s in subs):
+            result.append(loop.var)
+    return tuple(result)
+
+
+def _spatial_loops(
+    subs: Sequence[AffineExpr],
+    chain: Sequence[Loop],
+    array: Array,
+    page_size: int,
+) -> Tuple[str, ...]:
+    if not subs:
+        return ()
+    last = subs[-1]
+    earlier = subs[:-1]
+    result = []
+    for loop in chain:
+        if loop.trip_estimate() <= 1:
+            continue
+        if any(s.depends_on(loop.var) for s in earlier):
+            continue  # strides through a non-contiguous dimension
+        coeff = last.coeff(loop.var)
+        if coeff == 0:
+            continue  # temporal in this loop, not spatial
+        stride_bytes = abs(coeff * loop.step) * array.element_size
+        if stride_bytes < page_size:
+            result.append(loop.var)
+    return tuple(result)
+
+
+def _group_key(ref: Reference) -> Optional[tuple]:
+    subs = analysis_subscripts(ref)
+    if subs is None:
+        return None
+    return (ref.array.name, tuple(s.coeffs for s in subs))
+
+
+def _split_by_distance(members: List[RefReuse]) -> List[List[RefReuse]]:
+    """Split same-coefficient references whose constant offsets are far
+    apart: group locality only holds when the references actually overlap
+    within a couple of iterations (e.g. a stencil's ±1 rows), not when they
+    address disjoint regions of a shared workspace array."""
+    if len(members) <= 1:
+        return [members]
+    subs0 = analysis_subscripts(members[0].ref)
+    assert subs0 is not None
+    # Per-dimension tolerance: twice the largest stride coefficient.
+    tolerances = []
+    for k in range(len(subs0)):
+        max_coeff = 0
+        for member in members:
+            subs = analysis_subscripts(member.ref)
+            assert subs is not None
+            for _var, c in subs[k].coeffs:
+                max_coeff = max(max_coeff, abs(c))
+        tolerances.append(2 * max_coeff)
+    ordered = sorted(members, key=_offset_key)
+    clusters: List[List[RefReuse]] = [[ordered[0]]]
+    for member in ordered[1:]:
+        previous = _offset_key(clusters[-1][-1])
+        current = _offset_key(member)
+        close = all(
+            abs(c - p) <= tol
+            for c, p, tol in zip(current, previous, tolerances)
+        )
+        if close:
+            clusters[-1].append(member)
+        else:
+            clusters.append([member])
+    return clusters
+
+
+def analyze_reuse(nest: Nest, page_size: int) -> ReuseInfo:
+    """Run reuse analysis over one nest."""
+    loops = nest.loops_by_depth()
+    seen_vars = set()
+    for _depth, loop in loops:
+        if loop.var in seen_vars:
+            raise ValueError(
+                f"nest {nest.name}: loop variable {loop.var!r} reused; "
+                "analysis requires unique loop variables per nest"
+            )
+        seen_vars.add(loop.var)
+    depth_of = {loop.var: depth for depth, loop in loops}
+
+    refs: List[RefReuse] = []
+    members_by_key: Dict[tuple, List[RefReuse]] = {}
+    indirect: List[RefReuse] = []
+    for chain, stmt, ref in nest.references():
+        subs = analysis_subscripts(ref)
+        if subs is None:
+            entry = RefReuse(ref=ref, chain=chain, stmt=stmt, indirect=True)
+            refs.append(entry)
+            indirect.append(entry)
+            continue
+        entry = RefReuse(
+            ref=ref,
+            chain=chain,
+            stmt=stmt,
+            temporal_loops=_temporal_loops(subs, chain),
+            spatial_loops=_spatial_loops(subs, chain, ref.array, page_size),
+        )
+        refs.append(entry)
+        members_by_key.setdefault(_group_key(ref), []).append(entry)
+
+    groups: List[RefGroup] = []
+    for members in members_by_key.values():
+        for cluster in _split_by_distance(members):
+            groups.append(RefGroup(array=cluster[0].ref.array, members=cluster))
+
+    return ReuseInfo(
+        nest=nest,
+        refs=refs,
+        groups=groups,
+        indirect_refs=indirect,
+        depth_of=depth_of,
+    )

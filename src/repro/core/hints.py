@@ -1,0 +1,48 @@
+"""Hint records exchanged between compiled code and the run-time layer.
+
+Figure 5 of the paper shows the compiler's output: calls carrying
+``(prefetch address, release address, number of 16KB pages, release
+priority, request identifier)``.  We split that into two record types; the
+*request identifier* (``tag``) names the static program point that issued
+the hint, which the run-time layer uses for its one-iteration-behind
+duplicate filter and for coalescing buffered releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["PrefetchHint", "ReleaseHint"]
+
+
+@dataclass(frozen=True)
+class PrefetchHint:
+    """Compiler-scheduled request to fetch pages ahead of use."""
+
+    tag: int
+    vpns: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.vpns:
+            raise ValueError("prefetch hint with no pages")
+
+
+@dataclass(frozen=True)
+class ReleaseHint:
+    """Compiler-identified pages the program may no longer need.
+
+    ``priority`` follows Equation 2 of the paper: 0 means the compiler found
+    no temporal reuse (release freely); larger values mean earlier expected
+    reuse (prefer to retain).
+    """
+
+    tag: int
+    vpns: Tuple[int, ...]
+    priority: int
+
+    def __post_init__(self) -> None:
+        if not self.vpns:
+            raise ValueError("release hint with no pages")
+        if self.priority < 0:
+            raise ValueError(f"negative release priority: {self.priority}")

@@ -1,0 +1,41 @@
+"""The run-time layer (Section 3.3).
+
+Compiled code does not talk to the OS directly: every hint passes through
+this layer, which
+
+- filters *obviously bad* requests — pages not in memory (bitmap check) and
+  the one-iteration-behind duplicate filter keyed by the compiler's request
+  identifier;
+- services prefetches through a pool of worker threads (the paper's
+  pthreads, used because IRIX lacked user-level async I/O), so prefetch
+  service time never lands on the main application;
+- implements the two release policies the paper compares: **aggressive**
+  (issue every surviving release immediately) and **buffered** (issue
+  zero-priority releases immediately, hold positive-priority ones in
+  per-tag queues indexed by a priority list, and only drain — 100 pages at
+  a time, lowest priority first, round-robin within a level — when the
+  shared page says usage is close to the OS-recommended limit).
+"""
+
+from repro.core.runtime.buffering import ReleaseBuffer
+from repro.core.runtime.layer import RuntimeLayer, RuntimeStats
+from repro.core.runtime.policies import (
+    AGGRESSIVE,
+    BUFFERED,
+    ORIGINAL,
+    PREFETCH_ONLY,
+    VERSIONS,
+    VersionConfig,
+)
+
+__all__ = [
+    "AGGRESSIVE",
+    "BUFFERED",
+    "ORIGINAL",
+    "PREFETCH_ONLY",
+    "ReleaseBuffer",
+    "RuntimeLayer",
+    "RuntimeStats",
+    "VERSIONS",
+    "VersionConfig",
+]

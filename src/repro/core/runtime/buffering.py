@@ -1,0 +1,121 @@
+"""Release buffering: per-tag queues indexed by a priority list.
+
+From Section 3.3 and Figure 6(b): requests with priority 0 (no reuse) are
+issued straight to the OS; others are stored in release queues indexed by
+their tag, with multiple buffered releases for one reference coalesced.
+The priority list maps each priority value to its queues.  When releasing
+is deemed necessary, pages are drained from the **lowest**-priority queues
+first, round-robin among queues at the same level — so the pages whose
+reuse the compiler expects soonest are the last to go.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterable, List, Tuple
+
+__all__ = ["ReleaseBuffer"]
+
+
+class ReleaseBuffer:
+    """Priority-indexed buffered releases."""
+
+    def __init__(self, drain_newest_first: bool = False) -> None:
+        # tag -> queued pages, oldest first.  OrderedDict keeps round-robin
+        # order deterministic.
+        self._queues: "OrderedDict[int, Deque[int]]" = OrderedDict()
+        self._tag_priority: Dict[int, int] = {}
+        # priority -> tags at that level (the priority list of Figure 6(b)).
+        self._levels: Dict[int, List[int]] = {}
+        self._rr_index: Dict[int, int] = {}
+        self._buffered: Dict[int, int] = {}  # vpn -> refcount (dedup check)
+        self.total_pages = 0
+        self.drain_newest_first = drain_newest_first
+        # Statistics.
+        self.pages_buffered = 0
+        self.pages_drained = 0
+        self.duplicates_coalesced = 0
+
+    def __len__(self) -> int:
+        return self.total_pages
+
+    @property
+    def priorities(self) -> List[int]:
+        return sorted(p for p, tags in self._levels.items() if any(
+            self._queues.get(t) for t in tags
+        ))
+
+    def pages_at_priority(self, priority: int) -> int:
+        return sum(
+            len(self._queues.get(tag, ())) for tag in self._levels.get(priority, ())
+        )
+
+    # -- inserting ----------------------------------------------------------
+    def add(self, tag: int, pages: Iterable[int], priority: int) -> int:
+        """Buffer pages for a tag; returns how many were newly queued.
+
+        A page already buffered (under any tag) is coalesced rather than
+        queued twice.
+        """
+        if priority <= 0:
+            raise ValueError("priority-0 releases are issued, not buffered")
+        queue = self._queues.get(tag)
+        if queue is None:
+            queue = deque()
+            self._queues[tag] = queue
+            self._tag_priority[tag] = priority
+            self._levels.setdefault(priority, []).append(tag)
+            self._rr_index.setdefault(priority, 0)
+        elif self._tag_priority[tag] != priority:
+            raise ValueError(
+                f"tag {tag} priority changed from {self._tag_priority[tag]} "
+                f"to {priority}"
+            )
+        added = 0
+        for vpn in pages:
+            if vpn in self._buffered:
+                self.duplicates_coalesced += 1
+                continue
+            self._buffered[vpn] = 1
+            queue.append(vpn)
+            added += 1
+        self.total_pages += added
+        self.pages_buffered += added
+        return added
+
+    def forget(self, vpn: int) -> None:
+        """Drop a page from the dedup map (page left memory some other way).
+
+        The queue entry stays; drain skips entries no longer in the map.
+        """
+        self._buffered.pop(vpn, None)
+
+    # -- draining -----------------------------------------------------------
+    def drain(self, budget: int) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Take up to ``budget`` pages, lowest priority first, round-robin
+        among the tags at each level.  Returns (tag, pages) batches."""
+        taken: Dict[int, List[int]] = {}
+        remaining = budget
+        for priority in sorted(self._levels):
+            if remaining <= 0:
+                break
+            tags = [t for t in self._levels[priority] if self._queues.get(t)]
+            if not tags:
+                continue
+            index = self._rr_index.get(priority, 0)
+            while remaining > 0 and tags:
+                tag = tags[index % len(tags)]
+                queue = self._queues[tag]
+                vpn = queue.pop() if self.drain_newest_first else queue.popleft()
+                self.total_pages -= 1
+                if vpn in self._buffered:
+                    del self._buffered[vpn]
+                    taken.setdefault(tag, []).append(vpn)
+                    remaining -= 1
+                    self.pages_drained += 1
+                if not queue:
+                    tags.remove(tag)
+                else:
+                    index += 1
+            self._rr_index[priority] = index
+        return [(tag, tuple(pages)) for tag, pages in taken.items()]

@@ -1,0 +1,55 @@
+"""The four program versions of the evaluation (Section 4.3, Figure 7).
+
+Each benchmark runs as:
+
+- **O** — the original, unmodified program (no hints at all);
+- **P** — compiled to use prefetching only;
+- **R** — prefetching plus *aggressive releasing* (every release issued to
+  the OS as soon as it survives the simple filters);
+- **B** — prefetching plus *release buffering* (positive-priority releases
+  are held and drained by priority only when memory usage approaches the
+  OS-recommended limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "AGGRESSIVE",
+    "BUFFERED",
+    "ORIGINAL",
+    "PREFETCH_ONLY",
+    "VERSIONS",
+    "VersionConfig",
+]
+
+
+@dataclass(frozen=True)
+class VersionConfig:
+    """Which hint machinery a program version uses."""
+
+    name: str
+    label: str
+    prefetch: bool
+    release: bool
+    buffered: bool
+
+    def __post_init__(self) -> None:
+        if self.buffered and not self.release:
+            raise ValueError("buffering requires releasing")
+        if self.release and not self.prefetch:
+            raise ValueError(
+                "the paper's releasing versions all prefetch as well"
+            )
+
+
+ORIGINAL = VersionConfig("O", "original", prefetch=False, release=False, buffered=False)
+PREFETCH_ONLY = VersionConfig("P", "prefetch", prefetch=True, release=False, buffered=False)
+AGGRESSIVE = VersionConfig("R", "prefetch+release", prefetch=True, release=True, buffered=False)
+BUFFERED = VersionConfig("B", "prefetch+buffered-release", prefetch=True, release=True, buffered=True)
+
+VERSIONS: Dict[str, VersionConfig] = {
+    v.name: v for v in (ORIGINAL, PREFETCH_ONLY, AGGRESSIVE, BUFFERED)
+}

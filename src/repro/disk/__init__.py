@@ -1,0 +1,29 @@
+"""Swap I/O substrate: disks, SCSI adapters, and the striped raw swap.
+
+The paper's testbed striped system swap across ten Seagate Cheetah 4LP disks
+using raw swap partitions, with five SCSI adapters each controlling two
+disks.  This package reproduces that topology as a queueing model:
+
+- :class:`~repro.disk.device.DiskDevice` — one disk with a FIFO queue and a
+  seek/rotation/transfer service time that rewards sequential access;
+- :class:`~repro.disk.adapter.ScsiAdapter` — a bounded-depth command channel
+  shared by two disks;
+- :class:`~repro.disk.swap.StripedSwap` — round-robin page striping and the
+  async read/write interface the VM layer uses.
+
+The property that matters for the reproduction is the *asymmetry* the paper
+exploits: a demand fault is synchronous (one page at a time, full latency on
+the critical path) while prefetches can keep all ten spindles busy at once.
+"""
+
+from repro.disk.adapter import ScsiAdapter
+from repro.disk.device import DiskDevice, DiskRequest
+from repro.disk.swap import StripedSwap, SwapStats
+
+__all__ = [
+    "DiskDevice",
+    "DiskRequest",
+    "ScsiAdapter",
+    "StripedSwap",
+    "SwapStats",
+]

@@ -1,0 +1,55 @@
+"""Experiment harness and per-figure/table reproductions.
+
+Every table and figure of the paper's evaluation has a module here; each
+exposes a ``run_*(scale)`` function returning plain data structures plus a
+``format_*`` helper that prints rows in the paper's shape.  The pytest
+benchmarks under ``benchmarks/`` are thin wrappers over these.
+"""
+
+from repro.experiments.figure1 import Figure1Result, format_figure1, run_figure1
+from repro.experiments.figure7 import Figure7Result, format_figure7, run_figure7
+from repro.experiments.figure8 import Figure8Result, format_figure8, run_figure8
+from repro.experiments.figure9 import Figure9Result, format_figure9, run_figure9
+from repro.experiments.figure10 import (
+    Figure10aResult,
+    Figure10bcResult,
+    format_figure10a,
+    format_figure10bc,
+    run_figure10a,
+    run_figure10bc,
+)
+from repro.experiments.harness import (
+    MultiprogramResult,
+    interactive_alone,
+    run_multiprogram,
+    run_version_suite,
+)
+from repro.experiments.table3 import Table3Result, format_table3, run_table3
+
+__all__ = [
+    "Figure1Result",
+    "Figure7Result",
+    "Figure8Result",
+    "Figure9Result",
+    "Figure10aResult",
+    "Figure10bcResult",
+    "MultiprogramResult",
+    "Table3Result",
+    "format_figure1",
+    "format_figure7",
+    "format_figure8",
+    "format_figure9",
+    "format_figure10a",
+    "format_figure10bc",
+    "format_table3",
+    "interactive_alone",
+    "run_figure1",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10a",
+    "run_figure10bc",
+    "run_multiprogram",
+    "run_table3",
+    "run_version_suite",
+]

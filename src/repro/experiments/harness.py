@@ -1,0 +1,184 @@
+"""The multiprogramming harness (Section 4's experimental setup).
+
+One experiment = one out-of-core benchmark (in one of the four versions
+O/P/R/B) sharing the machine with the simulated interactive task at a given
+sleep time.  The run ends when the out-of-core program completes its fixed
+work; the result carries everything the figures and tables need: the
+application's four-way time breakdown, the VM subsystem's counters, the
+run-time layer's filter statistics, and the interactive task's per-sweep
+samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import SimScale
+from repro.core.runtime.layer import RuntimeLayer, RuntimeStats
+from repro.core.runtime.policies import VERSIONS, VersionConfig
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.sim.stats import TimeBuckets
+from repro.vm.stats import AddressSpaceStats, VmStats
+from repro.workloads.base import (
+    OutOfCoreWorkload,
+    app_driver,
+    build_layout,
+)
+from repro.workloads.interactive import InteractiveTask, SweepSample
+
+__all__ = [
+    "MultiprogramResult",
+    "interactive_alone",
+    "run_multiprogram",
+    "run_version_suite",
+]
+
+# Hard ceiling so a badly-tuned configuration cannot spin forever; generous
+# relative to any experiment in the suite.
+MAX_ENGINE_STEPS = 200_000_000
+
+
+@dataclass
+class MultiprogramResult:
+    """Everything measured from one benchmark × version run."""
+
+    workload: str
+    version: str
+    scale: str
+    sleep_time_s: float
+    elapsed_s: float
+    app_buckets: TimeBuckets
+    worker_buckets: TimeBuckets
+    app_stats: AddressSpaceStats
+    interactive_stats: Optional[AddressSpaceStats]
+    vm: VmStats
+    runtime: RuntimeStats
+    sweeps: List[SweepSample] = field(default_factory=list)
+    swap: Dict[str, float] = field(default_factory=dict)
+
+    def mean_response(self, skip_warmup: int = 1) -> float:
+        samples = self.sweeps[skip_warmup:] or self.sweeps
+        if not samples:
+            return 0.0
+        return sum(s.response_time for s in samples) / len(samples)
+
+    def mean_interactive_hard_faults(self, skip_warmup: int = 1) -> float:
+        samples = self.sweeps[skip_warmup:] or self.sweeps
+        if not samples:
+            return 0.0
+        return sum(s.hard_faults for s in samples) / len(samples)
+
+
+def _drive(engine: Engine, done_process) -> None:
+    steps = 0
+    while not done_process.triggered:
+        engine.step()
+        steps += 1
+        if steps > MAX_ENGINE_STEPS:  # pragma: no cover - safety net
+            raise RuntimeError("experiment exceeded the engine step budget")
+    if not done_process.ok:
+        raise done_process.value
+
+
+def run_multiprogram(
+    scale: SimScale,
+    workload: OutOfCoreWorkload,
+    version: VersionConfig,
+    sleep_time_s: Optional[float] = None,
+    with_interactive: bool = True,
+) -> MultiprogramResult:
+    """Run one benchmark version, optionally alongside the interactive task."""
+    if sleep_time_s is None:
+        sleep_time_s = scale.intermediate_sleep_s
+    engine = Engine()
+    kernel = Kernel.boot(engine, scale)
+
+    instance = workload.build(scale)
+    process = kernel.create_process(instance.name)
+    layout = build_layout(process, instance, scale.machine.page_size)
+    pm = kernel.attach_paging_directed(process)
+    runtime = RuntimeLayer(process, pm, scale.runtime, version)
+    compiled = instance.compiled(scale)
+
+    interactive: Optional[InteractiveTask] = None
+    if with_interactive:
+        interactive = InteractiveTask(kernel, scale, sleep_time_s)
+        engine.process(interactive.run(), name="interactive")
+
+    driver = app_driver(
+        process, runtime, compiled, instance, layout, version, scale
+    )
+    app_process = engine.process(driver, name=instance.name)
+    _drive(engine, app_process)
+    if interactive is not None:
+        interactive.stop()
+
+    vm_stats = kernel.vm.finalize_stats()
+    swap = kernel.swap.stats
+    return MultiprogramResult(
+        workload=workload.name,
+        version=version.name,
+        scale=scale.name,
+        sleep_time_s=sleep_time_s,
+        elapsed_s=engine.now,
+        app_buckets=process.task.buckets,
+        worker_buckets=runtime.worker_time(),
+        app_stats=process.aspace.stats,
+        interactive_stats=(
+            interactive.process.aspace.stats if interactive is not None else None
+        ),
+        vm=vm_stats,
+        runtime=runtime.stats,
+        sweeps=list(interactive.samples) if interactive is not None else [],
+        swap={
+            "demand_reads": swap.demand_reads,
+            "prefetch_reads": swap.prefetch_reads,
+            "writebacks": swap.writebacks,
+            "mean_demand_latency_s": kernel.swap.mean_latency("demand"),
+            "mean_prefetch_latency_s": kernel.swap.mean_latency("prefetch"),
+        },
+    )
+
+
+def interactive_alone(
+    scale: SimScale, sleep_time_s: float, sweeps: int = 8
+) -> List[SweepSample]:
+    """The interactive task on a dedicated machine (the baselines in
+    Figures 1 and 10)."""
+    engine = Engine()
+    kernel = Kernel.boot(engine, scale)
+    task = InteractiveTask(kernel, scale, sleep_time_s)
+
+    def bounded():
+        runner = task.run()
+        # Drive the task's generator until enough sweeps are recorded.
+        for event in runner:
+            yield event
+            if len(task.samples) >= sweeps:
+                task.stop()
+
+    process = engine.process(bounded(), name="interactive-alone")
+    _drive(engine, process)
+    return list(task.samples)
+
+
+def run_version_suite(
+    scale: SimScale,
+    workload: OutOfCoreWorkload,
+    versions: str = "OPRB",
+    sleep_time_s: Optional[float] = None,
+    with_interactive: bool = True,
+) -> Dict[str, MultiprogramResult]:
+    """Run several versions of one benchmark under identical conditions."""
+    results: Dict[str, MultiprogramResult] = {}
+    for name in versions:
+        results[name] = run_multiprogram(
+            scale,
+            workload,
+            VERSIONS[name],
+            sleep_time_s=sleep_time_s,
+            with_interactive=with_interactive,
+        )
+    return results

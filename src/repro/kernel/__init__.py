@@ -1,0 +1,23 @@
+"""The OS layer: kernel façade, policy modules, and the shared page.
+
+IRIX 6.5 exposed *policy modules* (PMs) that let a process select memory
+management policies for ranges of its address space.  The paper added a new
+PM — ``PagingDirected`` — through which a process issues prefetch and
+release operations and reads a shared information page (a bitmap of
+in-memory pages plus current usage and the recommended upper limit from
+Equation 1).  This package reproduces that interface on top of
+:mod:`repro.vm`.
+"""
+
+from repro.kernel.kernel import Kernel, KernelProcess
+from repro.kernel.paging_directed import PagingDirectedPm
+from repro.kernel.policy_module import PolicyModule
+from repro.kernel.shared_page import SharedPage
+
+__all__ = [
+    "Kernel",
+    "KernelProcess",
+    "PagingDirectedPm",
+    "PolicyModule",
+    "SharedPage",
+]

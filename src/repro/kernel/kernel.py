@@ -1,0 +1,139 @@
+"""The kernel façade: wires the VM, swap, daemons, and policy modules.
+
+:class:`Kernel` is the single object experiments construct; it owns the
+simulated machine.  :class:`KernelProcess` is the handle a workload driver
+uses: it couples an address space with a :class:`~repro.sim.task.SimTask`
+and provides the batched touch interface that keeps resident accesses (the
+overwhelmingly common case) off the event queue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SimScale
+from repro.disk.swap import StripedSwap
+from repro.kernel.paging_directed import PagingDirectedPm
+from repro.kernel.policy_module import PolicyRegistry
+from repro.sim.engine import Engine
+from repro.sim.task import SimTask
+from repro.vm.pagingdaemon import PagingDaemon
+from repro.vm.releaser import Releaser
+from repro.vm.system import VmSystem
+
+__all__ = ["Kernel", "KernelProcess"]
+
+
+class KernelProcess:
+    """A simulated process: address space + execution context.
+
+    Touch protocol (performance-critical):
+
+    - ``touch(vpn, write)`` returns ``None`` on a resident hit, after
+      accumulating the per-touch cost into a pending user-time batch;
+    - otherwise it returns a generator the caller must ``yield from`` —
+      the fault path, which first flushes the pending batch so simulated
+      time stays causally ordered.
+
+    Callers should also periodically ``yield from flush_if_due()`` so that
+    long stretches of resident compute become visible to the daemons.
+    """
+
+    def __init__(self, kernel: "Kernel", name: str) -> None:
+        self.kernel = kernel
+        self.engine = kernel.engine
+        self.name = name
+        self.aspace = kernel.vm.create_address_space(name)
+        self.task = SimTask(kernel.engine, name)
+        self.pending_user = 0.0
+        self._quantum = kernel.scale.time_quantum_s
+
+    # -- time batching ---------------------------------------------------
+    def charge(self, seconds: float) -> None:
+        """Accumulate user compute time without touching the event queue."""
+        self.pending_user += seconds
+
+    def flush(self):
+        """Process generator: emit the pending user-time batch."""
+        pending = self.pending_user
+        if pending > 0:
+            self.pending_user = 0.0
+            yield from self.task.user(pending)
+
+    def flush_if_due(self):
+        if self.pending_user >= self._quantum:
+            yield from self.flush()
+
+    # -- memory access ------------------------------------------------------
+    def touch(self, vpn: int, write: bool = False):
+        """Fast-path touch; returns None on hit, else the fault generator."""
+        if self.kernel.vm.touch_fast(self.aspace, vpn, write):
+            self.pending_user += self.kernel.scale.machine.resident_touch_s
+            return None
+        return self._fault(vpn, write)
+
+    def _fault(self, vpn: int, write: bool):
+        yield from self.flush()
+        kind = yield from self.kernel.vm.fault(self.task, self.aspace, vpn, write)
+        return kind
+
+    def touch_now(self, vpn: int, write: bool = False):
+        """Process generator: touch unconditionally (used by simple tasks
+        like the interactive toucher, where batching doesn't matter)."""
+        fault = self.touch(vpn, write)
+        if fault is not None:
+            kind = yield from fault
+            return kind
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelProcess({self.name})"
+
+
+class Kernel:
+    """The simulated machine: VM + swap + daemons + policy modules."""
+
+    def __init__(self, engine: Engine, scale: SimScale) -> None:
+        self.engine = engine
+        self.scale = scale
+        self.swap = StripedSwap(engine, scale.disk)
+        self.vm = VmSystem(engine, scale, self.swap)
+        self.releaser = Releaser(engine, self.vm, scale.tunables)
+        self.paging_daemon = PagingDaemon(engine, self.vm, scale.tunables)
+        self.vm.releaser = self.releaser
+        self.vm.paging_daemon = self.paging_daemon
+        self.registry = PolicyRegistry()
+        self._started = False
+
+    @classmethod
+    def boot(cls, engine: Engine, scale: SimScale) -> "Kernel":
+        """Construct and start the system daemons."""
+        kernel = cls(engine, scale)
+        kernel.start()
+        return kernel
+
+    def start(self) -> None:
+        if not self._started:
+            self.paging_daemon.start()
+            self.releaser.start()
+            self._started = True
+
+    # -- processes ------------------------------------------------------------
+    def create_process(self, name: str) -> KernelProcess:
+        return KernelProcess(self, name)
+
+    def attach_paging_directed(
+        self, process: KernelProcess, mapped_range: Optional[range] = None
+    ) -> PagingDirectedPm:
+        """Create a PagingDirected PM over the given page range (default:
+        everything the process has mapped so far)."""
+        if mapped_range is None:
+            mapped_range = range(0, process.aspace.mapped_pages)
+        pm = PagingDirectedPm(self.vm, process.aspace, mapped_range)
+        self.registry.attach(pm)
+        return pm
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def free_pages(self) -> int:
+        return self.vm.freelist.free_count

@@ -1,0 +1,89 @@
+"""The PagingDirected policy module (Section 3.1).
+
+The paper's kernel extension: a PM that lets a user-level process invoke
+prefetch and release operations on pages of its address space, and that
+shares memory-usage information with the application through a single
+read-only page (:class:`~repro.kernel.shared_page.SharedPage`).
+
+Request semantics (Section 3.1.2):
+
+- **prefetch**: like a page fault except (i) if there is no free memory the
+  request is discarded immediately, and (ii) on completion the page is not
+  fully validated and gets no TLB entry;
+- **release**: the PM clears the in-memory bits and queues the pages to the
+  releaser daemon, which re-checks for re-references before freeing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.kernel.policy_module import PolicyModule
+from repro.kernel.shared_page import SharedPage
+from repro.sim.task import SimTask
+from repro.vm.pagetable import AddressSpace
+from repro.vm.system import VmSystem
+
+__all__ = ["PagingDirectedPm"]
+
+
+class PagingDirectedPm(PolicyModule):
+    """User-directed paging over a range of the address space."""
+
+    policy_name = "PagingDirected"
+
+    def __init__(
+        self, vm: VmSystem, aspace: AddressSpace, mapped_range: range
+    ) -> None:
+        super().__init__(aspace, mapped_range)
+        self.vm = vm
+        self.shared_page = SharedPage(vm, aspace, mapped_range)
+        # Request counters for the experiment reports.
+        self.prefetch_requests = 0
+        self.release_requests = 0
+        self.release_pages_requested = 0
+
+    def on_attach(self) -> None:
+        self.aspace.shared_page = self.shared_page
+
+    # -- syscalls -------------------------------------------------------------
+    def prefetch(self, task: SimTask, vpn: int):
+        """Process generator: one prefetch request into the kernel.
+
+        The syscall crossing is charged to the calling task (a prefetch
+        worker thread, not the main application); the I/O wait shows up on
+        the same task.
+        """
+        if not self.covers(vpn):
+            raise ValueError(f"vpn {vpn} outside {self!r}")
+        self.prefetch_requests += 1
+        yield from task.system(self.vm.machine.syscall_s)
+        brought_in = yield from self.vm.prefetch_page(task, self.aspace, vpn)
+        self.shared_page.refresh()
+        return brought_in
+
+    def release(self, task: SimTask, vpns: Sequence[int]):
+        """Process generator: one release request into the kernel.
+
+        Clears the bitmap bits and enqueues the pages for the releaser; the
+        actual freeing happens asynchronously in the daemon.  Returns the
+        number of pages accepted.
+        """
+        pages: List[int] = [vpn for vpn in vpns if self.covers(vpn)]
+        if len(pages) != len(vpns):
+            raise ValueError("release request outside the PM's range")
+        self.release_requests += 1
+        self.release_pages_requested += len(pages)
+        yield from task.system(self.vm.machine.syscall_s)
+        accepted = self.vm.request_release(self.aspace, pages)
+        return accepted
+
+    # -- shared-page reads (free: the page is mapped into the process) --------
+    def page_in_memory(self, vpn: int) -> bool:
+        return self.shared_page.bit(vpn)
+
+    def current_usage(self) -> int:
+        return self.shared_page.current_usage
+
+    def upper_limit(self) -> int:
+        return self.shared_page.upper_limit

@@ -1,0 +1,67 @@
+"""The IRIX policy-module framework (Section 3.1).
+
+IRIX 6.5 lets a user select memory-management policies by connecting a
+*policy module* to any range of the application's virtual address space.
+This module provides the small framework: a registry per address space and
+the abstract base that concrete policies (the stock default policy and the
+paper's ``PagingDirected`` PM) implement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.vm.pagetable import AddressSpace
+
+__all__ = ["PolicyModule", "PolicyRegistry"]
+
+
+class PolicyModule:
+    """Base class: a policy attached to a range of virtual pages."""
+
+    policy_name = "abstract"
+
+    def __init__(self, aspace: AddressSpace, mapped_range: range) -> None:
+        self.aspace = aspace
+        self.mapped_range = mapped_range
+
+    def covers(self, vpn: int) -> bool:
+        return vpn in self.mapped_range
+
+    def on_attach(self) -> None:
+        """Called once when the PM is connected to the range."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.aspace.name}, "
+            f"pages {self.mapped_range.start}..{self.mapped_range.stop - 1})"
+        )
+
+
+class PolicyRegistry:
+    """Per-address-space registry of attached policy modules."""
+
+    def __init__(self) -> None:
+        self._modules: Dict[int, List[PolicyModule]] = {}
+
+    def attach(self, module: PolicyModule) -> None:
+        modules = self._modules.setdefault(module.aspace.asid, [])
+        for existing in modules:
+            if (
+                existing.mapped_range.start < module.mapped_range.stop
+                and module.mapped_range.start < existing.mapped_range.stop
+            ):
+                raise ValueError(
+                    f"range overlap between {existing!r} and {module!r}"
+                )
+        modules.append(module)
+        module.on_attach()
+
+    def lookup(self, aspace: AddressSpace, vpn: int) -> Optional[PolicyModule]:
+        for module in self._modules.get(aspace.asid, ()):
+            if module.covers(vpn):
+                return module
+        return None
+
+    def modules_for(self, aspace: AddressSpace) -> List[PolicyModule]:
+        return list(self._modules.get(aspace.asid, ()))

@@ -1,0 +1,71 @@
+"""The shared information page (Section 3.1.1).
+
+A single 16 KB page, allocated by the OS and mapped read-only into the
+application, used primarily as a bitmap indexed by virtual page number: a
+set bit means the page is in memory.  The first two words are reserved for
+the current number of pages in use and the recommended upper limit on pages
+(Equation 1):
+
+    upper_limit = min(maxrss, current_size + tot_freemem - min_freemem)
+
+Updates are *lazy*: the OS refreshes the usage words only when the process
+experiences memory-system activity (a fault, a prefetch/release request, or
+having memory stolen), never eagerly on every global free-memory change —
+exactly the trade-off Section 3.1.1 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+__all__ = ["SharedPage"]
+
+
+class SharedPage:
+    """Bitmap plus usage words, shared between the OS and one process."""
+
+    def __init__(self, vm, aspace, mapped_range: range) -> None:
+        self._vm = vm
+        self._aspace = aspace
+        self.mapped_range = mapped_range
+        self._bits: Set[int] = set()
+        self.current_usage = 0
+        self.upper_limit = 0
+        self.refreshes = 0
+        # "When the application attaches the PM to a region of its virtual
+        # address space, the bits corresponding to those addresses are all
+        # cleared" — we start with an empty set, which is the same thing.
+        self.refresh()
+
+    # -- bitmap -------------------------------------------------------------
+    def set_bit(self, vpn: int) -> None:
+        if vpn in self.mapped_range:
+            self._bits.add(vpn)
+
+    def clear_bit(self, vpn: int) -> None:
+        self._bits.discard(vpn)
+
+    def bit(self, vpn: int) -> bool:
+        """Is this page in memory, as far as the application can see?"""
+        return vpn in self._bits
+
+    def resident_bits(self) -> int:
+        return len(self._bits)
+
+    # -- usage words ----------------------------------------------------------
+    def refresh(self) -> None:
+        """Recompute the two reserved words (called on memory activity)."""
+        self.refreshes += 1
+        vm = self._vm
+        tunables = vm.tunables
+        maxrss = tunables.maxrss_pages(len(vm.frame_table))
+        current = self._aspace.resident
+        free = vm.freelist.free_count
+        self.current_usage = current
+        self.upper_limit = min(
+            maxrss, current + free - tunables.min_freemem_pages
+        )
+
+    def headroom(self) -> int:
+        """Pages the process may still compete for before hitting the limit."""
+        return self.upper_limit - self.current_usage

@@ -1,0 +1,376 @@
+"""The discrete-event engine: clock, event queue, and generator processes.
+
+The design mirrors SimPy's process-interaction style (which cannot be
+installed in this offline environment): simulated activities are Python
+generators that ``yield`` :class:`Event` objects and are resumed when those
+events trigger.  The engine keeps a single priority queue of scheduled events
+ordered by ``(time, sequence)`` so that simultaneous events fire in FIFO
+order, which keeps daemon/process interleavings deterministic.
+
+Determinism matters here: the experiments in :mod:`repro.experiments` compare
+runs of the same workload under four different hint policies, and any
+nondeterminism in the engine would show up as noise in the reproduced tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the engine (double triggers, bad yields, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Carries the ``cause`` given by the interrupter so the interrupted process
+    can decide how to react (e.g. a daemon being woken early).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the queue, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events start *pending*.  Calling :meth:`succeed` or :meth:`fail` places
+    them on the engine's queue; when the engine pops them, their callbacks
+    run exactly once.  Processes waiting on the event (via ``yield``) are
+    resumed with the event's value.
+    """
+
+    __slots__ = ("engine", "callbacks", "_state", "_value", "_ok")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._ok = True
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (value is decided)."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._state = _TRIGGERED
+        self._value = value
+        self._ok = True
+        self.engine._push(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire with an exception after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._state = _TRIGGERED
+        self._value = exception
+        self._ok = False
+        self.engine._push(self, delay)
+        return self
+
+    # -- engine internals --------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks = self.callbacks
+        self.callbacks = None
+        self._state = _PROCESSED
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately, so late subscribers are not lost.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self._state = _TRIGGERED
+        self._value = value
+        engine._push(self, delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._events: Tuple[Event, ...] = tuple(events)
+        for event in self._events:
+            if event.engine is not engine:
+                raise SimulationError("condition spans multiple engines")
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {
+            event: event.value
+            for event in self._events
+            if event.triggered and event.ok
+        }
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child event fires (propagating failures)."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires once all child events have fired (propagating failures)."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A generator-driven simulated activity.
+
+    The wrapped generator yields :class:`Event` objects; the process resumes
+    with the event's value (or the event's exception thrown in).  When the
+    generator returns, the process — itself an event — succeeds with the
+    return value, so processes can wait on each other.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: ProcessGenerator,
+        name: str = "",
+    ) -> None:
+        super().__init__(engine)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process requires a generator, got {generator!r}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once the engine starts (or immediately if running).
+        init = Timeout(engine, 0.0)
+        init.add_callback(self._resume)
+        self._waiting_on = init
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A process cannot interrupt itself, and interrupting a finished
+        process is an error — both indicate scheduling bugs in the caller.
+        """
+        if self._state != _PENDING:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self.engine.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        waiting_on = self._waiting_on
+        if waiting_on is not None and waiting_on.callbacks is not None:
+            try:
+                waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.engine)
+        wakeup.fail(Interrupt(cause))
+        wakeup.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        engine = self.engine
+        previous = engine.active_process
+        engine.active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            engine.active_process = previous
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            engine.active_process = previous
+            if not self.callbacks:
+                # Nobody is waiting on this process; surface the crash.
+                raise
+            self.fail(exc)
+            return
+        engine.active_process = previous
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        if target.engine is not self.engine:
+            raise SimulationError("process yielded an event from another engine")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Engine:
+    """The event loop: a virtual clock plus a priority queue of events."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self.active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _push(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def step(self) -> None:
+        """Process the single next event; raises IndexError if none remain."""
+        time, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("time went backwards")
+        self._now = time
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is advanced exactly to it on exit,
+        so back-to-back ``run(until=...)`` calls compose cleanly.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        if until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self._now = until
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Convenience: run a process to completion and return its value."""
+        process = self.process(generator, name=name)
+        self.run()
+        if not process.triggered:
+            raise SimulationError(
+                f"process {process.name!r} deadlocked (event queue drained)"
+            )
+        if not process.ok:
+            raise process.value
+        return process.value

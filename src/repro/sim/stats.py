@@ -1,0 +1,126 @@
+"""Execution-time accounting and simple metric containers.
+
+Figure 7 of the paper breaks each benchmark's execution time into four
+stacked components; :class:`TimeBuckets` is the per-process accumulator for
+exactly those four:
+
+- ``user`` — time executing user code (including run-time-layer overhead,
+  which is how hint-filtering cost shows up in the paper's bars);
+- ``system`` — kernel time, primarily page-fault handling;
+- ``stall_memory`` — stalled on unavailable resources: physical memory,
+  memory-system locks, CPUs;
+- ``stall_io`` — stalled waiting for I/O.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+__all__ = ["Counter", "Histogram", "TimeBuckets"]
+
+_BUCKETS = ("user", "system", "stall_memory", "stall_io")
+
+
+@dataclass
+class TimeBuckets:
+    """Per-process breakdown of where simulated time went."""
+
+    user: float = 0.0
+    system: float = 0.0
+    stall_memory: float = 0.0
+    stall_io: float = 0.0
+
+    def add(self, bucket: str, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative time increment: {dt}")
+        if bucket not in _BUCKETS:
+            raise KeyError(f"unknown time bucket {bucket!r}")
+        setattr(self, bucket, getattr(self, bucket) + dt)
+
+    @property
+    def total(self) -> float:
+        return self.user + self.system + self.stall_memory + self.stall_io
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in _BUCKETS}
+
+    def normalized_to(self, baseline: "TimeBuckets") -> Dict[str, float]:
+        """Each component as a fraction of ``baseline.total`` (Figure 7)."""
+        if baseline.total <= 0:
+            raise ValueError("baseline has zero total time")
+        return {name: getattr(self, name) / baseline.total for name in _BUCKETS}
+
+    def merged_with(self, other: "TimeBuckets") -> "TimeBuckets":
+        return TimeBuckets(
+            user=self.user + other.user,
+            system=self.system + other.system,
+            stall_memory=self.stall_memory + other.stall_memory,
+            stall_io=self.stall_io + other.stall_io,
+        )
+
+
+class Counter:
+    """A named monotonically-increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+@dataclass
+class Histogram:
+    """A tiny streaming histogram: count, mean, min/max, and percentiles.
+
+    Keeps raw samples (sample counts here are modest — fault service times,
+    response times per sweep) so percentiles are exact.
+    """
+
+    name: str = "histogram"
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Exact percentile by nearest-rank on the sorted samples."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be in [0, 1]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+    def extend(self, values: Iterable[float]) -> None:
+        self.samples.extend(values)

@@ -1,0 +1,174 @@
+"""Synchronisation primitives built on the event engine.
+
+These model the kernel-side coordination the paper's analysis hinges on:
+address-space memory locks (whose contention between the paging daemon and
+the fault handler inflates fault service times — Section 4.3 of the paper),
+bounded resources (SCSI adapter queues), and work queues (the releaser and
+prefetch-thread queues).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+__all__ = ["Lock", "Resource", "Store"]
+
+
+class Lock:
+    """A FIFO mutual-exclusion lock.
+
+    ``acquire()`` returns an :class:`Event` that fires when the caller holds
+    the lock.  The lock records aggregate hold and wait time so the VM layer
+    can report contention statistics.
+    """
+
+    def __init__(self, engine: Engine, name: str = "lock") -> None:
+        self.engine = engine
+        self.name = name
+        self._holder: Optional[object] = None
+        self._waiters: Deque[tuple[Event, object, float]] = deque()
+        # Contention accounting.
+        self.total_hold_time = 0.0
+        self.total_wait_time = 0.0
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+        self._held_since = 0.0
+
+    @property
+    def locked(self) -> bool:
+        return self._holder is not None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self, who: object = None) -> Event:
+        event = self.engine.event()
+        if self._holder is None:
+            self._grant(event, who, waited=0.0)
+        else:
+            self.contended_acquisitions += 1
+            self._waiters.append((event, who, self.engine.now))
+        return event
+
+    def _grant(self, event: Event, who: object, waited: float) -> None:
+        self._holder = who if who is not None else event
+        self._held_since = self.engine.now
+        self.acquisitions += 1
+        self.total_wait_time += waited
+        event.succeed(self)
+
+    def release(self) -> None:
+        if self._holder is None:
+            raise SimulationError(f"release of unheld lock {self.name!r}")
+        self.total_hold_time += self.engine.now - self._held_since
+        self._holder = None
+        if self._waiters:
+            event, who, enqueued = self._waiters.popleft()
+            self._grant(event, who, waited=self.engine.now - enqueued)
+
+    def holding(self, who: object = None):
+        """Generator helper: ``yield from lock.holding()`` is not supported;
+        instead use::
+
+            yield lock.acquire(self)
+            try:
+                ...
+            finally:
+                lock.release()
+        """
+        raise NotImplementedError("use explicit acquire()/release()")
+
+
+class Resource:
+    """A counted resource with FIFO queuing (e.g. adapter command slots)."""
+
+    def __init__(self, engine: Engine, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self.total_wait_time = 0.0
+        self._wait_started: dict[int, float] = {}
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        event = self.engine.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._wait_started[id(event)] = self.engine.now
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            event = self._waiters.popleft()
+            started = self._wait_started.pop(id(event), self.engine.now)
+            self.total_wait_time += self.engine.now - started
+            self._in_use += 1
+            event.succeed(self)
+
+
+class Store:
+    """An unbounded FIFO work queue with blocking ``get``.
+
+    Used for the releaser daemon's request queue and the prefetch thread
+    pool's work queue.  ``put`` never blocks; ``get`` returns an event that
+    fires with the next item.
+    """
+
+    def __init__(self, engine: Engine, name: str = "store") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.puts = 0
+        self.gets = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.puts += 1
+        if self._getters:
+            self.gets += 1
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+            if len(self._items) > self.max_depth:
+                self.max_depth = len(self._items)
+
+    def get(self) -> Event:
+        event = self.engine.event()
+        if self._items:
+            self.gets += 1
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        self.gets += len(items)
+        return items

@@ -1,0 +1,38 @@
+"""The simulated IRIX 6.5 virtual-memory subsystem.
+
+This package reproduces the pieces of the IRIX VM that the paper's results
+hinge on:
+
+- a global frame pool with a FIFO **free list** whose pages retain their
+  identity until reallocated, so pages freed too early can be *rescued*
+  (Section 4.4, Figure 9);
+- per-process **address spaces** guarded by memory locks whose contention
+  between daemons and the fault handler inflates fault service times
+  (Section 4.3);
+- a **paging daemon** (``vhand``) running a two-handed clock that simulates
+  reference bits in software by invalidating mappings — the source of the
+  soft page faults in Figure 8;
+- a **releaser daemon** specialised to free pre-identified pages in small
+  lock batches (Section 3.1.2).
+"""
+
+from repro.vm.frames import Frame, FrameTable, FreeList
+from repro.vm.pagetable import AddressSpace
+from repro.vm.pagingdaemon import PagingDaemon
+from repro.vm.releaser import Releaser, ReleaseWorkItem
+from repro.vm.stats import AddressSpaceStats, VmStats
+from repro.vm.system import FaultKind, VmSystem
+
+__all__ = [
+    "AddressSpace",
+    "AddressSpaceStats",
+    "FaultKind",
+    "Frame",
+    "FrameTable",
+    "FreeList",
+    "PagingDaemon",
+    "ReleaseWorkItem",
+    "Releaser",
+    "VmStats",
+    "VmSystem",
+]

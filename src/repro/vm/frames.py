@@ -1,0 +1,240 @@
+"""Physical frames, the frame table, and the free list with rescue.
+
+The free list is the mechanism behind two of the paper's observations:
+
+1. *"Released pages are placed at the end of the free list, giving pages
+   that were released too early a chance to be rescued."* (Section 3.1.2)
+2. Figure 9's breakdown of freed pages into daemon-freed vs. release-freed,
+   each with a rescued fraction.
+
+A frame pushed onto the list keeps its ``(address space, vpn)`` identity
+until it is popped for reallocation; a fault on that page meanwhile can
+*rescue* it — reattach it without any I/O.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Engine, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vm.pagetable import AddressSpace
+
+__all__ = ["Frame", "FrameTable", "FreeList"]
+
+# Who freed a frame — needed for Figure 9's rescued-fraction breakdown.
+FREED_BY_INIT = "init"
+FREED_BY_DAEMON = "daemon"
+FREED_BY_RELEASE = "release"
+FREED_BY_EXIT = "exit"
+
+
+class Frame:
+    """One physical page frame and all of its per-page state bits.
+
+    ``sw_valid`` models the MIPS software-managed valid bit: the paging
+    daemon clears it to simulate a reference bit, and the next touch by the
+    owner takes a *soft fault* to re-validate.  ``invalidated`` distinguishes
+    a daemon invalidation from a never-validated prefetched page (which pays
+    only the cheap ``prefetch_validate`` cost on first touch).
+    """
+
+    __slots__ = (
+        "index",
+        "owner",
+        "vpn",
+        "present",
+        "sw_valid",
+        "referenced",
+        "dirty",
+        "invalidated",
+        "from_prefetch",
+        "release_pending",
+        "on_free_list",
+        "freed_by",
+        "in_transit",
+        "wired",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.owner: Optional["AddressSpace"] = None
+        self.vpn: int = -1
+        self.present = False
+        self.sw_valid = False
+        self.referenced = False
+        self.dirty = False
+        self.invalidated = False
+        self.from_prefetch = False
+        self.release_pending = False
+        self.on_free_list = False
+        self.freed_by = FREED_BY_INIT
+        self.in_transit: Optional[Event] = None
+        self.wired = False
+
+    @property
+    def active(self) -> bool:
+        """Attached to an address space and eligible for the clock hand."""
+        return self.present and self.owner is not None and not self.wired
+
+    def reset_identity(self) -> None:
+        self.owner = None
+        self.vpn = -1
+        self.dirty = False
+        self.referenced = False
+        self.sw_valid = False
+        self.invalidated = False
+        self.from_prefetch = False
+        self.release_pending = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = self.owner.name if self.owner is not None else None
+        return f"Frame({self.index}, owner={owner}, vpn={self.vpn})"
+
+
+class FrameTable:
+    """All physical frames, in clock-hand order."""
+
+    def __init__(self, total_frames: int) -> None:
+        if total_frames < 1:
+            raise ValueError("need at least one frame")
+        self.frames: List[Frame] = [Frame(i) for i in range(total_frames)]
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __getitem__(self, index: int) -> Frame:
+        return self.frames[index]
+
+    def __iter__(self):
+        return iter(self.frames)
+
+    def active_count(self) -> int:
+        return sum(1 for frame in self.frames if frame.active)
+
+
+class FreeList:
+    """FIFO free list with identity retention and rescue.
+
+    Frames are appended at the tail and allocated from the head, so a freed
+    page survives on the list for as long as it takes the allocation stream
+    to consume everything ahead of it — the "rescue window".  Rescue removal
+    from the middle is done lazily: the frame is marked off-list and skipped
+    when the head reaches it.
+    """
+
+    def __init__(self, engine: Engine, frame_table: FrameTable) -> None:
+        self.engine = engine
+        self._queue: Deque[Frame] = deque()
+        self._identity: Dict[Tuple[int, int], Frame] = {}
+        self._free_count = 0
+        self._waiters: List[Event] = []
+        # Statistics for Figure 9 / Table 3.
+        self.pushes_by_daemon = 0
+        self.pushes_by_release = 0
+        self.rescues_from_daemon = 0
+        self.rescues_from_release = 0
+        self.allocations = 0
+        self.identity_destroyed = 0
+        for frame in frame_table:
+            frame.on_free_list = True
+            self._queue.append(frame)
+            self._free_count += 1
+
+    def __len__(self) -> int:
+        return self._free_count
+
+    @property
+    def free_count(self) -> int:
+        return self._free_count
+
+    # -- freeing ----------------------------------------------------------
+    def push(self, frame: Frame, freed_by: str) -> None:
+        """Append a frame at the tail, retaining its page identity."""
+        if frame.on_free_list:
+            raise ValueError(f"frame {frame.index} already free")
+        frame.on_free_list = True
+        frame.freed_by = freed_by
+        frame.present = False
+        frame.sw_valid = False
+        if freed_by == FREED_BY_DAEMON:
+            self.pushes_by_daemon += 1
+        elif freed_by == FREED_BY_RELEASE:
+            self.pushes_by_release += 1
+        if frame.owner is not None and frame.vpn >= 0:
+            if frame.vpn not in frame.owner.pages:
+                self._identity[(frame.owner.asid, frame.vpn)] = frame
+            else:
+                # The vpn was re-faulted into a fresh frame while this one
+                # sat in writeback: this copy is stale — stay anonymous.
+                frame.reset_identity()
+        self._queue.append(frame)
+        self._free_count += 1
+        self._wake_waiters()
+
+    # -- allocating -------------------------------------------------------
+    def pop(self) -> Optional[Frame]:
+        """Allocate the oldest free frame; destroys its old identity."""
+        while self._queue:
+            frame = self._queue.popleft()
+            if not frame.on_free_list:
+                continue  # rescued earlier; lazy removal
+            frame.on_free_list = False
+            self._free_count -= 1
+            if frame.owner is not None and frame.vpn >= 0:
+                key = (frame.owner.asid, frame.vpn)
+                if self._identity.get(key) is frame:
+                    del self._identity[key]
+                    self.identity_destroyed += 1
+            frame.reset_identity()
+            self.allocations += 1
+            return frame
+        return None
+
+    def rescue(self, aspace: "AddressSpace", vpn: int) -> Optional[Frame]:
+        """Pull a still-identified page back off the list, if present."""
+        frame = self._identity.pop((aspace.asid, vpn), None)
+        if frame is None:
+            return None
+        if not frame.on_free_list:  # pragma: no cover - defensive
+            raise AssertionError("identity map out of sync with free list")
+        frame.on_free_list = False
+        self._free_count -= 1
+        if frame.freed_by == FREED_BY_DAEMON:
+            self.rescues_from_daemon += 1
+        elif frame.freed_by == FREED_BY_RELEASE:
+            self.rescues_from_release += 1
+        return frame
+
+    def rescuable(self, aspace: "AddressSpace", vpn: int) -> bool:
+        return (aspace.asid, vpn) in self._identity
+
+    def forget_identity(self, aspace: "AddressSpace", vpn: int) -> None:
+        """Drop a stale identity: the page is being re-faulted into a new
+        frame, so the free-list copy must never be rescued over it.  The
+        frame itself stays queued and is later allocated as anonymous."""
+        frame = self._identity.pop((aspace.asid, vpn), None)
+        if frame is not None:
+            frame.reset_identity()
+
+    # -- blocking ---------------------------------------------------------
+    def wait_for_free(self) -> Event:
+        """Event that fires the next time a frame is freed.
+
+        If frames are free right now the event fires immediately, so callers
+        can loop ``pop -> wait`` without races.
+        """
+        event = self.engine.event()
+        if self._free_count > 0:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def _wake_waiters(self) -> None:
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for event in waiters:
+                event.succeed()

@@ -1,0 +1,91 @@
+"""Per-process address spaces: page table, memory lock, and layout.
+
+An :class:`AddressSpace` is the unit the paging daemon and releaser take
+locks on.  The paper attributes much of prefetching-without-releasing's
+slowdown to contention on exactly these locks between the fault handler and
+the paging daemon (Section 4.3), so the lock is a first-class object with
+contention accounting.
+
+The address space also provides a simple segment allocator so workloads can
+lay out their arrays at stable virtual page numbers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.sync import Lock
+from repro.vm.frames import Frame
+from repro.vm.stats import AddressSpaceStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.shared_page import SharedPage
+
+__all__ = ["AddressSpace"]
+
+
+class AddressSpace:
+    """One process's virtual address space, at page granularity."""
+
+    def __init__(self, engine: Engine, asid: int, name: str) -> None:
+        self.engine = engine
+        self.asid = asid
+        self.name = name
+        self.pages: Dict[int, Frame] = {}
+        self.lock = Lock(engine, name=f"aslock:{name}")
+        self.stats = AddressSpaceStats()
+        self.shared_page: Optional["SharedPage"] = None
+        self._next_vpn = 0
+        self._segments: Dict[str, range] = {}
+
+    # -- layout -----------------------------------------------------------
+    def map_segment(self, label: str, pages: int) -> range:
+        """Reserve a contiguous run of virtual pages for an array."""
+        if pages < 1:
+            raise ValueError(f"segment {label!r} needs at least one page")
+        if label in self._segments:
+            raise ValueError(f"segment {label!r} already mapped")
+        segment = range(self._next_vpn, self._next_vpn + pages)
+        self._segments[label] = segment
+        self._next_vpn += pages
+        return segment
+
+    def segment(self, label: str) -> range:
+        return self._segments[label]
+
+    @property
+    def mapped_pages(self) -> int:
+        return self._next_vpn
+
+    # -- residency --------------------------------------------------------
+    @property
+    def resident(self) -> int:
+        return len(self.pages)
+
+    def frame_for(self, vpn: int) -> Optional[Frame]:
+        return self.pages.get(vpn)
+
+    def attach(self, vpn: int, frame: Frame) -> None:
+        """Install a frame for a virtual page."""
+        if vpn in self.pages:
+            raise ValueError(f"{self.name}: vpn {vpn} already mapped")
+        frame.owner = self
+        frame.vpn = vpn
+        frame.present = True
+        self.pages[vpn] = frame
+        if self.shared_page is not None:
+            self.shared_page.set_bit(vpn)
+
+    def detach(self, vpn: int) -> Frame:
+        """Remove the mapping for a virtual page (page being freed)."""
+        frame = self.pages.pop(vpn)
+        if self.shared_page is not None:
+            self.shared_page.clear_bit(vpn)
+        return frame
+
+    def is_present(self, vpn: int) -> bool:
+        return vpn in self.pages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressSpace({self.name}, resident={self.resident})"

@@ -1,0 +1,202 @@
+"""The paging daemon: IRIX's ``vhand`` as a two-handed clock.
+
+The MIPS TLB has no hardware reference bits, so IRIX simulates them in
+software: the leading clock hand *invalidates* mappings (clearing the valid
+bit), and a page that gets re-referenced takes a soft fault which both
+revalidates it and proves it is in use.  The trailing hand, a fixed spread
+behind, steals pages that are still invalid and unreferenced.
+
+Two properties of this design drive the paper's results:
+
+1. Every invalidation of a live page turns into a **soft fault** for its
+   owner (Figure 8), and the faults are served while the daemon may be
+   holding the very address-space locks the fault handler needs.
+2. The scan rate **scales with memory pressure**, so an aggressive
+   prefetcher that keeps free memory pinned near zero makes the hands sweep
+   at maximum speed — which is why prefetching-without-releasing evicts an
+   idle interactive task's pages within a second or two, while plain demand
+   paging takes many times longer (Figure 1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.config import OsTunables
+from repro.sim.engine import Engine, Event
+from repro.sim.task import SimTask
+from repro.vm.frames import FREED_BY_DAEMON, Frame
+from repro.vm.pagetable import AddressSpace
+
+__all__ = ["PagingDaemon"]
+
+
+class PagingDaemon:
+    """``vhand``: wakes under memory pressure and runs the clock."""
+
+    def __init__(self, engine: Engine, vm, tunables: OsTunables) -> None:
+        self.engine = engine
+        self.vm = vm
+        self.tunables = tunables
+        self.task = SimTask(engine, "vhand")
+        nframes = len(vm.frame_table)
+        self._nframes = nframes
+        self._hand = 0  # trailing (stealing) hand position
+        self._spread = max(1, int(nframes * tunables.clock_hand_spread_fraction))
+        self._wake: Optional[Event] = None
+        self._process = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.engine.process(self._run(), name="vhand")
+
+    def notify(self) -> None:
+        """Wake the daemon immediately (called on allocation pressure)."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    # -- pressure -----------------------------------------------------------
+    def _shortage(self) -> bool:
+        return self.vm.freelist.free_count < self.tunables.min_freemem_pages
+
+    def _target(self) -> int:
+        return self.tunables.min_freemem_pages + self.tunables.free_target_slack_pages
+
+    def scan_rate(self) -> float:
+        """Pages scanned per second, scaled by the shortfall against the
+        replenish target (min_freemem + slack).
+
+        Sustained allocation pressure therefore keeps the hands sweeping
+        near the maximum rate, which is what evicts an idle task's pages
+        within seconds under an aggressive prefetcher.
+        """
+        tunables = self.tunables
+        free = self.vm.freelist.free_count
+        target = self._target()
+        if target <= 0:
+            return tunables.daemon_base_scan_rate_pages_s
+        pressure = max(0.0, min(1.0, (target - free) / target))
+        return tunables.daemon_base_scan_rate_pages_s + pressure * (
+            tunables.daemon_max_scan_rate_pages_s
+            - tunables.daemon_base_scan_rate_pages_s
+        )
+
+    # -- main loop -----------------------------------------------------------
+    def _run(self):
+        while True:
+            if not self._shortage():
+                self._wake = self.engine.event()
+                yield self.engine.any_of(
+                    [self._wake, self.engine.timeout(self.tunables.daemon_wake_interval_s)]
+                )
+                self._wake = None
+                continue
+            self.vm.stats.daemon_runs += 1
+            started = self.engine.now
+            yield from self._clock_pass()
+            self.vm.stats.daemon_active_time += self.engine.now - started
+
+    def _clock_pass(self):
+        """Advance the hands until free memory reaches the target or a full
+        revolution completes."""
+        vm = self.vm
+        tunables = self.tunables
+        target = self._target()
+        batch = tunables.daemon_lock_batch_pages
+        steps = 0
+        while vm.freelist.free_count < target and steps < self._nframes:
+            lead_frames, steal_candidates = self._collect_batch(batch)
+            stolen = yield from self._process_batch(lead_frames, steal_candidates)
+            steps += batch
+            # Pacing: the hands move at the pressure-scaled scan rate.  The
+            # pacing delay happens with no locks held; only the PTE work
+            # above is done under the address-space locks.
+            rate = self.scan_rate()
+            work_time = batch * tunables.daemon_per_page_scan_s + (
+                stolen * tunables.daemon_per_page_steal_s
+            )
+            pace = max(0.0, batch / rate - work_time)
+            if pace > 0:
+                yield self.engine.timeout(pace)
+
+    def _collect_batch(self, batch: int):
+        """Gather the frames the two hands will pass over this batch."""
+        frames = self.vm.frame_table.frames
+        nframes = self._nframes
+        hand = self._hand
+        lead_frames: List[Frame] = []
+        steal_candidates: List[Frame] = []
+        for offset in range(batch):
+            trail_index = (hand + offset) % nframes
+            lead_index = (trail_index + self._spread) % nframes
+            lead = frames[lead_index]
+            if lead.active and lead.in_transit is None:
+                lead_frames.append(lead)
+            trail = frames[trail_index]
+            if (
+                trail.active
+                and trail.in_transit is None
+                and trail.invalidated
+                and not trail.referenced
+                and not trail.sw_valid
+            ):
+                steal_candidates.append(trail)
+        self._hand = (hand + batch) % nframes
+        return lead_frames, steal_candidates
+
+    def _process_batch(self, lead_frames: List[Frame], steal_candidates: List[Frame]):
+        """Invalidate and steal, holding each owner's lock once per batch."""
+        vm = self.vm
+        tunables = self.tunables
+        by_owner: Dict[AddressSpace, List[Frame]] = defaultdict(list)
+        for frame in lead_frames:
+            by_owner[frame.owner].append(frame)
+        steals_by_owner: Dict[AddressSpace, List[Frame]] = defaultdict(list)
+        for frame in steal_candidates:
+            steals_by_owner[frame.owner].append(frame)
+        owners = sorted(
+            set(by_owner) | set(steals_by_owner), key=lambda a: a.asid
+        )
+        stolen_total = 0
+        for owner in owners:
+            yield from self.task.lock_acquire(owner.lock)
+            try:
+                invalidate = by_owner.get(owner, ())
+                steals = steals_by_owner.get(owner, ())
+                work = (
+                    len(invalidate) * tunables.daemon_per_page_scan_s
+                    + len(steals) * tunables.daemon_per_page_steal_s
+                )
+                for frame in invalidate:
+                    if frame.owner is not owner or frame.in_transit is not None:
+                        continue  # reallocated while we waited for the lock
+                    # Simulate the reference bit: clear validity; a live
+                    # page will come back via a soft fault.
+                    if frame.sw_valid or not frame.invalidated:
+                        vm.stats.daemon_invalidations += 1
+                    frame.sw_valid = False
+                    frame.invalidated = True
+                    frame.referenced = False
+                for frame in steals:
+                    if (
+                        frame.owner is not owner
+                        or not frame.active
+                        or frame.in_transit is not None
+                        or not frame.invalidated
+                        or frame.referenced
+                        or frame.sw_valid
+                    ):
+                        continue  # revalidated/reallocated while we waited
+                    vm.free_frame(owner, frame, FREED_BY_DAEMON)
+                    vm.stats.daemon_pages_stolen += 1
+                    stolen_total += 1
+                vm.stats.daemon_pages_scanned += len(invalidate) + len(steals)
+                if work > 0:
+                    yield from self.task.system(work)
+            finally:
+                owner.lock.release()
+            if owner.shared_page is not None:
+                owner.shared_page.refresh()
+        return stolen_total

@@ -1,0 +1,82 @@
+"""VM statistics: every counter the paper's tables and figures report.
+
+Two levels:
+
+- :class:`AddressSpaceStats` — per-process fault and paging counters (the
+  interactive task's hard faults per sweep for Figure 10(c), the out-of-core
+  task's soft faults for Figure 8);
+- :class:`VmStats` — system-wide daemon/releaser/free-list activity
+  (Table 3's daemon runs and pages stolen, Figure 9's freed-page breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["AddressSpaceStats", "VmStats"]
+
+
+@dataclass
+class AddressSpaceStats:
+    """Per-address-space paging activity."""
+
+    hard_faults: int = 0
+    soft_faults: int = 0  # daemon-invalidation revalidations (Figure 8)
+    prefetch_validates: int = 0
+    release_revalidates: int = 0  # touched a release-pending page in time
+    rescues: int = 0
+    allocations: int = 0  # frames newly allocated to this space
+    pages_stolen: int = 0  # taken by the paging daemon
+    pages_released: int = 0  # freed via explicit release
+    prefetches_issued: int = 0
+    prefetches_discarded: int = 0  # no free memory at request time
+    prefetches_duplicate: int = 0  # page already present/in transit
+    writebacks: int = 0
+    fault_wait_time: float = 0.0  # time spent blocked on memory locks
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class VmStats:
+    """System-wide VM activity."""
+
+    daemon_runs: int = 0  # times the paging daemon had to operate (Table 3)
+    daemon_pages_scanned: int = 0
+    daemon_invalidations: int = 0
+    daemon_pages_stolen: int = 0  # Table 3
+    daemon_writebacks: int = 0
+    daemon_active_time: float = 0.0
+    releaser_requests: int = 0
+    releaser_pages_freed: int = 0
+    releaser_skipped_referenced: int = 0  # re-referenced since the request
+    releaser_skipped_absent: int = 0  # already gone when the request ran
+    releaser_writebacks: int = 0
+    releaser_active_time: float = 0.0
+    total_allocations: int = 0  # Table 3 "total page allocations"
+    low_memory_stalls: int = 0  # allocators that had to block
+
+    # Figure 9 inputs come from the free list itself; these mirror them so a
+    # single object carries everything the reports need.
+    freed_by_daemon: int = 0
+    freed_by_release: int = 0
+    rescued_from_daemon: int = 0
+    rescued_from_release: int = 0
+
+    def freed_total(self) -> int:
+        return self.freed_by_daemon + self.freed_by_release
+
+    def rescue_fraction(self, source: str) -> float:
+        """Fraction of ``source``-freed pages later rescued."""
+        if source == "daemon":
+            freed, rescued = self.freed_by_daemon, self.rescued_from_daemon
+        elif source == "release":
+            freed, rescued = self.freed_by_release, self.rescued_from_release
+        else:
+            raise ValueError(f"unknown free source {source!r}")
+        return rescued / freed if freed else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.__dict__)

@@ -1,0 +1,363 @@
+"""VmSystem: the fault handler, allocator, and paging primitives.
+
+This is the kernel's memory-management core.  All paths that the paper's
+analysis distinguishes are implemented separately so their costs and counts
+can be reported:
+
+- **hard fault** — page not present anywhere; allocate a frame (possibly
+  blocking on free memory) and read from swap;
+- **soft fault** — page present but invalidated by the paging daemon's
+  software reference-bit simulation; re-validate under the address-space
+  lock (these are the faults in Figure 8);
+- **prefetch validate** — first touch of a prefetched page, which was
+  deliberately left unvalidated with no TLB entry (Section 3.1.2);
+- **release revalidate** — touch of a page with a pending release request;
+  the touch sets the in-memory bit again so the releaser will skip it;
+- **rescue** — page found on the free list with its identity intact; pulled
+  back without I/O.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import SimScale
+from repro.disk.swap import StripedSwap
+from repro.sim.engine import Engine
+from repro.sim.task import SimTask
+from repro.vm.frames import (
+    FREED_BY_DAEMON,
+    FREED_BY_RELEASE,
+    Frame,
+    FrameTable,
+    FreeList,
+)
+from repro.vm.pagetable import AddressSpace
+from repro.vm.stats import VmStats
+
+__all__ = ["FaultKind", "VmSystem"]
+
+
+class FaultKind:
+    """Symbolic names for the slow-path varieties (reporting only)."""
+
+    HARD = "hard"
+    SOFT = "soft"
+    PREFETCH_VALIDATE = "prefetch_validate"
+    RELEASE_REVALIDATE = "release_revalidate"
+    RESCUE = "rescue"
+
+
+class VmSystem:
+    """Frame pool, fault handling, and the prefetch/release primitives."""
+
+    def __init__(self, engine: Engine, scale: SimScale, swap: StripedSwap) -> None:
+        self.engine = engine
+        self.scale = scale
+        self.machine = scale.machine
+        self.tunables = scale.tunables
+        self.swap = swap
+        self.frame_table = FrameTable(self.machine.total_frames)
+        self.freelist = FreeList(engine, self.frame_table)
+        self.stats = VmStats()
+        self.address_spaces: List[AddressSpace] = []
+        self._next_asid = 1
+        # Wired in by the kernel after construction.
+        self.paging_daemon = None
+        self.releaser = None
+
+    # -- address spaces -----------------------------------------------------
+    def create_address_space(self, name: str) -> AddressSpace:
+        aspace = AddressSpace(self.engine, self._next_asid, name)
+        self._next_asid += 1
+        self.address_spaces.append(aspace)
+        return aspace
+
+    @property
+    def free_pages(self) -> int:
+        return self.freelist.free_count
+
+    def _refresh_shared(self, aspace: AddressSpace) -> None:
+        if aspace.shared_page is not None:
+            aspace.shared_page.refresh()
+
+    def _notify_daemon(self) -> None:
+        if self.paging_daemon is not None:
+            self.paging_daemon.notify()
+
+    # -- the fast path ------------------------------------------------------
+    def touch_fast(self, aspace: AddressSpace, vpn: int, write: bool) -> bool:
+        """Attempt a TLB-hit touch.  Returns True on hit, False if the
+        caller must take the slow path (``fault``).
+
+        This is deliberately not a generator: resident touches are the
+        common case and must cost nothing but a dict lookup.
+        """
+        frame = aspace.pages.get(vpn)
+        if frame is not None and frame.sw_valid and frame.in_transit is None:
+            frame.referenced = True
+            if write:
+                frame.dirty = True
+            return True
+        return False
+
+    # -- the slow path ------------------------------------------------------
+    def fault(self, task: SimTask, aspace: AddressSpace, vpn: int, write: bool):
+        """Process generator: resolve a touch that missed the fast path.
+
+        Returns the :class:`FaultKind` taken, for callers that record fault
+        mixes.
+        """
+        machine = self.machine
+        while True:
+            frame = aspace.pages.get(vpn)
+            if frame is None:
+                break
+            if frame.in_transit is not None:
+                # A prefetch for this page is in flight; wait for the I/O
+                # rather than starting a duplicate read.
+                yield from task.wait_io(frame.in_transit)
+                continue  # re-examine: the world may have moved
+            if frame.sw_valid:
+                # Raced to validity (e.g. the in-flight prefetch finished
+                # and another touch validated it first).
+                frame.referenced = True
+                if write:
+                    frame.dirty = True
+                return FaultKind.PREFETCH_VALIDATE
+            if frame.release_pending:
+                kind = FaultKind.RELEASE_REVALIDATE
+                cost = machine.soft_fault_cpu_s
+            elif frame.invalidated:
+                kind = FaultKind.SOFT
+                cost = machine.soft_fault_cpu_s
+            else:
+                kind = FaultKind.PREFETCH_VALIDATE
+                cost = machine.prefetch_validate_s
+            started = self.engine.now
+            yield from task.lock_acquire(aspace.lock)
+            try:
+                if aspace.pages.get(vpn) is not frame:
+                    # The releaser or the paging daemon freed the page while
+                    # we queued for the lock; retry from the top (it may now
+                    # be rescuable from the free list).
+                    continue
+                yield from task.system(cost)
+                if kind == FaultKind.RELEASE_REVALIDATE:
+                    aspace.stats.release_revalidates += 1
+                elif kind == FaultKind.SOFT:
+                    aspace.stats.soft_faults += 1
+                else:
+                    aspace.stats.prefetch_validates += 1
+                aspace.stats.fault_wait_time += self.engine.now - started - cost
+                frame.sw_valid = True
+                frame.referenced = True
+                frame.invalidated = False
+                frame.from_prefetch = False
+                if frame.release_pending:
+                    # The re-reference sets the in-memory bit again, which
+                    # is exactly what the releaser checks before freeing.
+                    frame.release_pending = False
+                    if aspace.shared_page is not None:
+                        aspace.shared_page.set_bit(vpn)
+                if write:
+                    frame.dirty = True
+            finally:
+                aspace.lock.release()
+            self._refresh_shared(aspace)
+            return kind
+
+        # Not mapped: try to rescue it from the free list.
+        frame = self.freelist.rescue(aspace, vpn)
+        if frame is not None:
+            # Re-map immediately — before any yield — so no concurrent
+            # prefetch can allocate a second frame for this vpn.
+            frame.present = True
+            frame.sw_valid = False
+            frame.invalidated = False
+            frame.from_prefetch = False
+            frame.release_pending = False
+            aspace.pages[vpn] = frame
+            if aspace.shared_page is not None:
+                aspace.shared_page.set_bit(vpn)
+            aspace.stats.rescues += 1
+            yield from task.lock_acquire(aspace.lock)
+            try:
+                yield from task.system(machine.rescue_cpu_s)
+            finally:
+                aspace.lock.release()
+            frame.sw_valid = True
+            frame.referenced = True
+            if write:
+                frame.dirty = True
+            self._refresh_shared(aspace)
+            return FaultKind.RESCUE
+
+        # Hard fault: allocate and read from swap.
+        aspace.stats.hard_faults += 1
+        frame = yield from self.allocate_blocking(task)
+        aspace.attach(vpn, frame)
+        aspace.stats.allocations += 1
+        inflight = self.engine.event()
+        frame.in_transit = inflight
+        yield from task.lock_acquire(aspace.lock)
+        try:
+            yield from task.system(machine.hard_fault_cpu_s)
+        finally:
+            aspace.lock.release()
+        io = self.swap.read_page(aspace.asid, vpn, purpose="demand")
+        yield from task.wait_io(io)
+        frame.in_transit = None
+        inflight.succeed()
+        frame.sw_valid = True
+        frame.referenced = True
+        if write:
+            frame.dirty = True
+        self._refresh_shared(aspace)
+        return FaultKind.HARD
+
+    # -- allocation ---------------------------------------------------------
+    def allocate_blocking(self, task: SimTask):
+        """Process generator: pop a free frame, blocking while memory is
+        exhausted (the "stalled for unavailable resources" component)."""
+        first = True
+        while True:
+            frame = self.freelist.pop()
+            if frame is not None:
+                self.stats.total_allocations += 1
+                if self.freelist.free_count < self.tunables.min_freemem_pages:
+                    self._notify_daemon()
+                return frame
+            if first:
+                self.stats.low_memory_stalls += 1
+                first = False
+            self._notify_daemon()
+            yield from task.wait_memory(self.freelist.wait_for_free())
+
+    def allocate_nowait(self) -> Optional[Frame]:
+        """Pop a free frame or return None (prefetch path: never blocks)."""
+        frame = self.freelist.pop()
+        if frame is not None:
+            self.stats.total_allocations += 1
+            if self.freelist.free_count < self.tunables.min_freemem_pages:
+                self._notify_daemon()
+        return frame
+
+    # -- prefetch (Section 3.1.2) --------------------------------------------
+    def prefetch_page(self, task: SimTask, aspace: AddressSpace, vpn: int):
+        """Process generator: service one prefetch request.
+
+        Mirrors the PagingDirected PM: if there is no free memory the
+        request is discarded immediately (never steals to satisfy a
+        prefetch); on completion the page is left unvalidated with no TLB
+        entry.  Returns True if a page was brought in.
+        """
+        if aspace.is_present(vpn):
+            # Already in memory (possibly with the I/O still in flight).
+            aspace.stats.prefetches_duplicate += 1
+            return False
+        rescued = self.freelist.rescue(aspace, vpn)
+        if rescued is not None:
+            # Recoverable from the free list without any I/O.
+            rescued.present = True
+            rescued.sw_valid = False
+            rescued.from_prefetch = True
+            rescued.invalidated = False
+            rescued.release_pending = False
+            aspace.pages[vpn] = rescued
+            aspace.stats.rescues += 1
+            if aspace.shared_page is not None:
+                aspace.shared_page.set_bit(vpn)
+            return True
+        frame = self.allocate_nowait()
+        if frame is None:
+            aspace.stats.prefetches_discarded += 1
+            self._notify_daemon()
+            return False
+        aspace.attach(vpn, frame)
+        aspace.stats.allocations += 1
+        aspace.stats.prefetches_issued += 1
+        frame.from_prefetch = True
+        inflight = self.engine.event()
+        frame.in_transit = inflight
+        io = self.swap.read_page(aspace.asid, vpn, purpose="prefetch")
+        yield from task.wait_io(io)
+        frame.in_transit = None
+        inflight.succeed()
+        # Deliberately NOT validated: sw_valid stays False so the first real
+        # touch pays the cheap prefetch_validate cost instead of displacing
+        # TLB entries now.
+        self._refresh_shared(aspace)
+        return True
+
+    # -- release (Section 3.1.2) ----------------------------------------------
+    def request_release(self, aspace: AddressSpace, vpns: List[int]) -> int:
+        """PM-side half of a release request: clear the in-memory bits and
+        hand the work to the releaser daemon.  Returns pages accepted.
+
+        Clearing ``sw_valid`` is what lets a re-reference be *detected*: the
+        touch takes a cheap revalidation fault that sets the bit again, and
+        the releaser skips the page.
+        """
+        accepted: List[int] = []
+        for vpn in vpns:
+            frame = aspace.pages.get(vpn)
+            if frame is None or frame.in_transit is not None:
+                continue
+            if frame.release_pending:
+                continue
+            frame.release_pending = True
+            frame.sw_valid = False
+            frame.referenced = False
+            if aspace.shared_page is not None:
+                aspace.shared_page.clear_bit(vpn)
+            accepted.append(vpn)
+        if accepted and self.releaser is not None:
+            self.releaser.enqueue(aspace, accepted)
+        self._refresh_shared(aspace)
+        return len(accepted)
+
+    # -- freeing ------------------------------------------------------------
+    def free_frame(self, aspace: AddressSpace, frame: Frame, freed_by: str) -> None:
+        """Detach a page and free its frame (writing back first if dirty).
+
+        Called by the daemons with the address-space lock held; the dirty
+        writeback itself happens off-lock in a spawned process, and the
+        frame only reaches the free list once the write completes.
+        """
+        aspace.detach(frame.vpn)
+        frame.present = False
+        frame.sw_valid = False
+        if freed_by == FREED_BY_DAEMON:
+            aspace.stats.pages_stolen += 1
+        elif freed_by == FREED_BY_RELEASE:
+            aspace.stats.pages_released += 1
+        if frame.dirty:
+            aspace.stats.writebacks += 1
+            if freed_by == FREED_BY_DAEMON:
+                self.stats.daemon_writebacks += 1
+            else:
+                self.stats.releaser_writebacks += 1
+            self._writeback_then_free(aspace.asid, frame, freed_by)
+        else:
+            self.freelist.push(frame, freed_by)
+
+    def _writeback_then_free(self, asid: int, frame: Frame, freed_by: str) -> None:
+        def run():
+            io = self.swap.write_page(asid, frame.vpn)
+            yield io
+            frame.dirty = False
+            self.freelist.push(frame, freed_by)
+
+        self.engine.process(run(), name=f"writeback-{asid}:{frame.vpn}")
+
+    # -- reporting ------------------------------------------------------------
+    def finalize_stats(self) -> VmStats:
+        """Mirror free-list counters into the VmStats snapshot."""
+        stats = self.stats
+        freelist = self.freelist
+        stats.freed_by_daemon = freelist.pushes_by_daemon
+        stats.freed_by_release = freelist.pushes_by_release
+        stats.rescued_from_daemon = freelist.rescues_from_daemon
+        stats.rescued_from_release = freelist.rescues_from_release
+        return stats

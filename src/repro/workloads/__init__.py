@@ -1,0 +1,45 @@
+"""The benchmark workloads (Table 2 of the paper) and the interactive task.
+
+Each out-of-core benchmark is expressed as loop-nest IR that is fed through
+the *real* compiler pass — so the hints each version runs with, including
+the compiler's documented failures (CGM's unnecessary hints, MGRID's
+inter-nest blindness, FFTPDE's stride misclassification), are produced by
+the analysis itself, not scripted.
+
+- MATVEC — the matrix-vector kernel of Figures 1/5/10(a);
+- EMBAR, BUK, CGM, MGRID, FFTPDE — the five out-of-core NAS benchmarks;
+- INTERACTIVE — the 1 MB touch-then-sleep task of Section 1.1.
+"""
+
+from repro.workloads.base import (
+    OutOfCoreWorkload,
+    WorkloadInstance,
+    app_driver,
+    build_layout,
+)
+from repro.workloads.buk import BukWorkload
+from repro.workloads.cgm import CgmWorkload
+from repro.workloads.embar import EmbarWorkload
+from repro.workloads.fftpde import FftpdeWorkload
+from repro.workloads.interactive import InteractiveTask, SweepSample
+from repro.workloads.matvec import MatvecWorkload
+from repro.workloads.mgrid import MgridWorkload
+from repro.workloads.suite import BENCHMARKS, benchmark, table2_rows
+
+__all__ = [
+    "BENCHMARKS",
+    "BukWorkload",
+    "CgmWorkload",
+    "EmbarWorkload",
+    "FftpdeWorkload",
+    "InteractiveTask",
+    "MatvecWorkload",
+    "MgridWorkload",
+    "OutOfCoreWorkload",
+    "SweepSample",
+    "WorkloadInstance",
+    "app_driver",
+    "benchmark",
+    "build_layout",
+    "table2_rows",
+]

@@ -1,0 +1,166 @@
+"""Workload plumbing: instances, layout, and the application driver.
+
+A workload contributes three things:
+
+1. an IR :class:`~repro.core.compiler.ir.Program` for the compiler pass;
+2. the runtime environment (symbol values the compiler may not have known);
+3. an *invocation sequence*: which nests run, in what order, under what
+   per-invocation environment overrides (MGRID's changing grid levels,
+   FFTPDE's changing strides).
+
+``app_driver`` turns a compiled program into a simulated process: it plays
+the interpreter's op stream against the kernel, batching resident compute
+time and routing every hint through the run-time layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import SimScale
+from repro.core.compiler.codegen import CompiledProgram
+from repro.core.compiler.interp import nest_ops
+from repro.core.compiler.ir import Program
+from repro.core.compiler.pipeline import compile_program
+from repro.core.runtime.layer import RuntimeLayer
+from repro.core.runtime.policies import VersionConfig
+from repro.kernel.kernel import Kernel, KernelProcess
+
+__all__ = [
+    "OutOfCoreWorkload",
+    "WorkloadInstance",
+    "app_driver",
+    "build_layout",
+]
+
+Invocation = Tuple[str, Dict[str, int]]
+
+
+@dataclass
+class WorkloadInstance:
+    """A workload sized for a concrete scale, ready to compile and run."""
+
+    name: str
+    program: Program
+    env: Dict[str, int]
+    repeats: int
+    invocations: List[Invocation]
+    rng_seed: int = 0
+
+    def compiled(self, scale: SimScale) -> CompiledProgram:
+        return compile_program(self.program, scale.compiler)
+
+    def total_invocations(self) -> int:
+        return self.repeats * len(self.invocations)
+
+
+class OutOfCoreWorkload:
+    """Base class for the six out-of-core benchmarks.
+
+    Subclasses define :meth:`build`; everything else (Table 2 metadata) is
+    class attributes.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+    analysis_hazard: str = ""
+
+    def build(self, scale: SimScale) -> WorkloadInstance:
+        raise NotImplementedError
+
+    def dataset_pages(self, scale: SimScale) -> int:
+        instance = self.build(scale)
+        page_size = scale.machine.page_size
+        return sum(
+            arr.pages(instance.env, page_size) for arr in instance.program.arrays
+        )
+
+
+def build_layout(
+    process: KernelProcess, instance: WorkloadInstance, page_size: int
+) -> Dict[str, int]:
+    """Map every array of the program onto contiguous virtual pages."""
+    layout: Dict[str, int] = {}
+    for array in instance.program.arrays:
+        pages = array.pages(instance.env, page_size)
+        segment = process.aspace.map_segment(array.name, pages)
+        layout[array.name] = segment.start
+    return layout
+
+
+def app_driver(
+    process: KernelProcess,
+    runtime: RuntimeLayer,
+    compiled: CompiledProgram,
+    instance: WorkloadInstance,
+    layout: Dict[str, int],
+    version: VersionConfig,
+    scale: SimScale,
+):
+    """Process generator: run the (possibly hint-annotated) executable.
+
+    Version selection follows the paper: O runs with no hints at all, P
+    emits only prefetches, R and B emit both (the runtime layer decides
+    what to do with the releases).
+    """
+    machine = scale.machine
+    quantum = scale.time_quantum_s
+    emit_prefetch = version.prefetch
+    emit_release = version.release
+    touch = process.touch
+    charge = process.charge
+    handle_prefetch = runtime.handle_prefetch
+    handle_release = runtime.handle_release
+    for _rep in range(instance.repeats):
+        for nest_name, overrides in instance.invocations:
+            env = dict(instance.env)
+            if overrides:
+                env.update(overrides)
+            ops = nest_ops(
+                compiled.nests[nest_name],
+                env,
+                layout,
+                machine,
+                rng_seed=instance.rng_seed,
+                emit_prefetch=emit_prefetch,
+                emit_release=emit_release,
+            )
+            for op in ops:
+                kind = op[0]
+                if kind == "t":
+                    fault = touch(op[1], op[2])
+                    if fault is not None:
+                        yield from fault
+                    elif process.pending_user >= quantum:
+                        yield from process.flush()
+                elif kind == "w":
+                    charge(op[1])
+                    if process.pending_user >= quantum:
+                        yield from process.flush()
+                elif kind == "p":
+                    handle_prefetch(op[1], op[2])
+                else:  # 'r'
+                    handle_release(op[1], op[2], op[3])
+    if emit_release:
+        runtime.flush_tag_filters()
+    yield from process.flush()
+
+
+def run_standalone(
+    kernel: Kernel,
+    instance: WorkloadInstance,
+    version: VersionConfig,
+    scale: SimScale,
+):
+    """Convenience used by tests: set up a process + runtime and return
+    (process, runtime, driver generator)."""
+    process = kernel.create_process(instance.name)
+    layout = build_layout(process, instance, scale.machine.page_size)
+    pm = kernel.attach_paging_directed(process)
+    runtime = RuntimeLayer(process, pm, scale.runtime, version)
+    compiled = instance.compiled(scale)
+    driver = app_driver(
+        process, runtime, compiled, instance, layout, version, scale
+    )
+    return process, runtime, driver

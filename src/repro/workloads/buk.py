@@ -1,0 +1,91 @@
+"""BUK: the NAS integer bucket-sort kernel, out-of-core version.
+
+Section 4.3's replacement-policy story: the data set is two very large
+*sequentially*-accessed arrays (the keys and the permuted output) plus a
+large *randomly*-accessed array (the bucket counts, indexed by key value).
+The compiler inserts releases for the sequential arrays but — because
+"it cannot reason about any locality" of the indirect reference — never
+for the random one.  Demand for new pages is then satisfied entirely by
+the released sequential pages, and the random array remains mostly in
+memory: the compiler's choices alone improve on the OS's
+last-use-ordered replacement, which evicts from all three arrays alike.
+
+Loop bounds (the number of keys) are unknown at compile time (Table 2).
+Random accesses follow the trace-sampling rule of DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimScale
+from repro.core.compiler.ir import (
+    Array,
+    ArrayRef,
+    IndirectRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    Symbol,
+    affine,
+)
+from repro.workloads.base import OutOfCoreWorkload, WorkloadInstance
+
+__all__ = ["BukWorkload"]
+
+
+class BukWorkload(OutOfCoreWorkload):
+    name = "BUK"
+    description = "integer bucket sort (NAS IS)"
+    analysis_hazard = "unknown loop bounds and indirect references"
+
+    repeats = 2
+
+    def build(self, scale: SimScale) -> WorkloadInstance:
+        page_elements = scale.machine.page_elements
+        total_pages = scale.out_of_core_pages
+        # The random array is sized to fit in memory once the sequential
+        # arrays are released (it "remains mostly in memory", Section 4.3) —
+        # but far too big to survive global replacement when the sequential
+        # streams compete with it.
+        rank_pages = max(2, min(total_pages // 8, (scale.machine.total_frames * 3) // 4))
+        seq_pages = max(2, (total_pages - rank_pages) // 2)  # keys and output
+
+        nkeys = seq_pages * page_elements
+        keys = Array("key", (nkeys,))
+        output = Array("key2", (nkeys,))
+        rank = Array("rank", (rank_pages * page_elements,))
+        n = Symbol("nkeys", estimate=nkeys, known=False)
+
+        key_read_count = ArrayRef(keys, (affine("i"),))
+        count = Stmt(
+            refs=(
+                key_read_count,
+                IndirectRef(rank, key_read_count, is_write=True),
+            ),
+            flops=2.0,
+        )
+        key_read_perm = ArrayRef(keys, (affine("k"),))
+        permute = Stmt(
+            refs=(
+                key_read_perm,
+                IndirectRef(rank, key_read_perm, is_write=False),
+                ArrayRef(output, (affine("k"),), is_write=True),
+            ),
+            flops=2.0,
+        )
+        program = Program(
+            "buk",
+            (keys, output, rank),
+            (
+                Nest("count_keys", Loop("i", 0, n, body=(count,))),
+                Nest("permute", Loop("k", 0, n, body=(permute,))),
+            ),
+        )
+        return WorkloadInstance(
+            name=self.name,
+            program=program,
+            env={"nkeys": nkeys},
+            repeats=self.repeats,
+            invocations=[("count_keys", {}), ("permute", {})],
+            rng_seed=scale.rng_seed,
+        )

@@ -1,0 +1,126 @@
+"""CGM: the NAS conjugate-gradient kernel, out-of-core version.
+
+CGM's analysis hazards (Table 2) are *unknown loop bounds and indirect
+references*:
+
+- the sparse matrix-vector product walks each row's entries in an inner
+  loop whose trip count (nonzeros per row) the compiler cannot know.
+  Because it cannot strip-mine the loop, the software-pipelined
+  prologue/epilogue hints execute on **every row entry** — the "very large
+  number of unnecessary prefetch and release requests [that] need to be
+  filtered out by the run-time layer", visible as CGM's user-time overhead
+  in Figure 7;
+- the column-indexed gather ``p[col[k]]`` is an indirect reference:
+  prefetched through runtime-computed addresses, never released;
+- the per-iteration vector updates run over vectors that comfortably fit in
+  memory, but with bounds unknown the compiler hints them anyway; the
+  bitmap filter drops the prefetches, and the released vector pages are
+  cheaply rescued from the (large, thanks to the matrix releases) free
+  list on the next iteration.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimScale
+from repro.core.compiler.ir import (
+    Array,
+    ArrayRef,
+    IndirectRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    Symbol,
+    affine,
+)
+from repro.workloads.base import OutOfCoreWorkload, WorkloadInstance
+
+__all__ = ["CgmWorkload"]
+
+
+class CgmWorkload(OutOfCoreWorkload):
+    name = "CGM"
+    description = "sparse conjugate gradient (NAS CG)"
+    analysis_hazard = "unknown loop bounds and indirect references"
+
+    #: conjugate-gradient iterations per run
+    repeats = 2
+    #: sparse-matrix entries per row (about half a page: the "small loops")
+    nonzeros_per_row = 1024
+
+    def build(self, scale: SimScale) -> WorkloadInstance:
+        page_elements = scale.machine.page_elements
+        total_pages = scale.out_of_core_pages
+        matrix_pages = max(4, (total_pages * 4) // 5)
+        vector_pages = max(1, scale.machine.total_frames // 75)  # ~1 MB each
+
+        rows = max(4, matrix_pages * page_elements // self.nonzeros_per_row)
+        amat = Array("amat", (rows, self.nonzeros_per_row))
+        n = vector_pages * page_elements
+        p = Array("p", (n,))
+        q = Array("q", (n,))
+        r = Array("r", (n,))
+        z = Array("z", (n,))
+
+        rows_bound = Symbol("rows", estimate=rows, known=False)
+        nnz_bound = Symbol("nnz_row", estimate=self.nonzeros_per_row, known=False)
+        n_bound = Symbol("n", estimate=n, known=False)
+
+        amat_ref = ArrayRef(amat, (affine("i"), affine("k")))
+        spmv = Stmt(
+            refs=(
+                amat_ref,
+                IndirectRef(p, amat_ref, is_write=False),
+                ArrayRef(q, (affine("i"),), is_write=True),
+            ),
+            flops=2.0,
+        )
+        matvec_nest = Nest(
+            "sparse_matvec",
+            Loop(
+                "i",
+                0,
+                rows_bound,
+                body=(Loop("k", 0, nnz_bound, body=(spmv,)),),
+            ),
+        )
+
+        axpy = Stmt(
+            refs=(
+                ArrayRef(z, (affine("j"),), is_write=True),
+                ArrayRef(q, (affine("j"),)),
+                ArrayRef(p, (affine("j"),)),
+            ),
+            flops=2.0,
+        )
+        update_nest = Nest("vector_update", Loop("j", 0, n_bound, body=(axpy,)))
+
+        residual = Stmt(
+            refs=(
+                ArrayRef(r, (affine("m"),), is_write=True),
+                ArrayRef(z, (affine("m"),)),
+            ),
+            flops=2.0,
+        )
+        residual_nest = Nest("residual", Loop("m", 0, n_bound, body=(residual,)))
+
+        program = Program(
+            "cgm", (amat, p, q, r, z), (matvec_nest, update_nest, residual_nest)
+        )
+        env = {
+            "rows": rows,
+            "nnz_row": self.nonzeros_per_row,
+            "n": n,
+        }
+        return WorkloadInstance(
+            name=self.name,
+            program=program,
+            env=env,
+            repeats=self.repeats,
+            invocations=[
+                ("sparse_matvec", {}),
+                ("vector_update", {}),
+                ("residual", {}),
+            ],
+            rng_seed=scale.rng_seed,
+        )

@@ -1,0 +1,158 @@
+"""FFTPDE: the NAS 3-D FFT PDE kernel, out-of-core version.
+
+FFTPDE is the compiler's hardest case (Table 2, Sections 4.2/4.3): "the
+access stride changes within a set of loops, making it seem as though the
+access is not dependent on the loop induction variable.  This causes the
+compiler to identify some releases as having reuse when in fact none
+exists."
+
+We reproduce the hazard structurally:
+
+- the big data array ``fftdata`` is accessed through a
+  :class:`~repro.core.compiler.ir.VaryingStrideRef`: the subscript the
+  compiler sees strides only with the innermost loop, so reuse analysis
+  reports temporal reuse carried by the stage and block loops
+  (priority 2⁰+2¹ = 3) — reuse the changing real strides never realise at
+  any useful distance;
+- the small twiddle table is genuinely hot, and the checksum stream has no
+  reuse (priority 0) — but almost all of FFTPDE's release traffic carries
+  a positive priority.
+
+Under release buffering this is poison: nearly everything is buffered
+"for reuse", the priority-0 stream is far too small to keep free memory
+up, and once the pressure trigger's hysteresis disarms, the layer
+"performs very few useful releases" — the paging daemon takes over
+(Figure 9's FFTPDE-B breakdown) and the interactive task suffers (the one
+exception in Figure 10(b)).  Aggressive releasing, which issues every
+surviving hint immediately, works fine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.config import SimScale
+from repro.core.compiler.ir import (
+    AffineExpr,
+    Array,
+    ArrayRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    Symbol,
+    VaryingStrideRef,
+    affine,
+)
+from repro.workloads.base import OutOfCoreWorkload, WorkloadInstance
+
+__all__ = ["FftpdeWorkload"]
+
+# Page-hop per stage: odd and coprime to the ten-disk stripe so every
+# stage keeps all spindles busy; offsets tile so stages cover different
+# page subsets (no real short-range inter-stage reuse).
+_HOPS = (1, 3, 7, 9)
+
+
+class FftpdeWorkload(OutOfCoreWorkload):
+    name = "FFTPDE"
+    description = "3-D FFT-based PDE solver (NAS FT)"
+    analysis_hazard = "access stride changes within loops (misclassified reuse)"
+
+    repeats = 2
+    stages = 12
+    blocks_per_stage = 4
+
+    def build(self, scale: SimScale) -> WorkloadInstance:
+        machine = scale.machine
+        page_elements = machine.page_elements
+        data_pages = max(16, (scale.out_of_core_pages * 7) // 10)
+        # Pages each (stage, block) pass walks.
+        block_pages = max(4, data_pages // (self.blocks_per_stage * max(_HOPS)))
+
+        data = Array("fftdata", (data_pages * page_elements,))
+        # The root-of-unity table: swept once per block pass, small enough
+        # to be hot.
+        twiddle_elems = block_pages * (page_elements // 16)
+        twiddle = Array("twiddle", (twiddle_elems,))
+        chksum = Array(
+            "chksum", (self.stages, self.blocks_per_stage, block_pages)
+        )
+
+        stages_sym = Symbol("stages", estimate=self.stages, known=False)
+        blocks_sym = Symbol("blocks", estimate=self.blocks_per_stage, known=False)
+        bpages_sym = Symbol("block_pages", estimate=block_pages, known=False)
+
+        max_start = data_pages * page_elements
+
+        def actual_subscripts(env: Dict[str, int]) -> Tuple[AffineExpr, ...]:
+            """The real access: stride and origin change with (stage, block).
+
+            Origins tile the array so successive passes mostly touch fresh
+            pages — the claimed (stage/block-carried) reuse really does not
+            exist at short range, as the paper says.
+            """
+            stage = env["s"]
+            block = env["m"]
+            hop = _HOPS[stage % len(_HOPS)]
+            stride = hop * page_elements
+            span = block_pages * stride
+            slot = stage * self.blocks_per_stage + block
+            # Long-stride tiling: successive passes land far apart, so any
+            # page revisit is far beyond both memory and the free list.
+            tile_elems = (max_start // 5) - ((max_start // 5) % page_elements)
+            offset = (slot * tile_elems) % max(1, max_start - span)
+            offset -= offset % page_elements
+            return (AffineExpr.build({"b": stride}, offset),)
+
+        data_ref = VaryingStrideRef(
+            data,
+            # What the compiler sees: a plain unit-page stride in b.
+            apparent_subscripts=(affine("b", coeff=page_elements),),
+            actual_subscripts=actual_subscripts,
+            # The strided passes read the transform planes; results
+            # accumulate into the (small) checksum stream, so the big
+            # array's pages are clean when evicted.
+            is_write=False,
+        )
+        twiddle_ref = ArrayRef(
+            twiddle, (AffineExpr.build({"b": page_elements // 16}),)
+        )
+        chksum_ref = ArrayRef(
+            chksum, (affine("s"), affine("m"), affine("b")), is_write=True
+        )
+        butterfly = Stmt(
+            refs=(data_ref, twiddle_ref, chksum_ref),
+            # One b-iteration processes one page worth of butterflies.
+            flops=float(page_elements),
+        )
+        nest = Nest(
+            "fft_stages",
+            Loop(
+                "s",
+                0,
+                stages_sym,
+                body=(
+                    Loop(
+                        "m",
+                        0,
+                        blocks_sym,
+                        body=(Loop("b", 0, bpages_sym, body=(butterfly,)),),
+                    ),
+                ),
+            ),
+        )
+        program = Program("fftpde", (data, twiddle, chksum), (nest,))
+        env = {
+            "stages": self.stages,
+            "blocks": self.blocks_per_stage,
+            "block_pages": block_pages,
+        }
+        return WorkloadInstance(
+            name=self.name,
+            program=program,
+            env=env,
+            repeats=self.repeats,
+            invocations=[("fft_stages", {})],
+            rng_seed=scale.rng_seed,
+        )

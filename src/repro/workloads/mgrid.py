@@ -1,0 +1,154 @@
+"""MGRID: the NAS multigrid kernel, out-of-core version.
+
+MGRID smooths a hierarchy of grids in V-cycles, calling *the same compiled
+routine* at every level.  Table 2 and Section 4.2: "the loop bounds change
+dynamically on different calls to the same procedures, making it impossible
+to release memory optimally in all cases, since we only generate a single
+version of the code."
+
+We reproduce that failure structurally.  All grid levels live in one
+workspace array (as in the real Fortran code).  The compiled smoothing
+routine's address arithmetic bakes in the *fine-grid* row stride — correct
+for level 0, wrong for every coarser level.  Coarse-level references are
+therefore :class:`~repro.core.compiler.ir.VaryingStrideRef` s with
+``hints_follow_apparent=True``: the *touches* use the true level geometry
+while the *hint addresses* follow the miscompiled fine-stride form.  The
+consequences are exactly Figure 9's MGRID row:
+
+- coarse-level releases land on the wrong pages — often pages of other
+  levels that are still in use, which are freed prematurely and must be
+  **rescued** from the free list ("more than half of the pages explicitly
+  released are reclaimed from the free list");
+- the coarse grids' real pages are never released, so the **paging daemon
+  stays busy** even with releasing ("over half of the pages freed are
+  reclaimed by the paging daemon");
+- the fine level — the bulk of the data — is released correctly, which is
+  why releasing still helps MGRID overall in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.config import SimScale
+from repro.core.compiler.ir import (
+    AffineExpr,
+    Array,
+    ArrayRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    Symbol,
+    VaryingStrideRef,
+    affine,
+)
+from repro.workloads.base import OutOfCoreWorkload, WorkloadInstance
+
+__all__ = ["MgridWorkload"]
+
+
+def _linear(cols: int, base: int, row_offset: int) -> Tuple[AffineExpr, ...]:
+    """Subscript ``base + (i + row_offset)*cols + j`` into the workspace."""
+    return (AffineExpr.build({"i": cols, "j": 1}, base + row_offset * cols),)
+
+
+class MgridWorkload(OutOfCoreWorkload):
+    name = "MGRID"
+    description = "multigrid Poisson solver (NAS MG)"
+    analysis_hazard = "bounds change across calls to a single compiled version"
+
+    repeats = 2
+    levels = 4
+
+    def build(self, scale: SimScale) -> WorkloadInstance:
+        page_elements = scale.machine.page_elements
+        total_pages = scale.out_of_core_pages
+        fine_pages = max(16, (total_pages * 2) // 5)
+
+        # Fine-grid geometry: whole-page rows, roughly square.
+        row_pages0 = max(2, int(round(fine_pages ** 0.5 / 8)))
+        cols0 = row_pages0 * page_elements
+        rows0 = max(8, fine_pages // row_pages0)
+        # Make rows/cols cleanly halvable across the hierarchy.
+        halving = 1 << (self.levels - 1)
+        rows0 -= rows0 % halving
+        geometry: List[Tuple[int, int]] = [
+            (rows0 >> level, cols0 >> level) for level in range(self.levels)
+        ]
+
+        # Lay out u_l and r_l consecutively in one workspace array.
+        offsets_u: List[int] = []
+        offsets_r: List[int] = []
+        cursor = 0
+        for rows, cols in geometry:
+            offsets_u.append(cursor)
+            cursor += rows * cols
+            offsets_r.append(cursor)
+            cursor += rows * cols
+        grid = Array("grid", (cursor,))
+
+        nests: List[Nest] = []
+        env: Dict[str, int] = {}
+        for level, (rows, cols) in enumerate(geometry):
+            off_u = offsets_u[level]
+            off_r = offsets_r[level]
+            if level == 0:
+                # The compiled version is correct for the fine grid.
+                u_lead = ArrayRef(grid, _linear(cols, off_u, +1))
+                u_mid = ArrayRef(grid, _linear(cols, off_u, 0), is_write=True)
+                u_trail = ArrayRef(grid, _linear(cols, off_u, -1))
+                r_ref = ArrayRef(grid, _linear(cols, off_r, 0))
+            else:
+                # Coarser levels: real geometry for the touches, but the
+                # compiled (fine-stride) form for the hint addresses.
+                def make_actual(
+                    base: int, row_offset: int, level_cols: int
+                ) -> Callable[[Dict[str, int]], Tuple[AffineExpr, ...]]:
+                    def actual(_env: Dict[str, int]) -> Tuple[AffineExpr, ...]:
+                        return _linear(level_cols, base, row_offset)
+
+                    return actual
+
+                def vref(base: int, row_offset: int, write: bool = False):
+                    return VaryingStrideRef(
+                        grid,
+                        apparent_subscripts=_linear(cols0, base, row_offset),
+                        actual_subscripts=make_actual(base, row_offset, cols),
+                        is_write=write,
+                        hints_follow_apparent=True,
+                    )
+
+                u_lead = vref(off_u, +1)
+                u_mid = vref(off_u, 0, write=True)
+                u_trail = vref(off_u, -1)
+                r_ref = vref(off_r, 0)
+
+            smooth = Stmt(refs=(u_lead, u_mid, u_trail, r_ref), flops=4.0)
+            rows_sym = Symbol(f"rows{level}", estimate=rows - 1, known=False)
+            cols_sym = Symbol(f"cols{level}", estimate=cols, known=False)
+            env[f"rows{level}"] = rows - 1
+            env[f"cols{level}"] = cols
+            nests.append(
+                Nest(
+                    f"smooth{level}",
+                    Loop(
+                        "i",
+                        1,
+                        rows_sym,
+                        body=(Loop("j", 0, cols_sym, body=(smooth,)),),
+                    ),
+                )
+            )
+
+        program = Program("mgrid", (grid,), tuple(nests))
+        down = [(f"smooth{level}", {}) for level in range(self.levels)]
+        up = [(f"smooth{level}", {}) for level in range(self.levels - 2, -1, -1)]
+        return WorkloadInstance(
+            name=self.name,
+            program=program,
+            env=env,
+            repeats=self.repeats,
+            invocations=down + up,
+            rng_seed=scale.rng_seed,
+        )

@@ -1,0 +1,64 @@
+"""The benchmark registry and Table 2.
+
+Table 2 of the paper summarises the characteristics of the five NAS
+out-of-core benchmarks plus MATVEC; :func:`table2_rows` regenerates it for
+any scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import MB, SimScale
+from repro.workloads.base import OutOfCoreWorkload
+from repro.workloads.buk import BukWorkload
+from repro.workloads.cgm import CgmWorkload
+from repro.workloads.embar import EmbarWorkload
+from repro.workloads.fftpde import FftpdeWorkload
+from repro.workloads.matvec import MatvecWorkload
+from repro.workloads.mgrid import MgridWorkload
+
+__all__ = ["BENCHMARKS", "benchmark", "table2_rows"]
+
+BENCHMARKS: Dict[str, OutOfCoreWorkload] = {
+    workload.name: workload
+    for workload in (
+        EmbarWorkload(),
+        MatvecWorkload(),
+        BukWorkload(),
+        CgmWorkload(),
+        MgridWorkload(),
+        FftpdeWorkload(),
+    )
+}
+
+
+def benchmark(name: str) -> OutOfCoreWorkload:
+    try:
+        return BENCHMARKS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+        ) from None
+
+
+def table2_rows(scale: SimScale) -> List[Dict[str, object]]:
+    """Benchmark characteristics at the given scale (the paper's Table 2)."""
+    rows = []
+    page_size = scale.machine.page_size
+    for name, workload in BENCHMARKS.items():
+        instance = workload.build(scale)
+        pages = sum(
+            arr.pages(instance.env, page_size) for arr in instance.program.arrays
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "description": workload.description,
+                "data_set_mb": round(pages * page_size / MB, 1),
+                "data_set_pages": pages,
+                "analysis_hazard": workload.analysis_hazard,
+                "nests": len(instance.program.nests),
+            }
+        )
+    return rows

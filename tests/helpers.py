@@ -1,0 +1,10 @@
+"""Shared helpers for the test suite."""
+
+
+def drive(engine, process):
+    """Step the engine until the given process completes."""
+    while not process.triggered:
+        engine.step()
+    if not process.ok:
+        raise process.value
+    return process.value

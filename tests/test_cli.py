@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--benchmark", "NOPE"])
+
+    def test_benchmark_case_insensitive(self):
+        args = build_parser().parse_args(["run", "--benchmark", "matvec"])
+        assert args.benchmark == "MATVEC"
+
+    def test_version_case_insensitive(self):
+        args = build_parser().parse_args(
+            ["run", "--benchmark", "MATVEC", "--version", "b"]
+        )
+        assert args.version == "B"
+
+    def test_scale_default(self):
+        args = build_parser().parse_args(["list"])
+        assert args.scale == "small"
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+        args = build_parser().parse_args(["figure", "10bc"])
+        assert args.number == "10bc"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "MATVEC" in output
+        assert "FFTPDE" in output
+
+    def test_compile(self, capsys):
+        assert main(["compile", "--benchmark", "MATVEC", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "prefetch" in output
+        assert "priority=1 " in output or "priority=1" in output
+
+    def test_table_1(self, capsys):
+        assert main(["table", "1", "--scale", "tiny"]) == 0
+        assert "swap_disks" in capsys.readouterr().out
+
+    def test_table_2(self, capsys):
+        assert main(["table", "2", "--scale", "tiny"]) == 0
+        assert "hazard" in capsys.readouterr().out
+
+    def test_run(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--benchmark",
+                    "MATVEC",
+                    "--version",
+                    "R",
+                    "--scale",
+                    "tiny",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "elapsed_s" in output
+        assert "pages_released" in output
+
+    def test_suite(self, capsys):
+        assert (
+            main(
+                [
+                    "suite",
+                    "--benchmark",
+                    "MATVEC",
+                    "--versions",
+                    "PR",
+                    "--scale",
+                    "tiny",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "daemon_stole" in output
+
+    def test_table_3(self, capsys):
+        assert main(["table", "3", "--scale", "tiny"]) == 0
+        assert "stolen_O" in capsys.readouterr().out

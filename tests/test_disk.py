@@ -1,0 +1,202 @@
+"""Unit tests for the disk, adapter, and striped-swap models."""
+
+import pytest
+
+from repro.config import DiskParams
+from repro.disk.adapter import ScsiAdapter
+from repro.disk.device import DiskDevice
+from repro.disk.swap import StripedSwap
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def params():
+    return DiskParams()
+
+
+class TestDiskDevice:
+    def test_random_service_time(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        request = disk.submit(block=100, is_write=False)
+        expected = (
+            params.average_seek_s
+            + params.rotational_latency_s
+            + params.transfer_s_per_page
+        )
+        assert request.service_time == pytest.approx(expected)
+
+    def test_sequential_discount(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        first = disk.submit(block=10, is_write=False)
+        second = disk.submit(block=11, is_write=False)
+        assert second.service_time < first.service_time
+        assert disk.sequential_hits == 1
+
+    def test_non_adjacent_pays_full_seek(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        disk.submit(block=10, is_write=False)
+        request = disk.submit(block=500, is_write=False)
+        assert request.service_time == pytest.approx(params.page_service_s)
+
+    def test_fifo_queueing(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        first = disk.submit(block=0, is_write=False)
+        second = disk.submit(block=1000, is_write=False)
+        assert second.start_time == pytest.approx(first.finish_time)
+        assert second.queue_delay > 0
+
+    def test_completion_event_fires_at_finish(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        request = disk.submit(block=0, is_write=False)
+        engine.run()
+        assert engine.now == pytest.approx(request.finish_time)
+
+    def test_read_write_counters(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        disk.submit(block=0, is_write=False)
+        disk.submit(block=5, is_write=True)
+        assert disk.reads == 1
+        assert disk.writes == 1
+        assert disk.requests == 2
+
+    def test_utilization_bounded(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        for block in range(5):
+            disk.submit(block=block * 100, is_write=False)
+        engine.run()
+        assert 0.0 < disk.utilization() <= 1.0
+
+    def test_queue_horizon(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        disk.submit(block=0, is_write=False)
+        assert disk.queue_horizon > 0.0
+
+
+class TestScsiAdapter:
+    def test_rejects_foreign_disk(self, engine, params):
+        mine = DiskDevice(engine, params, 0)
+        other = DiskDevice(engine, params, 1)
+        adapter = ScsiAdapter(engine, params, 0, [mine])
+
+        def proc():
+            yield from adapter.transfer(other, 0, False)
+
+        with pytest.raises(ValueError):
+            engine.run_process(proc())
+
+    def test_transfer_includes_overhead(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        adapter = ScsiAdapter(engine, params, 0, [disk])
+
+        def proc():
+            request = yield from adapter.transfer(disk, 0, False)
+            return request
+
+        request = engine.run_process(proc())
+        assert engine.now == pytest.approx(
+            params.adapter_overhead_s + request.service_time
+        )
+
+    def test_queue_depth_limits_concurrency(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        adapter = ScsiAdapter(engine, params, 0, [disk])
+        depth_seen = []
+
+        def proc(block):
+            yield from adapter.transfer(disk, block, False)
+
+        for block in range(params.adapter_queue_depth + 4):
+            engine.process(proc(block * 10))
+
+        def monitor():
+            yield engine.timeout(params.adapter_overhead_s / 2)
+            depth_seen.append(adapter.outstanding)
+
+        engine.process(monitor())
+        engine.run()
+        assert depth_seen[0] <= params.adapter_queue_depth
+        assert adapter.commands == params.adapter_queue_depth + 4
+
+    def test_owns(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        adapter = ScsiAdapter(engine, params, 0, [disk])
+        assert adapter.owns(disk)
+        assert not adapter.owns(DiskDevice(engine, params, 1))
+
+
+class TestStripedSwap:
+    def test_topology(self, engine, params):
+        swap = StripedSwap(engine, params)
+        assert len(swap.disks) == params.disks
+        assert len(swap.adapters) == params.adapters
+
+    def test_consecutive_pages_round_robin(self, engine, params):
+        swap = StripedSwap(engine, params)
+        disks = [swap.placement(pid=1, vpn=v)[0] for v in range(params.disks)]
+        assert sorted(disks) == list(range(params.disks))
+
+    def test_stride_within_disk_is_sequential(self, engine, params):
+        swap = StripedSwap(engine, params)
+        d0, b0 = swap.placement(pid=1, vpn=0)
+        d1, b1 = swap.placement(pid=1, vpn=params.disks)
+        assert d0 == d1
+        assert b1 == b0 + 1
+
+    def test_placement_deterministic(self, engine, params):
+        swap = StripedSwap(engine, params)
+        assert swap.placement(3, 77) == swap.placement(3, 77)
+
+    def test_read_accounting_by_purpose(self, engine, params):
+        swap = StripedSwap(engine, params)
+
+        def proc():
+            yield swap.read_page(1, 0, purpose="demand")
+            yield swap.read_page(1, 1, purpose="prefetch")
+            yield swap.write_page(1, 2)
+
+        engine.run_process(proc())
+        assert swap.stats.demand_reads == 1
+        assert swap.stats.prefetch_reads == 1
+        assert swap.stats.writebacks == 1
+        assert swap.total_reads == 2
+
+    def test_unknown_purpose_rejected(self, engine, params):
+        swap = StripedSwap(engine, params)
+
+        def proc():
+            yield swap.transfer(1, 0, is_write=False, purpose="bogus")
+
+        with pytest.raises(ValueError):
+            engine.run_process(proc())
+
+    def test_mean_latency(self, engine, params):
+        swap = StripedSwap(engine, params)
+
+        def proc():
+            yield swap.read_page(1, 0)
+
+        engine.run_process(proc())
+        assert swap.mean_latency("demand") > 0
+        assert swap.mean_latency("prefetch") == 0.0
+
+    def test_parallel_reads_overlap(self, engine, params):
+        swap = StripedSwap(engine, params)
+
+        def proc():
+            # Pages striped across different disks complete concurrently.
+            events = [swap.read_page(1, vpn) for vpn in range(params.disks)]
+            for event in events:
+                yield event
+
+        engine.run_process(proc())
+        # Far less than 10 serial service times.
+        assert engine.now < 3 * params.page_service_s
+
+    def test_utilization_mean(self, engine, params):
+        swap = StripedSwap(engine, params)
+
+        def proc():
+            yield swap.read_page(1, 0)
+
+        engine.run_process(proc())
+        assert 0.0 <= swap.utilization() <= 1.0

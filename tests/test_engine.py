@@ -1,0 +1,336 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_starts_pending(self, engine):
+        event = engine.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.event().value
+
+    def test_succeed_carries_value(self, engine):
+        event = engine.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+        assert event.ok
+
+    def test_double_succeed_raises(self, engine):
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, engine):
+        event = engine.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_fail_carries_exception(self, engine):
+        event = engine.event()
+        error = ValueError("boom")
+        event.fail(error)
+        assert not event.ok
+        assert event.value is error
+
+    def test_callbacks_run_on_processing(self, engine):
+        event = engine.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed("x")
+        assert seen == []  # not yet processed
+        engine.run()
+        assert seen == ["x"]
+
+    def test_late_callback_runs_immediately(self, engine):
+        event = engine.event()
+        event.succeed(1)
+        engine.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == [1]
+
+    def test_delayed_succeed(self, engine):
+        event = engine.event()
+        event.succeed(delay=2.5)
+        engine.run()
+        assert engine.now == 2.5
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, engine):
+        engine.timeout(3.0)
+        engine.run()
+        assert engine.now == 3.0
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.timeout(-1.0)
+
+    def test_timeout_value(self, engine):
+        timeout = engine.timeout(1.0, value="done")
+        engine.run()
+        assert timeout.value == "done"
+
+    def test_zero_delay_allowed(self, engine):
+        engine.timeout(0.0)
+        engine.run()
+        assert engine.now == 0.0
+
+
+class TestClock:
+    def test_fifo_order_for_simultaneous_events(self, engine):
+        order = []
+        for index in range(5):
+            engine.timeout(1.0).add_callback(
+                lambda _e, i=index: order.append(i)
+            )
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops_clock_exactly(self, engine):
+        engine.timeout(10.0)
+        engine.run(until=4.0)
+        assert engine.now == 4.0
+
+    def test_run_until_processes_due_events(self, engine):
+        seen = []
+        engine.timeout(1.0).add_callback(lambda e: seen.append(1))
+        engine.timeout(5.0).add_callback(lambda e: seen.append(5))
+        engine.run(until=2.0)
+        assert seen == [1]
+
+    def test_run_until_past_is_error(self, engine):
+        engine.timeout(5.0)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run(until=1.0)
+
+    def test_peek_empty_queue(self, engine):
+        assert engine.peek() == float("inf")
+
+    def test_peek_returns_next_time(self, engine):
+        engine.timeout(7.0)
+        engine.timeout(2.0)
+        assert engine.peek() == 2.0
+
+    def test_step_pops_single_event(self, engine):
+        engine.timeout(1.0)
+        engine.timeout(2.0)
+        engine.step()
+        assert engine.now == 1.0
+
+
+class TestProcess:
+    def test_process_returns_value(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            return "result"
+
+        assert engine.run_process(proc()) == "result"
+
+    def test_process_requires_generator(self, engine):
+        with pytest.raises(SimulationError):
+            Process(engine, lambda: None)  # type: ignore[arg-type]
+
+    def test_process_accumulates_time(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            yield engine.timeout(2.0)
+
+        engine.run_process(proc())
+        assert engine.now == 3.0
+
+    def test_yield_non_event_raises(self, engine):
+        def proc():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            engine.run_process(proc())
+
+    def test_processes_can_wait_on_each_other(self, engine):
+        def worker():
+            yield engine.timeout(5.0)
+            return "worked"
+
+        worker_proc = engine.process(worker())
+
+        def waiter():
+            value = yield worker_proc
+            return value
+
+        assert engine.run_process(waiter()) == "worked"
+
+    def test_exception_propagates_to_waiter(self, engine):
+        def failing():
+            yield engine.timeout(1.0)
+            raise RuntimeError("inner")
+
+        failing_proc = engine.process(failing())
+
+        def waiter():
+            with pytest.raises(RuntimeError, match="inner"):
+                yield failing_proc
+            return "caught"
+
+        assert engine.run_process(waiter()) == "caught"
+
+    def test_unwaited_crash_surfaces(self, engine):
+        def failing():
+            yield engine.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        engine.process(failing())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            engine.run()
+
+    def test_deadlock_detected_by_run_process(self, engine):
+        def stuck():
+            yield engine.event()  # never triggered
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            engine.run_process(stuck())
+
+    def test_is_alive(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+
+        p = engine.process(proc())
+        assert p.is_alive
+        engine.run()
+        assert not p.is_alive
+
+    def test_event_value_delivered_to_process(self, engine):
+        event = engine.event()
+
+        def proc():
+            value = yield event
+            return value
+
+        p = engine.process(proc())
+        event.succeed("payload")
+        engine.run()
+        assert p.value == "payload"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self, engine):
+        def sleeper():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupt as interrupt:
+                return interrupt.cause
+
+        p = engine.process(sleeper())
+
+        def interrupter():
+            yield engine.timeout(1.0)
+            p.interrupt("wake up")
+
+        engine.process(interrupter())
+        engine.run()
+        assert p.value == "wake up"
+        assert engine.now <= 100.0
+
+    def test_interrupt_finished_process_raises(self, engine):
+        def quick():
+            yield engine.timeout(0.1)
+
+        p = engine.process(quick())
+        engine.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self, engine):
+        def selfish():
+            this = engine.active_process
+            with pytest.raises(SimulationError):
+                this.interrupt()
+            yield engine.timeout(0.0)
+
+        engine.run_process(selfish())
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self, engine):
+        fast = engine.timeout(1.0, value="fast")
+        slow = engine.timeout(10.0, value="slow")
+
+        def proc():
+            result = yield engine.any_of([fast, slow])
+            return result
+
+        value = engine.run_process(proc())
+        assert fast in value
+        assert engine.now >= 1.0
+
+    def test_all_of_waits_for_all(self, engine):
+        first = engine.timeout(1.0)
+        second = engine.timeout(5.0)
+
+        def proc():
+            yield engine.all_of([first, second])
+            return engine.now
+
+        # all_of fires at the later timeout
+        assert engine.run_process(proc()) == 5.0
+
+    def test_empty_condition_fires_immediately(self, engine):
+        def proc():
+            value = yield engine.all_of([])
+            return value
+
+        assert engine.run_process(proc()) == {}
+
+    def test_any_of_with_already_fired_event(self, engine):
+        event = engine.event()
+        event.succeed("early")
+        engine.run()
+
+        def proc():
+            result = yield engine.any_of([event, engine.timeout(50.0)])
+            return result
+
+        value = engine.run_process(proc())
+        assert event in value
+
+    def test_condition_rejects_cross_engine_events(self, engine):
+        other = Engine()
+        foreign = other.event()
+        with pytest.raises(SimulationError):
+            engine.any_of([foreign])
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            engine = Engine()
+            trace = []
+
+            def producer(name, period):
+                for _ in range(5):
+                    yield engine.timeout(period)
+                    trace.append((engine.now, name))
+
+            engine.process(producer("a", 1.0))
+            engine.process(producer("b", 1.5))
+            engine.run()
+            return trace
+
+        assert run_once() == run_once()

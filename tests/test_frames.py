@@ -1,0 +1,262 @@
+"""Unit and property tests for frames and the free list."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.vm.frames import (
+    FREED_BY_DAEMON,
+    FREED_BY_RELEASE,
+    Frame,
+    FrameTable,
+    FreeList,
+)
+from repro.vm.pagetable import AddressSpace
+
+
+def make_freelist(n=8):
+    engine = Engine()
+    table = FrameTable(n)
+    freelist = FreeList(engine, table)
+    aspace = AddressSpace(engine, asid=1, name="proc")
+    return engine, table, freelist, aspace
+
+
+class TestFrame:
+    def test_initial_state(self):
+        frame = Frame(3)
+        assert frame.index == 3
+        assert not frame.present
+        assert not frame.active
+
+    def test_active_requires_owner_and_presence(self):
+        engine = Engine()
+        frame = Frame(0)
+        frame.present = True
+        assert not frame.active  # no owner
+        frame.owner = AddressSpace(engine, 1, "p")
+        assert frame.active
+        frame.wired = True
+        assert not frame.active
+
+    def test_reset_identity_clears_bits(self):
+        frame = Frame(0)
+        frame.dirty = True
+        frame.referenced = True
+        frame.vpn = 7
+        frame.reset_identity()
+        assert not frame.dirty
+        assert frame.vpn == -1
+
+
+class TestFrameTable:
+    def test_requires_at_least_one_frame(self):
+        with pytest.raises(ValueError):
+            FrameTable(0)
+
+    def test_indexing_and_len(self):
+        table = FrameTable(4)
+        assert len(table) == 4
+        assert table[2].index == 2
+
+    def test_active_count(self):
+        engine = Engine()
+        table = FrameTable(4)
+        aspace = AddressSpace(engine, 1, "p")
+        table[0].owner = aspace
+        table[0].present = True
+        assert table.active_count() == 1
+
+
+class TestFreeList:
+    def test_all_frames_initially_free(self):
+        _engine, table, freelist, _aspace = make_freelist(5)
+        assert freelist.free_count == 5
+
+    def test_pop_returns_frames_until_empty(self):
+        _engine, _table, freelist, _aspace = make_freelist(3)
+        frames = [freelist.pop() for _ in range(3)]
+        assert all(frame is not None for frame in frames)
+        assert freelist.pop() is None
+        assert freelist.free_count == 0
+
+    def test_double_push_rejected(self):
+        _engine, _table, freelist, aspace = make_freelist()
+        frame = freelist.pop()
+        frame.owner = aspace
+        frame.vpn = 1
+        freelist.push(frame, FREED_BY_DAEMON)
+        with pytest.raises(ValueError):
+            freelist.push(frame, FREED_BY_DAEMON)
+
+    def test_push_retains_identity_for_rescue(self):
+        _engine, _table, freelist, aspace = make_freelist()
+        frame = freelist.pop()
+        frame.owner = aspace
+        frame.vpn = 42
+        freelist.push(frame, FREED_BY_RELEASE)
+        assert freelist.rescuable(aspace, 42)
+        rescued = freelist.rescue(aspace, 42)
+        assert rescued is frame
+        assert not freelist.rescuable(aspace, 42)
+
+    def test_rescue_unknown_returns_none(self):
+        _engine, _table, freelist, aspace = make_freelist()
+        assert freelist.rescue(aspace, 999) is None
+
+    def test_pop_destroys_identity(self):
+        _engine, _table, freelist, aspace = make_freelist(1)
+        frame = freelist.pop()
+        frame.owner = aspace
+        frame.vpn = 7
+        freelist.push(frame, FREED_BY_RELEASE)
+        popped = freelist.pop()
+        assert popped is frame
+        assert popped.vpn == -1
+        assert not freelist.rescuable(aspace, 7)
+        assert freelist.identity_destroyed == 1
+
+    def test_fifo_order_gives_rescue_window(self):
+        _engine, _table, freelist, aspace = make_freelist(4)
+        frames = [freelist.pop() for _ in range(4)]
+        for vpn, frame in enumerate(frames):
+            frame.owner = aspace
+            frame.vpn = vpn
+            freelist.push(frame, FREED_BY_RELEASE)
+        # Oldest pushed is allocated first.
+        assert freelist.pop() is frames[0]
+        # The rest remain rescuable.
+        assert freelist.rescuable(aspace, 3)
+
+    def test_lazy_removal_after_rescue(self):
+        _engine, _table, freelist, aspace = make_freelist(2)
+        first = freelist.pop()
+        second = freelist.pop()
+        for vpn, frame in ((0, first), (1, second)):
+            frame.owner = aspace
+            frame.vpn = vpn
+            freelist.push(frame, FREED_BY_DAEMON)
+        rescued = freelist.rescue(aspace, 0)
+        assert rescued is first
+        # Pop must skip the rescued frame and return the second.
+        assert freelist.pop() is second
+        assert freelist.free_count == 0
+
+    def test_stale_identity_not_registered(self):
+        """A page re-faulted into a new frame must not leave a rescuable
+        stale copy when the old frame's writeback completes."""
+        _engine, _table, freelist, aspace = make_freelist(3)
+        old = freelist.pop()
+        old.owner = aspace
+        old.vpn = 5
+        # Meanwhile the vpn was re-faulted into another frame.
+        fresh = freelist.pop()
+        aspace.attach(5, fresh)
+        freelist.push(old, FREED_BY_DAEMON)
+        assert not freelist.rescuable(aspace, 5)
+        assert old.vpn == -1  # anonymised
+
+    def test_rescue_source_statistics(self):
+        _engine, _table, freelist, aspace = make_freelist(4)
+        a = freelist.pop()
+        b = freelist.pop()
+        a.owner = aspace
+        a.vpn = 0
+        b.owner = aspace
+        b.vpn = 1
+        freelist.push(a, FREED_BY_DAEMON)
+        freelist.push(b, FREED_BY_RELEASE)
+        freelist.rescue(aspace, 0)
+        freelist.rescue(aspace, 1)
+        assert freelist.rescues_from_daemon == 1
+        assert freelist.rescues_from_release == 1
+        assert freelist.pushes_by_daemon == 1
+        assert freelist.pushes_by_release == 1
+
+    def test_wait_for_free_immediate_when_available(self):
+        engine, _table, freelist, _aspace = make_freelist(1)
+        event = freelist.wait_for_free()
+        assert event.triggered
+
+    def test_wait_for_free_wakes_on_push(self):
+        engine, _table, freelist, aspace = make_freelist(1)
+        frame = freelist.pop()
+        frame.owner = aspace
+        frame.vpn = 0
+        woken = []
+
+        def waiter():
+            yield freelist.wait_for_free()
+            woken.append(engine.now)
+
+        engine.process(waiter())
+
+        def pusher():
+            yield engine.timeout(2.0)
+            freelist.push(frame, FREED_BY_RELEASE)
+
+        engine.process(pusher())
+        engine.run()
+        assert woken == [2.0]
+
+
+class TestFreeListProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["pop", "push", "rescue"]), st.integers(0, 15)),
+            max_size=80,
+        )
+    )
+    def test_frames_conserved_under_random_operations(self, operations):
+        """No frame is ever lost or duplicated, and free_count always
+        matches the number of allocatable frames."""
+        engine = Engine()
+        table = FrameTable(8)
+        freelist = FreeList(engine, table)
+        aspace = AddressSpace(engine, 1, "p")
+        held = []  # frames currently allocated (owned by the process)
+        for op, vpn in operations:
+            if op == "pop":
+                frame = freelist.pop()
+                if frame is not None:
+                    frame.owner = aspace
+                    frame.vpn = vpn
+                    if vpn in aspace.pages:
+                        aspace.detach(vpn)
+                        # put the displaced frame back in held bookkeeping
+                    aspace.pages[vpn] = frame
+                    held.append(frame)
+            elif op == "push":
+                if held:
+                    frame = held.pop()
+                    if aspace.pages.get(frame.vpn) is frame:
+                        del aspace.pages[frame.vpn]
+                    freelist.push(frame, FREED_BY_RELEASE)
+            else:  # rescue
+                frame = freelist.rescue(aspace, vpn)
+                if frame is not None:
+                    aspace.pages[frame.vpn] = frame
+                    held.append(frame)
+            # Invariant: every frame is either on the free list or held.
+            on_list = sum(1 for f in table if f.on_free_list)
+            assert on_list == freelist.free_count
+            assert freelist.free_count + len(held) == len(table)
+
+    @settings(max_examples=40, deadline=None)
+    @given(vpns=st.lists(st.integers(0, 30), min_size=1, max_size=8, unique=True))
+    def test_every_pushed_identity_is_rescuable_until_popped(self, vpns):
+        engine = Engine()
+        table = FrameTable(len(vpns))
+        freelist = FreeList(engine, table)
+        aspace = AddressSpace(engine, 1, "p")
+        frames = [freelist.pop() for _ in vpns]
+        for vpn, frame in zip(vpns, frames):
+            frame.owner = aspace
+            frame.vpn = vpn
+            freelist.push(frame, FREED_BY_RELEASE)
+        for vpn in vpns:
+            assert freelist.rescuable(aspace, vpn)
+        rescued = freelist.rescue(aspace, vpns[0])
+        assert rescued.vpn == vpns[0]

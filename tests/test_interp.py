@@ -1,0 +1,303 @@
+"""Unit tests for the page-granularity trace interpreter."""
+
+import pytest
+
+from repro.config import CompilerParams, MachineConfig
+from repro.core.compiler.interp import nest_ops
+from repro.core.compiler.ir import (
+    AffineExpr,
+    Array,
+    ArrayRef,
+    IndirectRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    Symbol,
+    VaryingStrideRef,
+    affine,
+)
+from repro.core.compiler.pipeline import compile_program
+
+MACHINE = MachineConfig()
+PARAMS = CompilerParams()
+EPP = MACHINE.page_elements  # 2048
+
+
+def compiled_nest(nest, arrays):
+    program = Program("p", tuple(arrays), (nest,))
+    return compile_program(program, PARAMS).nests[nest.name]
+
+
+def ops_for(nest, arrays, layout, env=None, **kwargs):
+    return list(
+        nest_ops(compiled_nest(nest, arrays), env or {}, layout, MACHINE, **kwargs)
+    )
+
+
+def touches(ops):
+    return [op[1] for op in ops if op[0] == "t"]
+
+
+def prefetches(ops):
+    return [op for op in ops if op[0] == "p"]
+
+
+def releases(ops):
+    return [op for op in ops if op[0] == "r"]
+
+
+def sweep_nest(pages=8):
+    a = Array("a", (pages * EPP,))
+    stmt = Stmt(refs=(ArrayRef(a, (affine("i"),), is_write=True),), flops=1.0)
+    nest = Nest("sweep", Loop("i", 0, pages * EPP, body=(stmt,)))
+    return nest, a
+
+
+class TestTouchStream:
+    def test_sequential_sweep_touches_each_page_once(self):
+        nest, a = sweep_nest(8)
+        ops = ops_for(nest, [a], {"a": 100})
+        assert touches(ops) == [100 + p for p in range(8)]
+
+    def test_work_matches_iteration_count(self):
+        nest, a = sweep_nest(4)
+        ops = ops_for(nest, [a], {"a": 0})
+        work = sum(op[1] for op in ops if op[0] == "w")
+        assert work == pytest.approx(4 * EPP * MACHINE.cpu_s_per_element)
+
+    def test_touch_carries_write_flag(self):
+        nest, a = sweep_nest(2)
+        ops = ops_for(nest, [a], {"a": 0})
+        assert all(op[2] for op in ops if op[0] == "t")
+
+    def test_2d_row_major_order(self):
+        a = Array("a", (4, 2 * EPP))  # two pages per row
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"), affine("j"))),))
+        nest = Nest(
+            "n", Loop("i", 0, 4, body=(Loop("j", 0, 2 * EPP, body=(stmt,)),))
+        )
+        ops = ops_for(nest, [a], {"a": 0})
+        assert touches(ops) == list(range(8))
+
+    def test_loop_invariant_ref_touches_on_reentry(self):
+        # x[j] inside the i loop: pages re-touched every i iteration.
+        x = Array("x", (2 * EPP,))
+        a = Array("a", (3, 2 * EPP))
+        stmt = Stmt(
+            refs=(
+                ArrayRef(a, (affine("i"), affine("j"))),
+                ArrayRef(x, (affine("j"),)),
+            )
+        )
+        nest = Nest(
+            "n", Loop("i", 0, 3, body=(Loop("j", 0, 2 * EPP, body=(stmt,)),))
+        )
+        ops = ops_for(nest, [a, x], {"a": 0, "x": 50})
+        x_touches = [t for t in touches(ops) if t >= 50]
+        assert x_touches == [50, 51] * 3
+
+    def test_bounds_from_env(self):
+        n = Symbol("n", estimate=4 * EPP, known=False)
+        a = Array("a", (8 * EPP,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"),)),))
+        nest = Nest("n", Loop("i", 0, n, body=(stmt,)))
+        ops = ops_for(nest, [a], {"a": 0}, env={"n": 2 * EPP})
+        assert touches(ops) == [0, 1]
+
+    def test_pages_clamped_to_array_extent(self):
+        a = Array("a", (EPP,))  # one page
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i", const_term=EPP),)),))
+        nest = Nest("n", Loop("i", 0, 4, body=(stmt,)))
+        ops = ops_for(nest, [a], {"a": 7})
+        assert all(t == 7 for t in touches(ops))
+
+    def test_missing_layout_entry_raises(self):
+        nest, a = sweep_nest(2)
+        with pytest.raises(KeyError):
+            ops_for(nest, [a], {})
+
+
+class TestPrefetchEmission:
+    def test_prologue_window_then_steady_state(self):
+        nest, a = sweep_nest(100)
+        ops = ops_for(nest, [a], {"a": 0})
+        pf = prefetches(ops)
+        # Prologue covers [0, distance] inclusive.
+        distance = compiled_nest(nest, [a]).plan.prefetches[0].distance_pages
+        assert pf[0][2] == tuple(range(0, distance + 1))
+        # Steady state: one page per crossing, distance ahead.
+        assert pf[1][2] == (1 + distance,)
+
+    def test_prefetch_clamped_at_array_end(self):
+        nest, a = sweep_nest(4)
+        ops = ops_for(nest, [a], {"a": 0})
+        for op in prefetches(ops):
+            assert all(0 <= page < 4 for page in op[2])
+
+    def test_emission_disabled(self):
+        nest, a = sweep_nest(4)
+        ops = ops_for(nest, [a], {"a": 0}, emit_prefetch=False, emit_release=False)
+        assert not prefetches(ops)
+        assert not releases(ops)
+
+    def test_strided_prefetch_targets_stream(self):
+        # A page-hopping stride must prefetch along the stream (hops ahead),
+        # not at +distance sequential pages.
+        hop = 3
+        a = Array("a", (400 * EPP,))
+        ref = VaryingStrideRef(
+            a,
+            apparent_subscripts=(affine("b", coeff=EPP),),
+            actual_subscripts=lambda env: (affine("b", coeff=hop * EPP),),
+        )
+        stmt = Stmt(refs=(ref,))
+        nest = Nest(
+            "n",
+            Loop("s", 0, Symbol("S", 2), body=(Loop("b", 0, Symbol("B", 20), body=(stmt,)),)),
+        )
+        ops = ops_for(nest, [a], {"a": 0}, env={"S": 1, "B": 20})
+        steady = [op for op in prefetches(ops) if len(op[2]) == 1]
+        diffs = {op[2][0] % hop for op in steady}
+        assert diffs == {0}  # all targets lie on the hop lattice
+
+
+class TestReleaseEmission:
+    def test_release_trails_by_one_page(self):
+        nest, a = sweep_nest(4)
+        ops = ops_for(nest, [a], {"a": 0})
+        rel = releases(ops)
+        # Steady state releases pages 0,1,2 behind; epilogue releases 3.
+        released = [op[2][0] for op in rel]
+        assert released == [0, 1, 2, 3]
+
+    def test_release_carries_priority(self):
+        x = Array("x", (64 * EPP,))
+        a = Array("a", (400, 64 * EPP))
+        stmt = Stmt(
+            refs=(
+                ArrayRef(a, (affine("i"), affine("j"))),
+                ArrayRef(x, (affine("j"),)),
+            )
+        )
+        nest = Nest(
+            "n", Loop("i", 0, 400, body=(Loop("j", 0, 64 * EPP, body=(stmt,)),))
+        )
+        cn = compiled_nest(nest, [a, x])
+        x_spec = next(
+            s for s in cn.plan.releases if s.target.ref.array.name == "x"
+        )
+        ops = list(nest_ops(cn, {}, {"a": 0, "x": 30000}, MACHINE))
+        x_rel = [op for op in releases(ops) if op[1] == x_spec.tag]
+        assert x_rel
+        assert all(op[3] == x_spec.priority for op in x_rel)
+
+    def test_epilogue_releases_final_page(self):
+        nest, a = sweep_nest(3)
+        ops = ops_for(nest, [a], {"a": 10})
+        assert releases(ops)[-1][2] == (12,)
+
+
+class TestIndirect:
+    def make_indirect(self, sample=4):
+        target = Array("t", (64 * EPP,))
+        keys = Array("k", (4 * EPP,))
+        key_ref = ArrayRef(keys, (affine("i"),))
+        stmt = Stmt(
+            refs=(key_ref, IndirectRef(target, key_ref, sample_touches_per_chunk=sample))
+        )
+        nest = Nest("n", Loop("i", 0, 4 * EPP, body=(stmt,)))
+        return nest, target, keys
+
+    def test_sampled_touches_per_index_page(self):
+        nest, target, keys = self.make_indirect(sample=4)
+        ops = ops_for(nest, [target, keys], {"t": 1000, "k": 0})
+        target_touches = [t for t in touches(ops) if t >= 1000]
+        assert len(target_touches) == 4 * 4  # 4 index pages x 4 samples
+
+    def test_sampling_is_deterministic(self):
+        nest, target, keys = self.make_indirect()
+        first = ops_for(nest, [target, keys], {"t": 1000, "k": 0}, rng_seed=7)
+        second = ops_for(nest, [target, keys], {"t": 1000, "k": 0}, rng_seed=7)
+        assert first == second
+
+    def test_different_seed_changes_samples(self):
+        nest, target, keys = self.make_indirect()
+        first = ops_for(nest, [target, keys], {"t": 1000, "k": 0}, rng_seed=1)
+        second = ops_for(nest, [target, keys], {"t": 1000, "k": 0}, rng_seed=2)
+        assert touches(first) != touches(second)
+
+    def test_indirect_prefetch_pipelined_one_chunk_ahead(self):
+        nest, target, keys = self.make_indirect()
+        ops = ops_for(nest, [target, keys], {"t": 1000, "k": 0})
+        # Find the prefetch announcing chunk 1's pages: its pages must match
+        # the touches emitted for chunk 1 (the second group of samples).
+        target_touch_batches = []
+        batch = []
+        for op in ops:
+            if op[0] == "t" and op[1] >= 1000:
+                batch.append(op[1])
+                if len(batch) == 4:
+                    target_touch_batches.append(tuple(batch))
+                    batch = []
+        target_pf = [
+            op[2] for op in prefetches(ops) if all(p >= 1000 for p in op[2])
+        ]
+        assert target_touch_batches[1] in target_pf
+
+    def test_no_releases_for_indirect_target(self):
+        nest, target, keys = self.make_indirect()
+        ops = ops_for(nest, [target, keys], {"t": 1000, "k": 0})
+        for op in releases(ops):
+            assert all(page < 1000 for page in op[2])
+
+
+class TestApparentHints:
+    def make_miscompiled(self):
+        """Touches follow a 2-page stride; hint addresses follow the
+        (wrong) unit-page apparent form."""
+        a = Array("a", (64 * EPP,))
+        ref = VaryingStrideRef(
+            a,
+            apparent_subscripts=(affine("b", coeff=EPP),),
+            actual_subscripts=lambda env: (affine("b", coeff=2 * EPP),),
+            is_write=False,
+            hints_follow_apparent=True,
+        )
+        stmt = Stmt(refs=(ref,))
+        nest = Nest("n", Loop("b", 0, Symbol("B", 8), body=(stmt,)))
+        return nest, a
+
+    def test_touches_follow_actual_stride(self):
+        nest, a = self.make_miscompiled()
+        ops = ops_for(nest, [a], {"a": 0}, env={"B": 8})
+        assert touches(ops) == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_release_addresses_follow_apparent_stride(self):
+        nest, a = self.make_miscompiled()
+        ops = ops_for(nest, [a], {"a": 0}, env={"B": 8})
+        released = [op[2][0] for op in releases(ops)]
+        # Apparent stream crosses pages 0..7: releases trail it.
+        assert released == [0, 1, 2, 3, 4, 5, 6, 7]
+
+
+class TestReemit:
+    def test_unknown_inner_bound_reemits_per_entry(self):
+        """The CGM effect: hints re-emitted on every inner-loop entry."""
+        a = Array("a", (64, 512))  # quarter-page rows
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"), affine("k"))),))
+        nnz = Symbol("nnz", estimate=512, known=False)
+        nest = Nest(
+            "n", Loop("i", 0, 64, body=(Loop("k", 0, nnz, body=(stmt,)),))
+        )
+        ops = ops_for(nest, [a], {"a": 0}, env={"nnz": 512})
+        # 64 row entries, a prefetch hint per entry at least.
+        assert len(prefetches(ops)) >= 64
+
+    def test_known_bounds_do_not_reemit(self):
+        a = Array("a", (64, 512))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"), affine("k"))),))
+        nest = Nest("n", Loop("i", 0, 64, body=(Loop("k", 0, 512, body=(stmt,)),)))
+        ops = ops_for(nest, [a], {"a": 0})
+        # Page crossings only: 16 pages, prologue + steady state.
+        assert len(prefetches(ops)) <= 17

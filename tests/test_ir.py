@@ -1,0 +1,207 @@
+"""Unit tests for the loop-nest IR."""
+
+import pytest
+
+from repro.core.compiler.ir import (
+    AffineExpr,
+    Array,
+    ArrayRef,
+    IndirectRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    Symbol,
+    VaryingStrideRef,
+    affine,
+    bound_estimate,
+    bound_known,
+    bound_value,
+    const,
+)
+
+
+class TestBounds:
+    def test_integer_bound(self):
+        assert bound_value(10, {}) == 10
+        assert bound_estimate(10) == 10
+        assert bound_known(10)
+
+    def test_symbol_estimate_and_env(self):
+        n = Symbol("n", estimate=100)
+        assert bound_estimate(n) == 100
+        assert bound_value(n, {"n": 7}) == 7
+        assert bound_value(n, {}) == 100  # falls back to the estimate
+        assert not bound_known(n)
+
+    def test_known_symbol(self):
+        n = Symbol("n", estimate=5, known=True)
+        assert bound_known(n)
+
+
+class TestAffineExpr:
+    def test_evaluate(self):
+        expr = AffineExpr.build({"i": 3, "j": 1}, 5)
+        assert expr.evaluate({"i": 2, "j": 4}) == 15
+
+    def test_zero_coeffs_dropped(self):
+        expr = AffineExpr.build({"i": 0, "j": 2})
+        assert expr.variables == ("j",)
+        assert not expr.depends_on("i")
+
+    def test_coeff_lookup(self):
+        expr = affine("i", coeff=4, const_term=1)
+        assert expr.coeff("i") == 4
+        assert expr.coeff("j") == 0
+
+    def test_shifted(self):
+        expr = affine("i").shifted(3)
+        assert expr.const == 3
+        assert expr.evaluate({"i": 1}) == 4
+
+    def test_addition(self):
+        combined = affine("i", 2) + affine("j", 3, const_term=1)
+        assert combined.evaluate({"i": 1, "j": 1}) == 6
+
+    def test_const_helper(self):
+        assert const(7).evaluate({}) == 7
+        assert const(7).variables == ()
+
+    def test_repr_negative_const(self):
+        assert repr(affine("i", const_term=-1)) == "i-1"
+        assert repr(affine("i", const_term=2)) == "i+2"
+
+
+class TestArray:
+    def test_total_elements(self):
+        arr = Array("a", (4, Symbol("n", estimate=8)))
+        assert arr.total_elements({"n": 10}) == 40
+        assert arr.total_elements({}) == 32
+
+    def test_row_strides(self):
+        arr = Array("a", (2, 3, 4))
+        assert arr.row_strides((2, 3, 4)) == (12, 4, 1)
+
+    def test_pages_round_up(self):
+        arr = Array("a", (100,), element_size=8)
+        assert arr.pages({}, page_size=512) == 2  # 800 bytes
+
+    def test_pages_minimum_one(self):
+        arr = Array("a", (1,))
+        assert arr.pages({}, page_size=16384) == 1
+
+    def test_repr(self):
+        arr = Array("a", (Symbol("n", 5), 3))
+        assert repr(arr) == "a[n][3]"
+
+
+class TestRefs:
+    def test_rank_mismatch_rejected(self):
+        arr = Array("a", (4, 4))
+        with pytest.raises(ValueError):
+            ArrayRef(arr, (affine("i"),))
+
+    def test_depends_on(self):
+        arr = Array("a", (4, 4))
+        ref = ArrayRef(arr, (affine("i"), affine("j")))
+        assert ref.depends_on("i")
+        assert not ref.depends_on("k")
+
+    def test_indirect_depends_through_index(self):
+        target = Array("t", (100,))
+        index = Array("idx", (100,))
+        index_ref = ArrayRef(index, (affine("i"),))
+        indirect = IndirectRef(target, index_ref)
+        assert indirect.depends_on("i")
+        assert not indirect.depends_on("j")
+
+    def test_varying_stride_requires_actual(self):
+        arr = Array("a", (100,))
+        with pytest.raises(ValueError):
+            VaryingStrideRef(arr, (affine("i"),), actual_subscripts=None)
+
+    def test_varying_stride_apparent_dependence(self):
+        arr = Array("a", (100,))
+        ref = VaryingStrideRef(
+            arr, (affine("b"),), actual_subscripts=lambda env: (affine("b", 2),)
+        )
+        assert ref.depends_on("b")
+        assert not ref.depends_on("s")
+
+
+class TestLoops:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("i", 0, 10, body=())
+
+    def test_zero_step_rejected(self):
+        stmt = Stmt(refs=(ArrayRef(Array("a", (10,)), (affine("i"),)),))
+        with pytest.raises(ValueError):
+            Loop("i", 0, 10, body=(stmt,), step=0)
+
+    def test_trip_counts(self):
+        stmt = Stmt(refs=(ArrayRef(Array("a", (10,)), (affine("i"),)),))
+        loop = Loop("i", 0, Symbol("n", estimate=10), body=(stmt,), step=2)
+        assert loop.trip_estimate() == 5
+        assert loop.trip_value({"n": 6}) == 3
+        assert loop.trip_value({"n": 0}) == 0
+
+    def test_statement_requires_refs(self):
+        with pytest.raises(ValueError):
+            Stmt(refs=())
+
+
+class TestNest:
+    def make_nest(self):
+        a = Array("a", (10, 10))
+        inner_stmt = Stmt(refs=(ArrayRef(a, (affine("i"), affine("j"))),))
+        outer_stmt = Stmt(refs=(ArrayRef(a, (affine("i"), const(0))),))
+        inner = Loop("j", 0, 10, body=(inner_stmt,))
+        outer = Loop("i", 0, 10, body=(outer_stmt, inner))
+        return Nest("n", outer)
+
+    def test_loops_by_depth(self):
+        nest = self.make_nest()
+        depths = [(depth, loop.var) for depth, loop in nest.loops_by_depth()]
+        assert depths == [(0, "i"), (1, "j")]
+
+    def test_statements_with_chains(self):
+        nest = self.make_nest()
+        statements = nest.statements()
+        assert len(statements) == 2
+        chains = [tuple(l.var for l in chain) for chain, _stmt in statements]
+        assert ("i",) in chains
+        assert ("i", "j") in chains
+
+    def test_references_enumeration(self):
+        nest = self.make_nest()
+        assert len(nest.references()) == 2
+
+
+class TestProgram:
+    def test_duplicate_array_names_rejected(self):
+        a = Array("a", (10,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"),)),))
+        nest = Nest("n", Loop("i", 0, 10, body=(stmt,)))
+        with pytest.raises(ValueError):
+            Program("p", (a, Array("a", (5,))), (nest,))
+
+    def test_duplicate_nest_names_rejected(self):
+        a = Array("a", (10,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"),)),))
+        nest1 = Nest("n", Loop("i", 0, 10, body=(stmt,)))
+        nest2 = Nest("n", Loop("k", 0, 10, body=(stmt,)))
+        with pytest.raises(ValueError):
+            Program("p", (a,), (nest1, nest2))
+
+    def test_lookups(self):
+        a = Array("a", (10,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"),)),))
+        nest = Nest("n", Loop("i", 0, 10, body=(stmt,)))
+        program = Program("p", (a,), (nest,))
+        assert program.array("a") is a
+        assert program.nest("n") is nest
+        with pytest.raises(KeyError):
+            program.array("zzz")
+        with pytest.raises(KeyError):
+            program.nest("zzz")

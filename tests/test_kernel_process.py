@@ -1,0 +1,160 @@
+"""Tests for KernelProcess time batching, config presets, and the
+interactive task."""
+
+import pytest
+
+from repro.config import paper, small, tiny
+from repro.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.workloads.interactive import InteractiveTask
+
+from tests.helpers import drive
+
+
+class TestConfigPresets:
+    def test_paper_matches_the_papers_platform(self):
+        scale = paper()
+        assert scale.machine.total_frames == 4800  # 75 MB of 16 KB pages
+        assert scale.disk.disks == 10
+        assert scale.disk.adapters == 5
+        assert scale.machine.cpus == 4
+        assert scale.interactive_pages == 65  # Figure 10(c)'s maximum
+        assert scale.out_of_core_pages == 25600  # 400 MB
+
+    def test_scaled_presets_preserve_ratios(self):
+        for preset in (small(), tiny()):
+            base = paper()
+            ratio = base.machine.total_frames / preset.machine.total_frames
+            data_ratio = base.out_of_core_pages / preset.out_of_core_pages
+            assert data_ratio == pytest.approx(ratio, rel=0.05)
+
+    def test_describe_keys(self):
+        info = paper().describe()
+        assert info["swap_disks"] == 10
+        assert info["user_memory_mb"] == 75
+        assert info["page_size_kb"] == 16
+
+    def test_with_overrides(self):
+        scale = tiny().with_overrides(rng_seed=7)
+        assert scale.rng_seed == 7
+        assert scale.machine.total_frames == tiny().machine.total_frames
+
+    def test_sleep_sweeps_scale_down(self):
+        assert max(tiny().figure_sleep_times_s) < max(paper().figure_sleep_times_s)
+
+
+class TestKernelProcess:
+    def test_charge_and_flush(self, kernel):
+        proc = kernel.create_process("p")
+        proc.charge(0.5)
+        assert proc.pending_user == 0.5
+
+        def run():
+            yield from proc.flush()
+
+        drive(kernel.engine, kernel.engine.process(run()))
+        assert proc.pending_user == 0.0
+        assert proc.task.buckets.user == pytest.approx(0.5)
+
+    def test_flush_if_due_respects_quantum(self, kernel, scale):
+        proc = kernel.create_process("p")
+        proc.charge(scale.time_quantum_s / 2)
+
+        def run():
+            yield from proc.flush_if_due()
+            below_quantum = proc.pending_user
+            proc.charge(scale.time_quantum_s)
+            yield from proc.flush_if_due()
+            return below_quantum
+
+        below = drive(kernel.engine, kernel.engine.process(run()))
+        assert below > 0  # not flushed below the quantum
+        assert proc.pending_user == 0.0
+
+    def test_fault_flushes_pending_time_first(self, kernel):
+        proc = kernel.create_process("p")
+        proc.aspace.map_segment("a", 10)
+        proc.charge(1.0)
+        fault = proc.touch(0)
+        assert fault is not None
+
+        drive(kernel.engine, kernel.engine.process(fault))
+        assert proc.pending_user == 0.0
+        assert proc.task.buckets.user == pytest.approx(1.0)
+
+    def test_touch_now_helper(self, kernel):
+        proc = kernel.create_process("p")
+        proc.aspace.map_segment("a", 10)
+
+        def run():
+            kind = yield from proc.touch_now(0)
+            again = yield from proc.touch_now(0)
+            return kind, again
+
+        kind, again = drive(kernel.engine, kernel.engine.process(run()))
+        assert kind == "hard"
+        assert again is None
+
+    def test_boot_starts_daemons_once(self, engine, scale):
+        kernel = Kernel.boot(engine, scale)
+        kernel.start()  # idempotent
+        assert kernel.paging_daemon._process is not None
+        assert kernel.releaser._process is not None
+
+
+class TestInteractiveTask:
+    def test_records_sweeps(self, kernel, scale):
+        task = InteractiveTask(kernel, scale, sleep_time_s=0.01)
+
+        def bounded():
+            runner = task.run()
+            for event in runner:
+                yield event
+                if len(task.samples) >= 4:
+                    task.stop()
+
+        drive(kernel.engine, kernel.engine.process(bounded()))
+        assert len(task.samples) >= 4
+
+    def test_first_sweep_pays_cold_faults(self, kernel, scale):
+        task = InteractiveTask(kernel, scale, sleep_time_s=0.01)
+
+        def bounded():
+            runner = task.run()
+            for event in runner:
+                yield event
+                if len(task.samples) >= 3:
+                    task.stop()
+
+        drive(kernel.engine, kernel.engine.process(bounded()))
+        assert task.samples[0].hard_faults == scale.interactive_pages
+        assert task.samples[1].hard_faults == 0
+        assert task.samples[1].response_time < task.samples[0].response_time
+
+    def test_mean_response_skips_warmup(self, kernel, scale):
+        task = InteractiveTask(kernel, scale, sleep_time_s=0.01)
+
+        def bounded():
+            runner = task.run()
+            for event in runner:
+                yield event
+                if len(task.samples) >= 5:
+                    task.stop()
+
+        drive(kernel.engine, kernel.engine.process(bounded()))
+        assert task.mean_response() < task.samples[0].response_time
+        assert task.mean_hard_faults() == 0.0
+
+    def test_zero_sleep_never_sleeps(self, kernel, scale):
+        task = InteractiveTask(kernel, scale, sleep_time_s=0.0)
+
+        def bounded():
+            runner = task.run()
+            for event in runner:
+                yield event
+                if len(task.samples) >= 3:
+                    task.stop()
+
+        drive(kernel.engine, kernel.engine.process(bounded()))
+        # Back-to-back sweeps: gaps equal the response times.
+        assert len(task.samples) >= 3

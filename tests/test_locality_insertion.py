@@ -1,0 +1,208 @@
+"""Unit tests for locality analysis and hint insertion."""
+
+import pytest
+
+from repro.config import CompilerParams
+from repro.core.compiler.insertion import plan_hints, prefetch_distance, release_priority
+from repro.core.compiler.ir import (
+    Array,
+    ArrayRef,
+    IndirectRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    Symbol,
+    affine,
+)
+from repro.core.compiler.locality import analyze_locality
+from repro.core.compiler.pipeline import compile_program
+from repro.core.compiler.reuse import analyze_reuse
+
+PARAMS = CompilerParams()
+
+
+def analyse(nest):
+    reuse = analyze_reuse(nest, PARAMS.page_size)
+    locality = analyze_locality(reuse, PARAMS)
+    plan = plan_hints(reuse, locality, PARAMS)
+    return reuse, locality, plan
+
+
+def matvec(rows, cols):
+    a = Array("A", (rows, cols))
+    x = Array("x", (cols,))
+    y = Array("y", (rows,))
+    stmt = Stmt(
+        refs=(
+            ArrayRef(a, (affine("i"), affine("j"))),
+            ArrayRef(x, (affine("j"),)),
+            ArrayRef(y, (affine("i"),), is_write=True),
+        )
+    )
+    return (
+        Nest("mv", Loop("i", 0, rows, body=(Loop("j", 0, cols, body=(stmt,)),))),
+        a,
+        x,
+        y,
+    )
+
+
+class TestLocality:
+    def test_effective_pages_floor(self):
+        tiny_params = CompilerParams(memory_bytes=16 * 1024)
+        nest, *_ = matvec(64, 4096)
+        reuse = analyze_reuse(nest, tiny_params.page_size)
+        locality = analyze_locality(reuse, tiny_params)
+        assert locality.effective_pages >= 8
+
+    def test_small_inner_volume_is_captured(self):
+        nest, a, x, y = matvec(64, 4096)
+        reuse, locality, _plan = analyse(nest)
+        y_group = next(g for g in reuse.groups if g.array is y)
+        verdict = locality.for_group(y_group)
+        # y's reuse is carried by j with a 3-page volume: captured.
+        assert "j" in verdict.locality_loops
+        assert verdict.nearest_reuse_captured(reuse.depth_of)
+
+    def test_large_volume_not_captured(self):
+        # A row far larger than the memory the compiler counts on.
+        nest, a, x, y = matvec(64, 4 * 1024 * 1024)
+        reuse, locality, _plan = analyse(nest)
+        x_group = next(g for g in reuse.groups if g.array is x)
+        verdict = locality.for_group(x_group)
+        assert "i" not in verdict.locality_loops
+
+    def test_unknown_bounds_disable_locality(self):
+        a = Array("a", (4096,))
+        x = Array("x", (4096,))
+        stmt = Stmt(
+            refs=(
+                ArrayRef(a, (affine("j"),)),
+                ArrayRef(x, (affine("j"),)),
+            )
+        )
+        unknown = Symbol("n", estimate=16, known=False)
+        nest = Nest(
+            "n",
+            Loop("r", 0, 4, body=(Loop("j", 0, unknown, body=(stmt,)),)),
+        )
+        reuse = analyze_reuse(nest, PARAMS.page_size)
+        locality = analyze_locality(reuse, PARAMS)
+        for verdict in locality.by_group:
+            # tiny estimated volume, but untrusted: no locality claimed.
+            assert verdict.locality_loops == ()
+            assert not verdict.bounds_known
+
+    def test_volumes_recorded_per_loop(self):
+        nest, a, x, y = matvec(64, 131072)
+        reuse, locality, _plan = analyse(nest)
+        x_group = next(g for g in reuse.groups if g.array is x)
+        verdict = locality.for_group(x_group)
+        assert "i" in verdict.reuse_volumes
+        # one row of A (64 pages) + x (64 pages) + y (1 page)
+        assert verdict.reuse_volumes["i"] == 129
+
+
+class TestEquation2:
+    def test_priority_zero_without_reuse(self):
+        nest, a, x, y = matvec(64, 131072)
+        reuse, _locality, plan = analyse(nest)
+        a_spec = next(s for s in plan.releases if s.target.ref.array is a)
+        assert a_spec.priority == 0
+        assert not a_spec.despite_reuse
+
+    def test_priority_counts_loop_depths(self):
+        nest, a, x, y = matvec(64, 131072)
+        reuse, _locality, plan = analyse(nest)
+        x_spec = next(s for s in plan.releases if s.target.ref.array is x)
+        # temporal reuse carried by i at depth 0: 2^0 == 1
+        assert x_spec.priority == 1
+        assert x_spec.despite_reuse
+
+    def test_deeper_loops_give_larger_priorities(self):
+        a = Array("a", (1 << 22,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("k"),)),))
+        inner = Loop("k", 0, 1 << 22, body=(stmt,))
+        nest = Nest(
+            "n",
+            Loop("r", 0, 4, body=(Loop("m", 0, 4, body=(inner,)),)),
+        )
+        reuse = analyze_reuse(nest, PARAMS.page_size)
+        group = reuse.groups[0]
+        # temporal in r (depth 0) and m (depth 1): 1 + 2 = 3
+        assert release_priority(group, reuse.depth_of) == 3
+
+
+class TestInsertion:
+    def test_captured_groups_get_no_hints(self):
+        nest, a, x, y = matvec(64, 4096)
+        _reuse, _locality, plan = analyse(nest)
+        assert not any(s.target.ref.array is y for s in plan.prefetches)
+        assert not any(s.target.ref.array is y for s in plan.releases)
+
+    def test_indirect_refs_prefetched_never_released(self):
+        target = Array("t", (1 << 22,))
+        keys = Array("k", (1 << 22,))
+        key_ref = ArrayRef(keys, (affine("i"),))
+        stmt = Stmt(refs=(key_ref, IndirectRef(target, key_ref, is_write=True)))
+        nest = Nest("n", Loop("i", 0, 1 << 22, body=(stmt,)))
+        _reuse, _locality, plan = analyse(nest)
+        assert any(s.target.ref.array is target for s in plan.prefetches)
+        assert not any(s.target.ref.array is target for s in plan.releases)
+
+    def test_group_leader_prefetched_trailer_released(self):
+        a = Array("a", (1 << 12, 1 << 12))
+        refs = tuple(
+            ArrayRef(a, (affine("i", const_term=d), affine("j")))
+            for d in (1, 0, -1)
+        )
+        stmt = Stmt(refs=refs)
+        nest = Nest(
+            "n",
+            Loop("i", 1, (1 << 12) - 1, body=(Loop("j", 0, 1 << 12, body=(stmt,)),)),
+        )
+        _reuse, _locality, plan = analyse(nest)
+        assert len(plan.prefetches) == 1
+        assert len(plan.releases) == 1
+        assert plan.prefetches[0].target.ref.subscripts[0].const == 1
+        assert plan.releases[0].target.ref.subscripts[0].const == -1
+
+    def test_tags_unique_across_program(self):
+        nest, a, x, y = matvec(64, 131072)
+        a2 = Array("B", (1 << 22,))
+        stmt2 = Stmt(refs=(ArrayRef(a2, (affine("k"),)),))
+        nest2 = Nest("second", Loop("k", 0, 1 << 22, body=(stmt2,)))
+        program = Program("p", (a, x, y, a2), (nest, nest2))
+        compiled = compile_program(program, PARAMS)
+        tags = [s.tag for s in compiled.all_prefetch_specs()] + [
+            s.tag for s in compiled.all_release_specs()
+        ]
+        assert len(tags) == len(set(tags))
+
+    def test_prefetch_distance_respects_clamps(self):
+        short = CompilerParams(page_fault_latency_s=1e-9)
+        assert prefetch_distance(short) == short.min_prefetch_distance_pages
+        long = CompilerParams(page_fault_latency_s=10.0)
+        assert prefetch_distance(long) == long.max_prefetch_distance_pages
+
+    def test_dedicated_machine_inserts_fewer_releases(self):
+        """memory_confidence=1.0 (the earlier paper's dedicated-machine
+        assumption) captures the vector's reuse: no release for x."""
+        nest, a, x, y = matvec(400, 131072)
+        dedicated = CompilerParams(memory_confidence=1.0)
+        reuse = analyze_reuse(nest, dedicated.page_size)
+        locality = analyze_locality(reuse, dedicated)
+        plan = plan_hints(reuse, locality, dedicated)
+        assert not any(s.target.ref.array is x for s in plan.releases)
+        # The streaming matrix is still released.
+        assert any(s.target.ref.array is a for s in plan.releases)
+
+    def test_compiled_program_summary(self):
+        nest, a, x, y = matvec(64, 131072)
+        program = Program("p", (a, x, y), (nest,))
+        compiled = compile_program(program, PARAMS)
+        summary = compiled.summary()["mv"]
+        assert summary["prefetch_sites"] == 2
+        assert summary["release_sites"] == 2
+        assert summary["zero_priority_releases"] == 1

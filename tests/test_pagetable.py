@@ -1,0 +1,118 @@
+"""Unit tests for address spaces and the shared page."""
+
+import pytest
+
+from repro.kernel.shared_page import SharedPage
+from repro.sim.engine import Engine
+from repro.vm.frames import Frame
+from repro.vm.pagetable import AddressSpace
+
+
+class TestAddressSpace:
+    def test_map_segment_contiguous(self, engine):
+        aspace = AddressSpace(engine, 1, "p")
+        a = aspace.map_segment("a", 10)
+        b = aspace.map_segment("b", 5)
+        assert a == range(0, 10)
+        assert b == range(10, 15)
+        assert aspace.mapped_pages == 15
+
+    def test_segment_lookup(self, engine):
+        aspace = AddressSpace(engine, 1, "p")
+        aspace.map_segment("data", 3)
+        assert aspace.segment("data") == range(0, 3)
+
+    def test_duplicate_segment_rejected(self, engine):
+        aspace = AddressSpace(engine, 1, "p")
+        aspace.map_segment("a", 1)
+        with pytest.raises(ValueError):
+            aspace.map_segment("a", 1)
+
+    def test_empty_segment_rejected(self, engine):
+        aspace = AddressSpace(engine, 1, "p")
+        with pytest.raises(ValueError):
+            aspace.map_segment("a", 0)
+
+    def test_attach_detach_cycle(self, engine):
+        aspace = AddressSpace(engine, 1, "p")
+        frame = Frame(0)
+        aspace.attach(5, frame)
+        assert aspace.resident == 1
+        assert aspace.is_present(5)
+        assert frame.owner is aspace
+        assert frame.vpn == 5
+        detached = aspace.detach(5)
+        assert detached is frame
+        assert aspace.resident == 0
+
+    def test_double_attach_rejected(self, engine):
+        aspace = AddressSpace(engine, 1, "p")
+        aspace.attach(1, Frame(0))
+        with pytest.raises(ValueError):
+            aspace.attach(1, Frame(1))
+
+    def test_frame_for_missing_is_none(self, engine):
+        aspace = AddressSpace(engine, 1, "p")
+        assert aspace.frame_for(3) is None
+
+
+class TestSharedPage:
+    @pytest.fixture
+    def vm(self, kernel):
+        return kernel.vm
+
+    def test_bits_track_attach_detach(self, kernel):
+        proc = kernel.create_process("app")
+        proc.aspace.map_segment("a", 10)
+        pm = kernel.attach_paging_directed(proc)
+        shared = pm.shared_page
+        assert not shared.bit(0)
+        frame = kernel.vm.freelist.pop()
+        proc.aspace.attach(0, frame)
+        assert shared.bit(0)
+        proc.aspace.detach(0)
+        assert not shared.bit(0)
+
+    def test_bits_outside_range_ignored(self, kernel):
+        proc = kernel.create_process("app")
+        proc.aspace.map_segment("a", 4)
+        pm = kernel.attach_paging_directed(proc)
+        pm.shared_page.set_bit(100)
+        assert not pm.shared_page.bit(100)
+
+    def test_equation_1_upper_limit(self, kernel, scale):
+        proc = kernel.create_process("app")
+        proc.aspace.map_segment("a", 10)
+        pm = kernel.attach_paging_directed(proc)
+        shared = pm.shared_page
+        shared.refresh()
+        tunables = scale.tunables
+        frames = scale.machine.total_frames
+        expected = min(
+            tunables.maxrss_pages(frames),
+            proc.aspace.resident
+            + kernel.vm.freelist.free_count
+            - tunables.min_freemem_pages,
+        )
+        assert shared.upper_limit == expected
+
+    def test_refresh_is_lazy(self, kernel):
+        proc = kernel.create_process("app")
+        proc.aspace.map_segment("a", 10)
+        pm = kernel.attach_paging_directed(proc)
+        shared = pm.shared_page
+        before = shared.current_usage
+        # Mutate residency without going through the kernel: the usage word
+        # does not move until the next refresh.
+        frame = kernel.vm.freelist.pop()
+        proc.aspace.attach(3, frame)
+        assert shared.current_usage == before
+        shared.refresh()
+        assert shared.current_usage == before + 1
+
+    def test_headroom(self, kernel):
+        proc = kernel.create_process("app")
+        proc.aspace.map_segment("a", 10)
+        pm = kernel.attach_paging_directed(proc)
+        shared = pm.shared_page
+        assert shared.headroom() == shared.upper_limit - shared.current_usage

@@ -1,0 +1,162 @@
+"""Unit tests for the paging daemon (vhand)."""
+
+import pytest
+
+from repro.vm.system import FaultKind
+
+from tests.helpers import drive
+
+
+def touch(kernel, proc, vpn, write=False):
+    fault = proc.touch(vpn, write)
+    if fault is None:
+        return None
+    return drive(kernel.engine, kernel.engine.process(fault))
+
+
+@pytest.fixture
+def proc(kernel):
+    process = kernel.create_process("app")
+    process.aspace.map_segment("a", 400)
+    kernel.attach_paging_directed(process)
+    return process
+
+
+def fill_memory(kernel, proc, pages):
+    for vpn in range(pages):
+        touch(kernel, proc, vpn)
+
+
+class TestPressure:
+    def test_idle_when_memory_ample(self, kernel, proc):
+        touch(kernel, proc, 0)
+        kernel.engine.run(until=kernel.engine.now + 2.0)
+        assert kernel.vm.stats.daemon_runs == 0
+        assert kernel.vm.stats.daemon_pages_stolen == 0
+
+    def test_runs_under_shortage(self, kernel, proc, scale):
+        fill_memory(kernel, proc, scale.machine.total_frames)
+        kernel.engine.run(until=kernel.engine.now + 2.0)
+        assert kernel.vm.stats.daemon_runs >= 1
+        assert kernel.vm.freelist.free_count >= scale.tunables.min_freemem_pages
+
+    def test_replenishes_to_target(self, kernel, proc, scale):
+        fill_memory(kernel, proc, scale.machine.total_frames)
+        kernel.engine.run(until=kernel.engine.now + 2.0)
+        target = (
+            scale.tunables.min_freemem_pages
+            + scale.tunables.free_target_slack_pages
+        )
+        assert kernel.vm.freelist.free_count >= target
+
+    def test_scan_rate_scales_with_pressure(self, kernel, scale):
+        daemon = kernel.paging_daemon
+        base_rate = daemon.scan_rate()  # memory is entirely free
+        # Artificially drain the free list.
+        while kernel.vm.freelist.pop() is not None:
+            pass
+        assert daemon.scan_rate() > base_rate
+        assert daemon.scan_rate() == pytest.approx(
+            scale.tunables.daemon_max_scan_rate_pages_s
+        )
+
+    def test_notify_wakes_immediately(self, kernel, proc, scale):
+        engine = kernel.engine
+        fill_memory(kernel, proc, scale.machine.total_frames)
+        runs_before = kernel.vm.stats.daemon_runs
+        kernel.paging_daemon.notify()
+        engine.run(until=engine.now + 0.001)
+        # The daemon reacted well before the periodic wake interval.
+        assert kernel.vm.stats.daemon_runs >= runs_before
+
+
+class TestClock:
+    def test_invalidations_produce_soft_faults(self, kernel, proc, scale):
+        frames = scale.machine.total_frames
+        fill_memory(kernel, proc, frames)
+        kernel.engine.run(until=kernel.engine.now + 2.0)
+        assert kernel.vm.stats.daemon_invalidations > 0
+        # Touch a page that survived but was invalidated.
+        invalidated = [
+            f
+            for f in kernel.vm.frame_table
+            if f.active and f.invalidated and f.owner is proc.aspace
+        ]
+        assert invalidated, "expected surviving invalidated pages"
+        kind = touch(kernel, proc, invalidated[0].vpn)
+        assert kind == FaultKind.SOFT
+
+    def test_referenced_pages_survive_steal(self, kernel, proc, scale):
+        """A page re-referenced between the two hands is not stolen."""
+        frames = scale.machine.total_frames
+        fill_memory(kernel, proc, frames)
+        engine = kernel.engine
+        hot = 0
+
+        def keep_hot():
+            # Re-touch page 0 continuously while the daemon churns.
+            for _ in range(500):
+                fault = proc.touch(hot)
+                if fault is not None:
+                    yield from fault
+                yield engine.timeout(0.002)
+            yield from proc.flush()
+
+        process = engine.process(keep_hot())
+        drive(engine, process)
+        assert proc.aspace.is_present(hot)
+
+    def test_steals_unreferenced_pages(self, kernel, proc, scale):
+        frames = scale.machine.total_frames
+        fill_memory(kernel, proc, frames)
+        kernel.engine.run(until=kernel.engine.now + 3.0)
+        assert kernel.vm.stats.daemon_pages_stolen > 0
+        assert proc.aspace.stats.pages_stolen > 0
+
+    def test_stolen_pages_keep_identity_for_rescue(self, kernel, proc, scale):
+        frames = scale.machine.total_frames
+        fill_memory(kernel, proc, frames)
+        kernel.engine.run(until=kernel.engine.now + 3.0)
+        stolen_vpns = [
+            vpn for vpn in range(frames) if not proc.aspace.is_present(vpn)
+        ]
+        assert stolen_vpns
+        rescuable = [
+            vpn
+            for vpn in stolen_vpns
+            if kernel.vm.freelist.rescuable(proc.aspace, vpn)
+        ]
+        assert rescuable, "daemon-freed pages should be rescuable"
+        kind = touch(kernel, proc, rescuable[0])
+        assert kind == FaultKind.RESCUE
+
+    def test_dirty_steals_write_back(self, kernel, proc, scale):
+        frames = scale.machine.total_frames
+        for vpn in range(frames):
+            touch(kernel, proc, vpn, write=True)
+        kernel.engine.run(until=kernel.engine.now + 3.0)
+        assert kernel.swap.stats.writebacks > 0
+        assert kernel.vm.stats.daemon_writebacks > 0
+
+    def test_daemon_time_tracked(self, kernel, proc, scale):
+        fill_memory(kernel, proc, scale.machine.total_frames)
+        kernel.engine.run(until=kernel.engine.now + 2.0)
+        assert kernel.vm.stats.daemon_active_time > 0
+        assert kernel.vm.stats.daemon_pages_scanned > 0
+
+    def test_lock_contention_visible_to_faults(self, kernel, proc, scale):
+        """The daemon holds the address-space lock while stealing; the
+        lock's contention counters must reflect the overlap."""
+        frames = scale.machine.total_frames
+        fill_memory(kernel, proc, frames)
+        engine = kernel.engine
+
+        def churn():
+            for vpn in range(frames, frames + 100):
+                fault = proc.touch(vpn)
+                if fault is not None:
+                    yield from fault
+            yield from proc.flush()
+
+        drive(engine, engine.process(churn()))
+        assert proc.aspace.lock.acquisitions > 0

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MachineConfig
+from repro.core.compiler.interp import nest_ops
+from repro.core.compiler.ir import (
+    AffineExpr,
+    Array,
+    ArrayRef,
+    Loop,
+    Nest,
+    Program,
+    Stmt,
+    affine,
+)
+from repro.core.compiler.pipeline import compile_program
+from repro.core.runtime.buffering import ReleaseBuffer
+from repro.sim.engine import Engine
+
+MACHINE = MachineConfig()
+EPP = MACHINE.page_elements
+
+
+class TestEngineProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            engine.timeout(delay).add_callback(lambda _e: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        delays=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=10),
+        split=st.floats(0.1, 9.9),
+    )
+    def test_run_until_is_composable(self, delays, split):
+        """run(until=a); run() is equivalent to run()."""
+
+        def run_split():
+            engine = Engine()
+            fired = []
+            for delay in delays:
+                engine.timeout(delay).add_callback(
+                    lambda _e: fired.append(round(engine.now, 9))
+                )
+            engine.run(until=split)
+            engine.run()
+            return fired
+
+        def run_straight():
+            engine = Engine()
+            fired = []
+            for delay in delays:
+                engine.timeout(delay).add_callback(
+                    lambda _e: fired.append(round(engine.now, 9))
+                )
+            engine.run()
+            return fired
+
+        assert run_split() == run_straight()
+
+
+class TestAffineProperties:
+    env_strategy = st.dictionaries(
+        st.sampled_from(["i", "j", "k"]), st.integers(-100, 100), min_size=3
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        coeffs_a=st.dictionaries(st.sampled_from(["i", "j", "k"]), st.integers(-5, 5)),
+        coeffs_b=st.dictionaries(st.sampled_from(["i", "j", "k"]), st.integers(-5, 5)),
+        const_a=st.integers(-50, 50),
+        const_b=st.integers(-50, 50),
+        env=env_strategy,
+    )
+    def test_addition_is_pointwise(self, coeffs_a, coeffs_b, const_a, const_b, env):
+        a = AffineExpr.build(coeffs_a, const_a)
+        b = AffineExpr.build(coeffs_b, const_b)
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        coeffs=st.dictionaries(st.sampled_from(["i", "j"]), st.integers(-5, 5)),
+        const=st.integers(-50, 50),
+        delta=st.integers(-20, 20),
+        env=env_strategy,
+    )
+    def test_shift_adds_constant(self, coeffs, const, delta, env):
+        expr = AffineExpr.build(coeffs, const)
+        assert expr.shifted(delta).evaluate(env) == expr.evaluate(env) + delta
+
+
+class TestInterpreterProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pages=st.integers(2, 40),
+        base=st.integers(0, 1000),
+        stride=st.integers(1, 3),
+    )
+    def test_sweep_touches_exactly_the_array_pages(self, pages, base, stride):
+        """A strided 1-D sweep touches each page in order, never outside
+        the array's extent, regardless of stride."""
+        a = Array("a", (pages * EPP,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i", coeff=stride),)),))
+        nest = Nest("n", Loop("i", 0, (pages * EPP) // stride, body=(stmt,)))
+        program = Program("p", (a,), (nest,))
+        compiled = compile_program(program).nests["n"]
+        touched = [
+            op[1]
+            for op in nest_ops(compiled, {}, {"a": base}, MACHINE)
+            if op[0] == "t"
+        ]
+        assert touched == sorted(touched)
+        assert touched[0] == base
+        assert all(base <= page < base + pages for page in touched)
+        assert len(set(touched)) == len(touched)
+
+    @settings(max_examples=20, deadline=None)
+    @given(pages=st.integers(2, 30))
+    def test_hint_pages_stay_within_the_array(self, pages):
+        a = Array("a", (pages * EPP,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"),)),))
+        nest = Nest("n", Loop("i", 0, pages * EPP, body=(stmt,)))
+        program = Program("p", (a,), (nest,))
+        compiled = compile_program(program).nests["n"]
+        for op in nest_ops(compiled, {}, {"a": 10}, MACHINE):
+            if op[0] in ("p", "r"):
+                assert all(10 <= page < 10 + pages for page in op[2])
+
+    @settings(max_examples=20, deadline=None)
+    @given(pages=st.integers(2, 30))
+    def test_every_page_released_exactly_once_per_sweep(self, pages):
+        a = Array("a", (pages * EPP,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"),)),))
+        nest = Nest("n", Loop("i", 0, pages * EPP, body=(stmt,)))
+        program = Program("p", (a,), (nest,))
+        compiled = compile_program(program).nests["n"]
+        released = [
+            page
+            for op in nest_ops(compiled, {}, {"a": 0}, MACHINE)
+            if op[0] == "r"
+            for page in op[2]
+        ]
+        assert sorted(released) == list(range(pages))
+
+    @settings(max_examples=20, deadline=None)
+    @given(pages=st.integers(2, 30), flops=st.floats(0.5, 8.0))
+    def test_total_work_is_iterations_times_flops(self, pages, flops):
+        a = Array("a", (pages * EPP,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"),)),), flops=flops)
+        nest = Nest("n", Loop("i", 0, pages * EPP, body=(stmt,)))
+        program = Program("p", (a,), (nest,))
+        compiled = compile_program(program).nests["n"]
+        work = sum(
+            op[1]
+            for op in nest_ops(compiled, {}, {"a": 0}, MACHINE)
+            if op[0] == "w"
+        )
+        expected = pages * EPP * flops * MACHINE.cpu_s_per_element
+        assert math.isclose(work, expected, rel_tol=1e-9)
+
+
+class TestBufferProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        additions=st.lists(
+            st.tuples(
+                st.integers(0, 4),  # tag
+                st.integers(0, 200),  # page
+                st.integers(1, 4),  # priority
+            ),
+            max_size=60,
+        ),
+        budget=st.integers(1, 50),
+    )
+    def test_drain_conserves_pages(self, additions, budget):
+        """Pages drained + pages remaining == unique pages added, and no
+        page is drained twice."""
+        buffer = ReleaseBuffer()
+        added = set()
+        tag_priority = {}
+        for tag, page, priority in additions:
+            priority = tag_priority.setdefault(tag, priority)
+            buffer.add(tag, [page], priority)
+            added.add(page)
+        drained = []
+        while True:
+            batches = buffer.drain(budget)
+            if not batches:
+                break
+            for _tag, pages in batches:
+                drained.extend(pages)
+        assert len(drained) == len(set(drained))
+        assert set(drained) == added
+        assert len(buffer) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pages_low=st.lists(st.integers(0, 99), min_size=1, max_size=20, unique=True),
+        pages_high=st.lists(
+            st.integers(100, 199), min_size=1, max_size=20, unique=True
+        ),
+    )
+    def test_lower_priority_always_drains_first(self, pages_low, pages_high):
+        buffer = ReleaseBuffer()
+        buffer.add(1, pages_low, priority=1)
+        buffer.add(2, pages_high, priority=5)
+        drained = [
+            page for _tag, batch in buffer.drain(len(pages_low)) for page in batch
+        ]
+        assert set(drained) <= set(pages_low)

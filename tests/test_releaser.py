@@ -1,0 +1,148 @@
+"""Unit tests for the releaser daemon and the PagingDirected PM."""
+
+import pytest
+
+from repro.sim.task import SimTask
+
+from tests.helpers import drive
+
+
+def touch(kernel, proc, vpn, write=False):
+    fault = proc.touch(vpn, write)
+    if fault is None:
+        return None
+    return drive(kernel.engine, kernel.engine.process(fault))
+
+
+@pytest.fixture
+def proc(kernel):
+    process = kernel.create_process("app")
+    process.aspace.map_segment("a", 100)
+    kernel.attach_paging_directed(process)
+    return process
+
+
+@pytest.fixture
+def pm(kernel, proc):
+    return kernel.registry.modules_for(proc.aspace)[0]
+
+
+def settle(kernel, seconds=1.0):
+    kernel.engine.run(until=kernel.engine.now + seconds)
+
+
+class TestReleaser:
+    def test_processes_queue_in_order(self, kernel, proc):
+        for vpn in range(6):
+            touch(kernel, proc, vpn)
+        kernel.vm.request_release(proc.aspace, [0, 1, 2])
+        kernel.vm.request_release(proc.aspace, [3, 4, 5])
+        settle(kernel)
+        assert kernel.vm.stats.releaser_requests == 2
+        assert kernel.vm.stats.releaser_pages_freed == 6
+        assert proc.aspace.resident == 0
+
+    def test_skips_absent_pages(self, kernel, proc):
+        touch(kernel, proc, 0)
+        kernel.vm.request_release(proc.aspace, [0])
+        settle(kernel)
+        # Freed once; the releaser seeing it again must skip, so force a
+        # second item naming a now-absent page via the internal queue.
+        kernel.releaser.enqueue(proc.aspace, [0])
+        settle(kernel)
+        assert kernel.vm.stats.releaser_skipped_absent == 1
+
+    def test_batches_respect_lock_discipline(self, kernel, proc, scale):
+        pages = scale.tunables.releaser_lock_batch_pages * 3
+        for vpn in range(pages):
+            touch(kernel, proc, vpn)
+        acquisitions_before = proc.aspace.lock.acquisitions
+        kernel.vm.request_release(proc.aspace, list(range(pages)))
+        settle(kernel)
+        # One lock hold per batch, not per page.
+        lock_holds = proc.aspace.lock.acquisitions - acquisitions_before
+        assert lock_holds == 3
+
+    def test_released_pages_land_at_tail(self, kernel, proc):
+        """Pages freed by release go to the end of the list: the whole
+        pre-existing free pool is consumed before they are reallocated."""
+        touch(kernel, proc, 0)
+        free_before = kernel.vm.freelist.free_count
+        kernel.vm.request_release(proc.aspace, [0])
+        settle(kernel)
+        # Allocate everything that was free before the release; the
+        # released page must still be rescuable afterwards.
+        for _ in range(free_before):
+            assert kernel.vm.freelist.pop() is not None
+        assert kernel.vm.freelist.rescuable(proc.aspace, 0)
+
+    def test_active_time_recorded(self, kernel, proc):
+        touch(kernel, proc, 0)
+        kernel.vm.request_release(proc.aspace, [0])
+        settle(kernel)
+        assert kernel.vm.stats.releaser_active_time > 0
+
+
+class TestPagingDirectedPm:
+    def test_prefetch_outside_range_rejected(self, kernel, proc, pm):
+        task = SimTask(kernel.engine, "t")
+
+        def run():
+            yield from pm.prefetch(task, 10_000)
+
+        with pytest.raises(ValueError):
+            drive(kernel.engine, kernel.engine.process(run()))
+
+    def test_release_outside_range_rejected(self, kernel, proc, pm):
+        task = SimTask(kernel.engine, "t")
+
+        def run():
+            yield from pm.release(task, [10_000])
+
+        with pytest.raises(ValueError):
+            drive(kernel.engine, kernel.engine.process(run()))
+
+    def test_prefetch_counts_requests(self, kernel, proc, pm):
+        task = SimTask(kernel.engine, "t")
+
+        def run():
+            yield from pm.prefetch(task, 0)
+
+        drive(kernel.engine, kernel.engine.process(run()))
+        assert pm.prefetch_requests == 1
+        assert proc.aspace.is_present(0)
+
+    def test_release_counts_pages(self, kernel, proc, pm):
+        touch(kernel, proc, 0)
+        touch(kernel, proc, 1)
+        task = SimTask(kernel.engine, "t")
+
+        def run():
+            accepted = yield from pm.release(task, [0, 1])
+            return accepted
+
+        accepted = drive(kernel.engine, kernel.engine.process(run()))
+        assert accepted == 2
+        assert pm.release_requests == 1
+        assert pm.release_pages_requested == 2
+
+    def test_page_in_memory_reads_bitmap(self, kernel, proc, pm):
+        assert not pm.page_in_memory(0)
+        touch(kernel, proc, 0)
+        assert pm.page_in_memory(0)
+
+    def test_syscall_charged_to_caller(self, kernel, proc, pm, scale):
+        task = SimTask(kernel.engine, "t")
+
+        def run():
+            yield from pm.prefetch(task, 0)
+
+        drive(kernel.engine, kernel.engine.process(run()))
+        assert task.buckets.system >= scale.machine.syscall_s
+
+    def test_attach_registers_shared_page(self, kernel, proc):
+        assert proc.aspace.shared_page is not None
+
+    def test_overlapping_pm_rejected(self, kernel, proc):
+        with pytest.raises(ValueError):
+            kernel.attach_paging_directed(proc, range(0, 10))

@@ -1,0 +1,215 @@
+"""Unit tests for reuse analysis."""
+
+import pytest
+
+from repro.core.compiler.ir import (
+    Array,
+    ArrayRef,
+    IndirectRef,
+    Loop,
+    Nest,
+    Stmt,
+    Symbol,
+    VaryingStrideRef,
+    affine,
+)
+from repro.core.compiler.reuse import analyze_reuse
+
+PAGE = 16 * 1024
+
+
+def matvec_nest(rows=64, cols=4096):
+    a = Array("A", (rows, cols))
+    x = Array("x", (cols,))
+    y = Array("y", (rows,))
+    stmt = Stmt(
+        refs=(
+            ArrayRef(a, (affine("i"), affine("j"))),
+            ArrayRef(x, (affine("j"),)),
+            ArrayRef(y, (affine("i"),), is_write=True),
+        )
+    )
+    nest = Nest("mv", Loop("i", 0, rows, body=(Loop("j", 0, cols, body=(stmt,)),)))
+    return nest, a, x, y
+
+
+class TestTemporalReuse:
+    def test_loop_invariant_reference_has_temporal_reuse(self):
+        nest, a, x, y = matvec_nest()
+        info = analyze_reuse(nest, PAGE)
+        x_entry = next(e for e in info.refs if e.ref.array is x)
+        assert x_entry.temporal_loops == ("i",)
+
+    def test_fully_varying_reference_has_none(self):
+        nest, a, x, y = matvec_nest()
+        info = analyze_reuse(nest, PAGE)
+        a_entry = next(e for e in info.refs if e.ref.array is a)
+        assert a_entry.temporal_loops == ()
+
+    def test_inner_invariant(self):
+        nest, a, x, y = matvec_nest()
+        info = analyze_reuse(nest, PAGE)
+        y_entry = next(e for e in info.refs if e.ref.array is y)
+        assert y_entry.temporal_loops == ("j",)
+
+    def test_single_trip_loop_carries_no_reuse(self):
+        a = Array("a", (10,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("j"),)),))
+        nest = Nest(
+            "n", Loop("r", 0, 1, body=(Loop("j", 0, 10, body=(stmt,)),))
+        )
+        info = analyze_reuse(nest, PAGE)
+        entry = info.refs[0]
+        assert "r" not in entry.temporal_loops
+
+
+class TestSpatialReuse:
+    def test_unit_stride_innermost_is_spatial(self):
+        nest, a, x, y = matvec_nest()
+        info = analyze_reuse(nest, PAGE)
+        a_entry = next(e for e in info.refs if e.ref.array is a)
+        assert "j" in a_entry.spatial_loops
+
+    def test_row_stride_is_not_spatial(self):
+        nest, a, x, y = matvec_nest()
+        info = analyze_reuse(nest, PAGE)
+        a_entry = next(e for e in info.refs if e.ref.array is a)
+        assert "i" not in a_entry.spatial_loops
+
+    def test_large_stride_not_spatial(self):
+        a = Array("a", (100000,))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i", coeff=PAGE),)),))
+        nest = Nest("n", Loop("i", 0, 10, body=(stmt,)))
+        info = analyze_reuse(nest, PAGE)
+        assert info.refs[0].spatial_loops == ()
+
+
+class TestGroups:
+    def stencil_nest(self, offsets=(1, 0, -1)):
+        a = Array("a", (512, 4096))
+        refs = tuple(
+            ArrayRef(a, (affine("i", const_term=d), affine("j")))
+            for d in offsets
+        )
+        stmt = Stmt(refs=refs)
+        return Nest(
+            "st",
+            Loop("i", 1, 511, body=(Loop("j", 0, 4096, body=(stmt,)),)),
+        )
+
+    def test_stencil_refs_form_one_group(self):
+        info = analyze_reuse(self.stencil_nest(), PAGE)
+        assert len(info.groups) == 1
+        assert len(info.groups[0].members) == 3
+
+    def test_leader_and_trailer(self):
+        info = analyze_reuse(self.stencil_nest(), PAGE)
+        group = info.groups[0]
+        assert group.leader.ref.subscripts[0].const == 1
+        assert group.trailer.ref.subscripts[0].const == -1
+
+    def test_different_coefficients_split_groups(self):
+        a = Array("a", (512, 4096))
+        stmt = Stmt(
+            refs=(
+                ArrayRef(a, (affine("i"), affine("j"))),
+                ArrayRef(a, (affine("i", coeff=2), affine("j"))),
+            )
+        )
+        nest = Nest(
+            "n", Loop("i", 0, 256, body=(Loop("j", 0, 4096, body=(stmt,)),))
+        )
+        info = analyze_reuse(nest, PAGE)
+        assert len(info.groups) == 2
+
+    def test_distant_constants_split_groups(self):
+        """Two references into one workspace array at far-apart offsets do
+        not share group locality."""
+        a = Array("w", (1 << 22,))
+        stmt = Stmt(
+            refs=(
+                ArrayRef(a, (affine("i"),)),
+                ArrayRef(a, (affine("i", const_term=1 << 20),)),
+            )
+        )
+        nest = Nest("n", Loop("i", 0, 1024, body=(stmt,)))
+        info = analyze_reuse(nest, PAGE)
+        assert len(info.groups) == 2
+
+    def test_near_constants_stay_grouped(self):
+        a = Array("w", (1 << 22,))
+        stmt = Stmt(
+            refs=(
+                ArrayRef(a, (affine("i"),)),
+                ArrayRef(a, (affine("i", const_term=1),)),
+            )
+        )
+        nest = Nest("n", Loop("i", 0, 1024, body=(stmt,)))
+        info = analyze_reuse(nest, PAGE)
+        assert len(info.groups) == 1
+
+    def test_writes_tracked_per_group(self):
+        a = Array("a", (4096,))
+        stmt = Stmt(
+            refs=(
+                ArrayRef(a, (affine("i"),), is_write=True),
+                ArrayRef(a, (affine("i", const_term=1),)),
+            )
+        )
+        nest = Nest("n", Loop("i", 0, 1024, body=(stmt,)))
+        info = analyze_reuse(nest, PAGE)
+        assert info.groups[0].has_writes
+
+
+class TestIndirectAndVarying:
+    def test_indirect_refs_are_unanalysable(self):
+        target = Array("t", (1 << 20,))
+        keys = Array("k", (1 << 20,))
+        key_ref = ArrayRef(keys, (affine("i"),))
+        stmt = Stmt(refs=(key_ref, IndirectRef(target, key_ref)))
+        nest = Nest("n", Loop("i", 0, 1000, body=(stmt,)))
+        info = analyze_reuse(nest, PAGE)
+        assert len(info.indirect_refs) == 1
+        assert info.indirect_refs[0].indirect
+        # The indirect ref joins no group.
+        grouped = sum(len(g.members) for g in info.groups)
+        assert grouped == 1  # only the key reference
+
+    def test_varying_stride_analysed_from_apparent(self):
+        a = Array("a", (1 << 20,))
+        ref = VaryingStrideRef(
+            a,
+            apparent_subscripts=(affine("b", coeff=2048),),
+            actual_subscripts=lambda env: (affine("b", coeff=4096),),
+        )
+        stmt = Stmt(refs=(ref,))
+        nest = Nest(
+            "n",
+            Loop("s", 0, 4, body=(Loop("b", 0, 100, body=(stmt,)),)),
+        )
+        info = analyze_reuse(nest, PAGE)
+        entry = info.refs[0]
+        # The apparent form is independent of s -> claimed temporal reuse.
+        assert entry.temporal_loops == ("s",)
+
+
+class TestValidation:
+    def test_duplicate_loop_vars_rejected(self):
+        a = Array("a", (10, 10))
+        stmt = Stmt(refs=(ArrayRef(a, (affine("i"), affine("i"))),))
+        nest = Nest(
+            "n", Loop("i", 0, 10, body=(Loop("i", 0, 10, body=(stmt,)),))
+        )
+        with pytest.raises(ValueError):
+            analyze_reuse(nest, PAGE)
+
+    def test_depth_map(self):
+        nest, *_ = matvec_nest()
+        info = analyze_reuse(nest, PAGE)
+        assert info.depth_of == {"i": 0, "j": 1}
+
+    def test_reuse_lookup(self):
+        nest, a, x, y = matvec_nest()
+        info = analyze_reuse(nest, PAGE)
+        x_ref = next(e.ref for e in info.refs if e.ref.array is x)
+        assert info.reuse_for(x_ref).ref is x_ref

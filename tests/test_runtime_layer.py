@@ -1,0 +1,275 @@
+"""Unit tests for the run-time layer and the release buffer."""
+
+import pytest
+
+from repro.core.runtime.buffering import ReleaseBuffer
+from repro.core.runtime.layer import RuntimeLayer
+from repro.core.runtime.policies import (
+    AGGRESSIVE,
+    BUFFERED,
+    ORIGINAL,
+    PREFETCH_ONLY,
+    VERSIONS,
+    VersionConfig,
+)
+
+from tests.helpers import drive
+
+
+def touch(kernel, proc, vpn, write=False):
+    fault = proc.touch(vpn, write)
+    if fault is None:
+        return None
+    return drive(kernel.engine, kernel.engine.process(fault))
+
+
+@pytest.fixture
+def setup(kernel, scale):
+    proc = kernel.create_process("app")
+    proc.aspace.map_segment("a", 300)
+    pm = kernel.attach_paging_directed(proc)
+    return kernel, proc, pm
+
+
+def make_layer(setup, version, scale):
+    kernel, proc, pm = setup
+    return RuntimeLayer(proc, pm, scale.runtime, version)
+
+
+def settle(kernel, seconds=1.0):
+    kernel.engine.run(until=kernel.engine.now + seconds)
+
+
+class TestVersionConfig:
+    def test_buffering_requires_release(self):
+        with pytest.raises(ValueError):
+            VersionConfig("X", "bad", prefetch=True, release=False, buffered=True)
+
+    def test_release_requires_prefetch(self):
+        with pytest.raises(ValueError):
+            VersionConfig("X", "bad", prefetch=False, release=True, buffered=False)
+
+    def test_registry_complete(self):
+        assert set(VERSIONS) == {"O", "P", "R", "B"}
+
+
+class TestPrefetchPath:
+    def test_original_version_ignores_hints(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, ORIGINAL, scale)
+        layer.handle_prefetch(0, (0, 1, 2))
+        settle(kernel)
+        assert proc.aspace.resident == 0
+        assert layer.stats.prefetch_hints == 0
+
+    def test_prefetch_brings_pages_in(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, PREFETCH_ONLY, scale)
+        layer.handle_prefetch(0, (0, 1, 2))
+        settle(kernel)
+        assert proc.aspace.resident == 3
+        assert layer.stats.prefetch_enqueued == 3
+
+    def test_bitmap_filter_drops_resident_pages(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, PREFETCH_ONLY, scale)
+        touch(kernel, proc, 0)
+        layer.handle_prefetch(0, (0,))
+        assert layer.stats.prefetch_filtered_bitmap == 1
+        assert layer.stats.prefetch_enqueued == 0
+
+    def test_inflight_filter_drops_duplicates(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, PREFETCH_ONLY, scale)
+        layer.handle_prefetch(0, (5,))
+        layer.handle_prefetch(0, (5,))
+        assert layer.stats.prefetch_filtered_inflight == 1
+
+    def test_filter_cost_charged_to_app(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, PREFETCH_ONLY, scale)
+        before = proc.pending_user
+        layer.handle_prefetch(0, (0, 1))
+        assert proc.pending_user == pytest.approx(
+            before + 2 * scale.runtime.hint_filter_s
+        )
+
+    def test_worker_time_not_on_app(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, PREFETCH_ONLY, scale)
+        layer.handle_prefetch(0, (0, 1, 2))
+        settle(kernel)
+        assert proc.task.buckets.stall_io == 0.0
+        assert layer.worker_time().stall_io > 0.0
+
+
+class TestReleaseFilters:
+    def test_bitmap_filter(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, AGGRESSIVE, scale)
+        layer.handle_release(1, (0,), priority=0)  # page not in memory
+        assert layer.stats.release_filtered_bitmap == 1
+
+    def test_one_behind_filter_drops_same_page(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, AGGRESSIVE, scale)
+        touch(kernel, proc, 0)
+        layer.handle_release(1, (0,), priority=0)
+        layer.handle_release(1, (0,), priority=0)  # same page: dropped
+        assert layer.stats.release_filtered_same_page == 1
+        assert layer.stats.release_pages_issued == 0
+
+    def test_one_behind_issues_previous_on_advance(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, AGGRESSIVE, scale)
+        touch(kernel, proc, 0)
+        touch(kernel, proc, 1)
+        layer.handle_release(1, (0,), priority=0)
+        layer.handle_release(1, (1,), priority=0)  # advances: issues page 0
+        assert layer.stats.release_pages_issued == 1
+        settle(kernel)
+        assert not proc.aspace.is_present(0)
+        assert proc.aspace.is_present(1)
+
+    def test_tags_filtered_independently(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, AGGRESSIVE, scale)
+        for vpn in range(4):
+            touch(kernel, proc, vpn)
+        layer.handle_release(1, (0,), priority=0)
+        layer.handle_release(2, (2,), priority=0)
+        layer.handle_release(1, (1,), priority=0)
+        layer.handle_release(2, (3,), priority=0)
+        assert layer.stats.release_pages_issued == 2
+
+    def test_flush_tag_filters(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, AGGRESSIVE, scale)
+        touch(kernel, proc, 0)
+        layer.handle_release(1, (0,), priority=0)
+        layer.flush_tag_filters()
+        assert layer.stats.release_pages_issued == 1
+
+
+class TestBufferedPolicy:
+    def test_priority_zero_issues_immediately(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, BUFFERED, scale)
+        touch(kernel, proc, 0)
+        touch(kernel, proc, 1)
+        layer.handle_release(1, (0,), priority=0)
+        layer.handle_release(1, (1,), priority=0)
+        assert layer.stats.release_pages_issued == 1
+        assert len(layer.buffer) == 0
+
+    def test_positive_priority_buffered(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, BUFFERED, scale)
+        touch(kernel, proc, 0)
+        touch(kernel, proc, 1)
+        layer.handle_release(1, (0,), priority=2)
+        layer.handle_release(1, (1,), priority=2)
+        assert layer.stats.release_pages_issued == 0
+        assert layer.stats.release_pages_buffered == 1
+        assert len(layer.buffer) == 1
+
+    def test_pressure_drain_fires_when_headroom_gone(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, BUFFERED, scale)
+        # Occupy memory so that free falls below min + headroom.
+        vpn = 0
+        while (
+            kernel.vm.freelist.free_count
+            > scale.tunables.min_freemem_pages + scale.runtime.limit_headroom_pages
+        ):
+            touch(kernel, proc, vpn)
+            vpn += 1
+        pm.shared_page.refresh()
+        layer.handle_release(1, (0,), priority=1)
+        layer.handle_release(1, (1,), priority=1)  # buffers page 0, checks
+        assert layer.stats.pressure_drains == 1
+        assert layer.stats.release_pages_issued >= 1
+
+    def test_hysteresis_disarms_after_drain(self, setup, scale):
+        kernel, proc, pm = setup
+        layer = make_layer(setup, BUFFERED, scale)
+        vpn = 0
+        while (
+            kernel.vm.freelist.free_count
+            > scale.tunables.min_freemem_pages + scale.runtime.limit_headroom_pages
+        ):
+            touch(kernel, proc, vpn)
+            vpn += 1
+        pm.shared_page.refresh()
+        for page in range(0, 40):
+            layer.handle_release(1, (page,), priority=1)
+        # Only the first threshold crossing drained (few pages buffered).
+        assert layer.stats.pressure_drains == 1
+
+
+class TestReleaseBuffer:
+    def test_priority_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ReleaseBuffer().add(1, [5], priority=0)
+
+    def test_coalesces_duplicate_pages(self):
+        buffer = ReleaseBuffer()
+        assert buffer.add(1, [5, 5, 6], priority=1) == 2
+        assert buffer.duplicates_coalesced == 1
+        assert len(buffer) == 2
+
+    def test_changing_tag_priority_rejected(self):
+        buffer = ReleaseBuffer()
+        buffer.add(1, [5], priority=1)
+        with pytest.raises(ValueError):
+            buffer.add(1, [6], priority=2)
+
+    def test_drain_lowest_priority_first(self):
+        buffer = ReleaseBuffer()
+        buffer.add(1, [10, 11], priority=3)
+        buffer.add(2, [20, 21], priority=1)
+        drained = buffer.drain(2)
+        pages = [p for _tag, batch in drained for p in batch]
+        assert set(pages) == {20, 21}
+
+    def test_drain_round_robin_within_level(self):
+        buffer = ReleaseBuffer(drain_newest_first=False)
+        buffer.add(1, [10, 11], priority=1)
+        buffer.add(2, [20, 21], priority=1)
+        drained = dict(buffer.drain(2))
+        assert 1 in drained and 2 in drained
+
+    def test_drain_budget_respected(self):
+        buffer = ReleaseBuffer()
+        buffer.add(1, list(range(100, 150)), priority=1)
+        drained = buffer.drain(10)
+        assert sum(len(batch) for _tag, batch in drained) == 10
+        assert len(buffer) == 40
+
+    def test_mru_drain_takes_newest(self):
+        buffer = ReleaseBuffer(drain_newest_first=True)
+        buffer.add(1, [10, 11, 12], priority=1)
+        drained = buffer.drain(1)
+        assert drained == [(1, (12,))]
+
+    def test_fifo_drain_takes_oldest(self):
+        buffer = ReleaseBuffer(drain_newest_first=False)
+        buffer.add(1, [10, 11, 12], priority=1)
+        drained = buffer.drain(1)
+        assert drained == [(1, (10,))]
+
+    def test_forget_skips_page_on_drain(self):
+        buffer = ReleaseBuffer(drain_newest_first=False)
+        buffer.add(1, [10, 11], priority=1)
+        buffer.forget(10)
+        drained = buffer.drain(5)
+        pages = [p for _tag, batch in drained for p in batch]
+        assert pages == [11]
+
+    def test_pages_at_priority(self):
+        buffer = ReleaseBuffer()
+        buffer.add(1, [10], priority=1)
+        buffer.add(2, [20, 21], priority=3)
+        assert buffer.pages_at_priority(1) == 1
+        assert buffer.pages_at_priority(3) == 2
+        assert buffer.priorities == [1, 3]

@@ -1,0 +1,171 @@
+"""Unit tests for time buckets, counters, and histograms."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.stats import Counter, Histogram, TimeBuckets
+from repro.sim.task import SimTask
+
+
+class TestTimeBuckets:
+    def test_starts_zeroed(self):
+        buckets = TimeBuckets()
+        assert buckets.total == 0.0
+
+    def test_add_accumulates(self):
+        buckets = TimeBuckets()
+        buckets.add("user", 1.5)
+        buckets.add("user", 0.5)
+        assert buckets.user == pytest.approx(2.0)
+
+    def test_unknown_bucket_rejected(self):
+        with pytest.raises(KeyError):
+            TimeBuckets().add("gpu", 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBuckets().add("user", -1.0)
+
+    def test_total_sums_all_components(self):
+        buckets = TimeBuckets(user=1, system=2, stall_memory=3, stall_io=4)
+        assert buckets.total == 10
+
+    def test_as_dict(self):
+        buckets = TimeBuckets(user=1.0)
+        snapshot = buckets.as_dict()
+        assert snapshot["user"] == 1.0
+        assert set(snapshot) == {"user", "system", "stall_memory", "stall_io"}
+
+    def test_normalized_to(self):
+        base = TimeBuckets(user=5, stall_io=5)
+        other = TimeBuckets(user=2, stall_io=3)
+        normalized = other.normalized_to(base)
+        assert normalized["user"] == pytest.approx(0.2)
+        assert normalized["stall_io"] == pytest.approx(0.3)
+
+    def test_normalized_to_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBuckets().normalized_to(TimeBuckets())
+
+    def test_merged_with(self):
+        merged = TimeBuckets(user=1).merged_with(TimeBuckets(system=2))
+        assert merged.user == 1
+        assert merged.system == 2
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("faults")
+        counter.increment()
+        counter.increment(4)
+        assert int(counter) == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestHistogram:
+    def test_empty_statistics(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.5) == 0.0
+
+    def test_mean_min_max(self):
+        histogram = Histogram()
+        histogram.extend([1.0, 2.0, 3.0])
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+
+    def test_percentiles_exact(self):
+        histogram = Histogram()
+        histogram.extend(float(i) for i in range(1, 101))
+        assert histogram.percentile(0.5) == 50.0
+        assert histogram.percentile(0.99) == 99.0
+        assert histogram.percentile(1.0) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+
+class TestSimTask:
+    def test_spend_charges_bucket(self):
+        engine = Engine()
+        task = SimTask(engine, "t")
+
+        def proc():
+            yield from task.user(1.0)
+            yield from task.system(0.5)
+
+        engine.run_process(proc())
+        assert task.buckets.user == pytest.approx(1.0)
+        assert task.buckets.system == pytest.approx(0.5)
+        assert engine.now == pytest.approx(1.5)
+
+    def test_zero_spend_creates_no_event(self):
+        engine = Engine()
+        task = SimTask(engine, "t")
+
+        def proc():
+            yield from task.user(0.0)
+            yield engine.timeout(0.0)
+
+        engine.run_process(proc())
+        assert task.buckets.user == 0.0
+
+    def test_wait_io_charges_stall(self):
+        engine = Engine()
+        task = SimTask(engine, "t")
+
+        def proc():
+            value = yield from task.wait_io(engine.timeout(2.0, value="io"))
+            return value
+
+        assert engine.run_process(proc()) == "io"
+        assert task.buckets.stall_io == pytest.approx(2.0)
+
+    def test_wait_memory_charges_stall(self):
+        engine = Engine()
+        task = SimTask(engine, "t")
+
+        def proc():
+            yield from task.wait_memory(engine.timeout(1.0))
+
+        engine.run_process(proc())
+        assert task.buckets.stall_memory == pytest.approx(1.0)
+
+    def test_lock_acquire_charges_queueing_only(self):
+        from repro.sim.sync import Lock
+
+        engine = Engine()
+        task = SimTask(engine, "waiter")
+        lock = Lock(engine)
+
+        def holder():
+            yield lock.acquire()
+            yield engine.timeout(3.0)
+            lock.release()
+
+        def waiter():
+            yield engine.timeout(1.0)
+            yield from task.lock_acquire(lock)
+            lock.release()
+
+        engine.process(holder())
+        engine.process(waiter())
+        engine.run()
+        assert task.buckets.stall_memory == pytest.approx(2.0)
+
+    def test_sleep_charges_nothing(self):
+        engine = Engine()
+        task = SimTask(engine, "t")
+
+        def proc():
+            yield from task.sleep(5.0)
+
+        engine.run_process(proc())
+        assert task.buckets.total == 0.0
+        assert engine.now == 5.0
