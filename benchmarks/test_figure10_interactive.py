@@ -5,7 +5,6 @@
     benchmarks; (c) the interactive task's hard faults per sweep.
 """
 
-import pytest
 
 from repro.experiments.figure10 import (
     Figure10bcResult,

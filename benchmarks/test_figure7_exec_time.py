@@ -5,7 +5,6 @@ stall-I/O, normalized to the original version) for all six benchmarks in
 all four versions, and checks the relationships the paper reports.
 """
 
-import pytest
 
 from repro.experiments.figure7 import Figure7Bar, Figure7Result, format_figure7
 from repro.workloads import BENCHMARKS

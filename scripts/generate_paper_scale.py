@@ -2,104 +2,107 @@
 
 Runs every benchmark in all four versions at the paper scale (75 MB
 memory, 400 MB data sets) plus the MATVEC sleep-time sweeps, and writes
-the paper-shaped tables to results/paper_scale.txt.  Takes ~15 minutes.
+the paper-shaped tables to results/paper_scale.txt.
 
-Usage:  python scripts/generate_paper_scale.py
+Every figure builds its runs from ExperimentSpecs and routes them through
+the cached runner, so the benchmark × version grid shared by Figures 7-9,
+Table 3, and Figure 10(b)/(c) is simulated exactly once, and re-running
+this script over an unchanged tree replays everything from the cache.
+
+Usage:  python scripts/generate_paper_scale.py [--jobs N] [--cache-dir DIR]
 """
-import time
-from repro.config import paper
-from repro.experiments.figure7 import Figure7Bar, Figure7Result, format_figure7
-from repro.experiments.figure8 import Figure8Result, format_figure8
-from repro.experiments.figure9 import Figure9Result, Figure9Row, format_figure9
-from repro.experiments.figure10 import Figure10bcResult, Figure10bcRow, format_figure10bc
-from repro.experiments.table3 import Table3Result, Table3Row, format_table3
-from repro.experiments.figure1 import run_figure1, format_figure1
-from repro.experiments.figure10 import run_figure10a, format_figure10a
-from repro.experiments.harness import interactive_alone, run_version_suite
-from repro.workloads import BENCHMARKS, table2_rows
-from repro.experiments.report import format_table
-
-scale = paper()
+import argparse
 import os
-os.makedirs("results", exist_ok=True)
-out = open("results/paper_scale.txt", "w")
+import time
 
-def emit(text):
-    print(text, flush=True)
-    out.write(text + "\n\n")
-    out.flush()
+from repro.config import paper
+from repro.experiments.figure1 import format_figure1, run_figure1
+from repro.experiments.figure7 import format_figure7, run_figure7
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.figure9 import format_figure9, run_figure9
+from repro.experiments.figure10 import (
+    format_figure10a,
+    format_figure10bc,
+    run_figure10a,
+    run_figure10bc,
+)
+from repro.experiments.report import format_table
+from repro.experiments.table3 import format_table3, run_table3
+from repro.workloads import BENCHMARKS, table2_rows
 
-emit(format_table(["characteristic", "value"], list(scale.describe().items()),
-                  title="Table 1 — simulated platform"))
-emit(format_table(
-    ["benchmark", "description", "MB", "nests", "hazard"],
-    [(r["benchmark"], r["description"], r["data_set_mb"], r["nests"], r["analysis_hazard"])
-     for r in table2_rows(scale)],
-    title="Table 2 — benchmarks"))
 
-suites = {}
-for name in BENCHMARKS:
-    t0 = time.time()
-    suites[name] = run_version_suite(scale, BENCHMARKS[name], "OPRB")
-    print(f"[{name} done in {time.time()-t0:.0f}s]", flush=True)
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=max(1, (os.cpu_count() or 1) - 1),
+        help="worker processes for independent experiments",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default="results/cache",
+        help="content-addressed result cache shared by all figures",
+    )
+    args = parser.parse_args()
 
-# Figure 7
-f7 = Figure7Result(scale=scale.name)
-for name, suite in suites.items():
-    base = suite["O"].app_buckets.total
-    for v, run in suite.items():
-        b = run.app_buckets
-        f7.bars.append(Figure7Bar(name, v, b.user/base, b.system/base,
-                                  b.stall_memory/base, b.stall_io/base, run.elapsed_s))
-emit(format_figure7(f7))
-rows = [(n, f"{f7.speedup_of_release_over_prefetch(n)*100:.0f}%") for n in suites]
-emit(format_table(["benchmark", "R_speedup_over_P"], rows,
-                  title="Speedup of prefetch+release over prefetch alone"))
+    scale = paper()
+    jobs, cache_dir = args.jobs, args.cache_dir
+    os.makedirs("results", exist_ok=True)
+    out = open("results/paper_scale.txt", "w")
 
-# Figure 8
-f8 = Figure8Result(scale=scale.name)
-for name, suite in suites.items():
-    f8.soft_faults[name] = {v: r.app_stats.soft_faults for v, r in suite.items()}
-    f8.invalidations[name] = {v: r.vm.daemon_invalidations for v, r in suite.items()}
-emit(format_figure8(f8))
+    def emit(text):
+        print(text, flush=True)
+        out.write(text + "\n\n")
+        out.flush()
 
-# Table 3
-t3 = Table3Result(scale=scale.name)
-for name, suite in suites.items():
-    o, r = suite["O"], suite["R"]
-    t3.rows.append(Table3Row(name, o.vm.daemon_runs, r.vm.daemon_runs,
-                             o.vm.daemon_pages_stolen, r.vm.daemon_pages_stolen,
-                             o.vm.total_allocations, r.vm.total_allocations,
-                             r.vm.releaser_pages_freed))
-emit(format_table3(t3))
+    def timed(label, fn):
+        t0 = time.time()
+        result = fn()
+        print(f"[{label} done in {time.time() - t0:.0f}s]", flush=True)
+        return result
 
-# Figure 9
-f9 = Figure9Result(scale=scale.name)
-for name, suite in suites.items():
-    for v, run in suite.items():
-        vm = run.vm
-        f9.rows.append(Figure9Row(name, v, vm.freed_by_daemon, vm.freed_by_release,
-                                  vm.rescued_from_daemon, vm.rescued_from_release,
-                                  run.app_stats.release_revalidates))
-emit(format_figure9(f9))
+    emit(format_table(["characteristic", "value"], list(scale.describe().items()),
+                      title="Table 1 — simulated platform"))
+    emit(format_table(
+        ["benchmark", "description", "MB", "nests", "hazard"],
+        [(r["benchmark"], r["description"], r["data_set_mb"], r["nests"], r["analysis_hazard"])
+         for r in table2_rows(scale)],
+        title="Table 2 — benchmarks"))
 
-# Figure 10(b)/(c)
-alone = interactive_alone(scale, scale.intermediate_sleep_s, sweeps=6)
-alone_mean = sum(s.response_time for s in alone[1:]) / (len(alone)-1)
-fbc = Figure10bcResult(scale=scale.name, sleep_time_s=scale.intermediate_sleep_s,
-                       alone_response_s=alone_mean, interactive_pages=scale.interactive_pages)
-for name, suite in suites.items():
-    for v, run in suite.items():
-        resp = run.mean_response()
-        fbc.rows.append(Figure10bcRow(name, v, resp/alone_mean,
-                                      run.mean_interactive_hard_faults(), resp))
-emit(format_figure10bc(fbc))
+    # The OPRB grid is simulated by whichever figure runs first; the rest —
+    # including Table 3's OR subset — is cache hits.
+    f7 = timed("figure 7", lambda: run_figure7(scale, jobs=jobs, cache_dir=cache_dir))
+    emit(format_figure7(f7))
+    rows = [(n, f"{f7.speedup_of_release_over_prefetch(n) * 100:.0f}%")
+            for n in BENCHMARKS]
+    emit(format_table(["benchmark", "R_speedup_over_P"], rows,
+                      title="Speedup of prefetch+release over prefetch alone"))
 
-# Figure 1 + 10(a): MATVEC sleep sweep (reduced points to bound cost)
-sweep = [0.0, 1.0, 2.0, 5.0, 10.0]
-f1 = run_figure1(scale, sleep_times=sweep)
-emit(format_figure1(f1))
-f10a = run_figure10a(scale, sleep_times=sweep, versions="PRB")
-emit(format_figure10a(f10a))
-out.close()
-print("ALL DONE", flush=True)
+    emit(format_figure8(
+        timed("figure 8", lambda: run_figure8(scale, jobs=jobs, cache_dir=cache_dir))))
+    emit(format_table3(
+        timed("table 3", lambda: run_table3(scale, jobs=jobs, cache_dir=cache_dir))))
+    emit(format_figure9(
+        timed("figure 9", lambda: run_figure9(scale, jobs=jobs, cache_dir=cache_dir))))
+    emit(format_figure10bc(
+        timed("figure 10bc",
+              lambda: run_figure10bc(scale, jobs=jobs, cache_dir=cache_dir))))
+
+    # Figure 1 + 10(a): MATVEC sleep sweep (reduced points to bound cost).
+    # The alone and P runs are shared between the two figures via the cache.
+    sweep = [0.0, 1.0, 2.0, 5.0, 10.0]
+    emit(format_figure1(
+        timed("figure 1",
+              lambda: run_figure1(scale, sleep_times=sweep, jobs=jobs,
+                                  cache_dir=cache_dir))))
+    emit(format_figure10a(
+        timed("figure 10a",
+              lambda: run_figure10a(scale, sleep_times=sweep, versions="PRB",
+                                    jobs=jobs, cache_dir=cache_dir))))
+    out.close()
+    print("ALL DONE", flush=True)
+
+
+if __name__ == "__main__":
+    main()

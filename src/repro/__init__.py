@@ -26,27 +26,48 @@ from repro.experiments.harness import (
     run_multiprogram,
     run_version_suite,
 )
+from repro.experiments.runner import run_specs, spec_key
 from repro.kernel import Kernel
+from repro.machine import (
+    ExperimentResult,
+    ExperimentSpec,
+    Machine,
+    StepBudgetExceeded,
+    WorkloadProcessSpec,
+    run_experiment,
+)
+from repro.obs import Bus, MetricsAggregator, TraceRecorder
 from repro.sim.engine import Engine
 from repro.workloads import BENCHMARKS, benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BENCHMARKS",
+    "Bus",
     "Engine",
+    "ExperimentResult",
+    "ExperimentSpec",
     "Kernel",
+    "Machine",
+    "MetricsAggregator",
     "MultiprogramResult",
     "SimScale",
+    "StepBudgetExceeded",
+    "TraceRecorder",
     "VERSIONS",
     "VersionConfig",
+    "WorkloadProcessSpec",
     "__version__",
     "benchmark",
     "compile_program",
     "interactive_alone",
     "paper",
+    "run_experiment",
     "run_multiprogram",
+    "run_specs",
     "run_version_suite",
     "small",
+    "spec_key",
     "tiny",
 ]

@@ -5,14 +5,17 @@ Examples::
     python -m repro list
     python -m repro compile --benchmark MATVEC
     python -m repro run --benchmark MATVEC --version B --scale small
-    python -m repro suite --benchmark BUK --scale tiny
-    python -m repro figure 7 --scale tiny
+    python -m repro run --spec mix.json --trace
+    python -m repro suite --benchmark BUK --scale tiny --jobs 4
+    python -m repro figure 7 --scale tiny --jobs 4 --cache-dir results/cache
     python -m repro table 3 --scale tiny
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -33,11 +36,13 @@ from repro.experiments import (
     run_figure9,
     run_figure10a,
     run_figure10bc,
-    run_multiprogram,
     run_table3,
     run_version_suite,
 )
+from repro.experiments.harness import multiprogram_spec, to_multiprogram
 from repro.experiments.report import format_table
+from repro.machine import ExperimentSpec, WorkloadProcessSpec, run_experiment
+from repro.obs import TraceRecorder
 from repro.workloads import BENCHMARKS, benchmark, table2_rows
 
 _SCALES = {"tiny": tiny, "small": small, "paper": paper}
@@ -53,6 +58,20 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         choices=sorted(_SCALES),
         default="small",
         help="platform scale preset (default: small)",
+    )
+
+
+def _add_runner(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent experiments (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for content-addressed result caching (default: off)",
     )
 
 
@@ -102,14 +121,107 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_from_argument(text: str, default_scale: str) -> ExperimentSpec:
+    """Build an :class:`ExperimentSpec` from a JSON file path or literal.
+
+    Shape::
+
+        {"scale": "tiny",
+         "overrides": {"max_engine_steps": 1000000},
+         "processes": [
+             {"workload": "MATVEC", "version": "R"},
+             {"workload": "EMBAR", "version": "P", "start_offset_s": 0.05},
+             {"workload": "interactive", "sleep_s": 0.1, "sweeps": 6}]}
+    """
+    if os.path.exists(text):
+        with open(text, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.loads(text)
+    scale = _SCALES[data.get("scale", default_scale)]()
+    overrides = data.get("overrides", {})
+    if overrides:
+        scale = scale.with_overrides(**overrides)
+    processes = tuple(
+        WorkloadProcessSpec(
+            workload=entry["workload"],
+            version=entry.get("version", "O"),
+            start_offset_s=entry.get("start_offset_s", 0.0),
+            sleep_time_s=entry.get("sleep_s"),
+            sweeps=entry.get("sweeps"),
+            name=entry.get("name"),
+        )
+        for entry in data["processes"]
+    )
+    return ExperimentSpec(scale=scale, processes=processes)
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    spec = _spec_from_argument(args.spec, args.scale)
+    recorder = TraceRecorder() if args.trace else None
+    result = run_experiment(spec, sinks=(recorder,) if recorder else ())
+    rows = []
+    for process in result.processes:
+        rows.append(
+            (
+                process.name,
+                process.workload,
+                process.version or "-",
+                "yes" if process.completed else "no",
+                round(process.buckets.user, 3),
+                round(process.buckets.system, 3),
+                round(process.buckets.stall_memory, 3),
+                round(process.buckets.stall_io, 3),
+                process.stats.hard_faults,
+                process.stats.soft_faults,
+                len(process.sweeps) if process.interactive else "-",
+            )
+        )
+    print(
+        format_table(
+            [
+                "process",
+                "workload",
+                "ver",
+                "done",
+                "user_s",
+                "system_s",
+                "stall_mem_s",
+                "stall_io_s",
+                "hard",
+                "soft",
+                "sweeps",
+            ],
+            rows,
+            title=(
+                f"custom mix at scale '{spec.scale.name}': "
+                f"elapsed_s={result.elapsed_s:.3f}  "
+                f"engine_steps={result.engine_steps}  "
+                f"pages_released={result.vm.releaser_pages_freed}"
+            ),
+        )
+    )
+    if recorder is not None:
+        print()
+        print(recorder.format(last=args.trace_last))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        return _cmd_run_spec(args)
+    if args.benchmark is None:
+        raise SystemExit("repro run: give --benchmark or --spec")
     scale = _scale_from(args)
-    result = run_multiprogram(
+    spec = multiprogram_spec(
         scale,
         benchmark(args.benchmark),
         VERSIONS[args.version],
         sleep_time_s=args.sleep,
     )
+    recorder = TraceRecorder() if args.trace else None
+    experiment = run_experiment(spec, sinks=(recorder,) if recorder else ())
+    result = to_multiprogram(experiment)
     buckets = result.app_buckets
     rows = [
         ("elapsed_s", round(result.elapsed_s, 3)),
@@ -139,12 +251,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if recorder is not None:
+        print()
+        print(recorder.format(last=args.trace_last))
     return 0
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
-    suite = run_version_suite(scale, benchmark(args.benchmark), args.versions)
+    suite = run_version_suite(
+        scale,
+        benchmark(args.benchmark),
+        args.versions,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     base = suite.get("O")
     rows = []
     for version, run in suite.items():
@@ -179,18 +300,22 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 
 _FIGURES = {
-    "1": lambda scale: format_figure1(run_figure1(scale)),
-    "7": lambda scale: format_figure7(run_figure7(scale)),
-    "8": lambda scale: format_figure8(run_figure8(scale)),
-    "9": lambda scale: format_figure9(run_figure9(scale)),
-    "10a": lambda scale: format_figure10a(run_figure10a(scale)),
-    "10bc": lambda scale: format_figure10bc(run_figure10bc(scale)),
+    "1": lambda scale, **kw: format_figure1(run_figure1(scale, **kw)),
+    "7": lambda scale, **kw: format_figure7(run_figure7(scale, **kw)),
+    "8": lambda scale, **kw: format_figure8(run_figure8(scale, **kw)),
+    "9": lambda scale, **kw: format_figure9(run_figure9(scale, **kw)),
+    "10a": lambda scale, **kw: format_figure10a(run_figure10a(scale, **kw)),
+    "10bc": lambda scale, **kw: format_figure10bc(run_figure10bc(scale, **kw)),
 }
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
-    print(_FIGURES[args.number](scale))
+    print(
+        _FIGURES[args.number](
+            scale, jobs=args.jobs, cache_dir=args.cache_dir
+        )
+    )
     return 0
 
 
@@ -207,7 +332,11 @@ def _cmd_table(args: argparse.Namespace) -> int:
     elif args.number == "2":
         return _cmd_list(args)
     else:
-        print(format_table3(run_table3(scale)))
+        print(
+            format_table3(
+                run_table3(scale, jobs=args.jobs, cache_dir=args.cache_dir)
+            )
+        )
     return 0
 
 
@@ -233,9 +362,17 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.set_defaults(handler=_cmd_compile)
 
     run_parser = commands.add_parser(
-        "run", help="run one benchmark version alongside the interactive task"
+        "run",
+        help="run one benchmark version alongside the interactive task, "
+        "or an arbitrary mix from a JSON spec",
     )
-    _add_benchmark(run_parser)
+    _add_benchmark(run_parser, required=False)
+    run_parser.add_argument(
+        "--spec",
+        default=None,
+        help="JSON experiment spec (a file path or an inline literal); "
+        "overrides --benchmark/--version/--sleep",
+    )
     run_parser.add_argument(
         "--version",
         default="B",
@@ -250,6 +387,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="interactive task sleep time in seconds (default: the scale's "
         "intermediate sleep)",
     )
+    run_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach a trace recorder and print the tail of the event trace",
+    )
+    run_parser.add_argument(
+        "--trace-last",
+        type=int,
+        default=40,
+        help="how many trailing trace events to print (default 40)",
+    )
     _add_scale(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
@@ -261,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--versions", default="OPRB", help="which versions to run (default OPRB)"
     )
     _add_scale(suite_parser)
+    _add_runner(suite_parser)
     suite_parser.set_defaults(handler=_cmd_suite)
 
     figure_parser = commands.add_parser(
@@ -268,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure_parser.add_argument("number", choices=sorted(_FIGURES))
     _add_scale(figure_parser)
+    _add_runner(figure_parser)
     figure_parser.set_defaults(handler=_cmd_figure)
 
     table_parser = commands.add_parser(
@@ -275,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table_parser.add_argument("number", choices=["1", "2", "3"])
     _add_scale(table_parser)
+    _add_runner(table_parser)
     table_parser.set_defaults(handler=_cmd_table)
 
     return parser

@@ -16,7 +16,7 @@ interactive working set); tests use them to keep event counts low.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 __all__ = [
@@ -195,6 +195,11 @@ class SimScale:
     # their sweeps cover proportionally shorter sleeps.
     figure_sleep_times_s: tuple = (0.0, 1.0, 2.0, 3.0, 5.0, 7.0, 10.0)
     intermediate_sleep_s: float = 5.0
+    # Hard ceiling on engine events per experiment so a badly-tuned
+    # configuration cannot spin forever; generous relative to any experiment
+    # in the suite.  Exceeding it raises
+    # :class:`repro.machine.StepBudgetExceeded`.
+    max_engine_steps: int = 200_000_000
 
     @property
     def out_of_core_pages(self) -> int:

@@ -12,11 +12,11 @@ emitting touches and hints exactly where the specialised executable would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.config import CompilerParams
 from repro.core.compiler.insertion import HintPlan, PrefetchSpec, ReleaseSpec
-from repro.core.compiler.ir import Nest, Program, Reference, Stmt
+from repro.core.compiler.ir import Nest, Program, Reference
 from repro.core.compiler.locality import LocalityInfo
 from repro.core.compiler.reuse import RefReuse, ReuseInfo
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import CompilerParams
-from repro.core.compiler.ir import IndirectRef, Nest
+from repro.core.compiler.ir import Nest
 from repro.core.compiler.locality import GroupLocality, LocalityInfo
 from repro.core.compiler.reuse import RefGroup, RefReuse, ReuseInfo
 

@@ -36,7 +36,6 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.config import MachineConfig
 from repro.core.compiler.codegen import CompiledNest, CompiledRef
 from repro.core.compiler.ir import (
-    AffineExpr,
     ArrayRef,
     IndirectRef,
     Loop,

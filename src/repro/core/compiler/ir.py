@@ -23,7 +23,7 @@ count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Tuple, Union
 
 __all__ = [
     "AffineExpr",

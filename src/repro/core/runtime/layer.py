@@ -20,8 +20,8 @@ those identified by the compiler").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.config import RuntimeParams
 from repro.core.runtime.buffering import ReleaseBuffer

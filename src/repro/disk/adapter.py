@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.config import DiskParams
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import Engine
 from repro.sim.sync import Resource
 
 from repro.disk.device import DiskDevice, DiskRequest

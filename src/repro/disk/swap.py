@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.config import DiskParams
-from repro.sim.engine import Engine, Event, Process
+from repro.sim.engine import Engine, Process
 
 from repro.disk.adapter import ScsiAdapter
 from repro.disk.device import DiskDevice
@@ -52,6 +52,8 @@ class StripedSwap:
             for i in range(params.adapters)
         ]
         self.stats = SwapStats()
+        # Instrumentation bus (:mod:`repro.obs`), or None when disabled.
+        self.obs = None
         # Within-disk block counters so sequential page streams map to
         # sequential blocks on each spindle.
         self._next_block = [0] * params.disks
@@ -83,10 +85,25 @@ class StripedSwap:
         disk = self.disks[disk_index]
         adapter = self._adapter_for(disk_index)
         started = self.engine.now
+        if self.obs is not None:
+            self.obs.emit(
+                "disk.issue",
+                {"disk": disk_index, "purpose": purpose, "write": is_write},
+            )
 
         def _run():
             request = yield from adapter.transfer(disk, block, is_write)
             elapsed = self.engine.now - started
+            if self.obs is not None:
+                self.obs.emit(
+                    "disk.complete",
+                    {
+                        "disk": disk_index,
+                        "purpose": purpose,
+                        "write": is_write,
+                        "latency_s": elapsed,
+                    },
+                )
             stats = self.stats
             if purpose == "demand":
                 stats.demand_reads += 1

@@ -21,12 +21,24 @@ from repro.experiments.figure10 import (
 from repro.experiments.harness import (
     MultiprogramResult,
     interactive_alone,
+    multiprogram_spec,
     run_multiprogram,
+    run_suite_grid,
     run_version_suite,
+    to_multiprogram,
 )
+from repro.experiments.runner import code_version, run_specs, spec_key
 from repro.experiments.table3 import Table3Result, format_table3, run_table3
+from repro.machine import (
+    ExperimentResult,
+    ExperimentSpec,
+    WorkloadProcessSpec,
+    run_experiment,
+)
 
 __all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
     "Figure1Result",
     "Figure7Result",
     "Figure8Result",
@@ -35,6 +47,8 @@ __all__ = [
     "Figure10bcResult",
     "MultiprogramResult",
     "Table3Result",
+    "WorkloadProcessSpec",
+    "code_version",
     "format_figure1",
     "format_figure7",
     "format_figure8",
@@ -43,6 +57,8 @@ __all__ = [
     "format_figure10bc",
     "format_table3",
     "interactive_alone",
+    "multiprogram_spec",
+    "run_experiment",
     "run_figure1",
     "run_figure7",
     "run_figure8",
@@ -50,6 +66,10 @@ __all__ = [
     "run_figure10a",
     "run_figure10bc",
     "run_multiprogram",
+    "run_specs",
+    "run_suite_grid",
     "run_table3",
     "run_version_suite",
+    "spec_key",
+    "to_multiprogram",
 ]

@@ -16,12 +16,13 @@ the prefetching MATVEC (P), across the sleep-time sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.config import SimScale
-from repro.core.runtime.policies import VERSIONS
-from repro.experiments.harness import interactive_alone, run_multiprogram
+from repro.experiments.harness import multiprogram_spec, to_multiprogram
 from repro.experiments.report import format_table
+from repro.experiments.runner import run_specs
+from repro.machine import ExperimentSpec
 from repro.workloads.matvec import MatvecWorkload
 
 __all__ = ["Figure1Point", "Figure1Result", "format_figure1", "run_figure1"]
@@ -53,27 +54,32 @@ def run_figure1(
     scale: SimScale,
     sleep_times: Optional[Sequence[float]] = None,
     workload: Optional[MatvecWorkload] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Figure1Result:
     if sleep_times is None:
         sleep_times = scale.figure_sleep_times_s
     if workload is None:
         workload = MatvecWorkload()
-    result = Figure1Result(scale=scale.name)
+    # One flat grid of specs — three experiments per sleep time — so the
+    # runner can parallelise and cache across the whole figure.
+    specs = []
     for sleep in sleep_times:
-        alone = interactive_alone(scale, sleep, sweeps=6)
+        specs.append(ExperimentSpec.interactive_alone(scale, sleep, sweeps=6))
+        specs.append(multiprogram_spec(scale, workload, "O", sleep_time_s=sleep))
+        specs.append(multiprogram_spec(scale, workload, "P", sleep_time_s=sleep))
+    runs = run_specs(specs, jobs=jobs, cache_dir=cache_dir)
+    result = Figure1Result(scale=scale.name)
+    for index, sleep in enumerate(sleep_times):
+        alone_run, original_run, prefetch_run = runs[3 * index : 3 * index + 3]
+        alone = list(alone_run.interactives[0].sweeps)
         alone_mean = sum(s.response_time for s in alone[1:]) / max(1, len(alone) - 1)
-        original = run_multiprogram(
-            scale, workload, VERSIONS["O"], sleep_time_s=sleep
-        )
-        prefetch = run_multiprogram(
-            scale, workload, VERSIONS["P"], sleep_time_s=sleep
-        )
         result.points.append(
             Figure1Point(
                 sleep_time_s=sleep,
                 response_alone_s=alone_mean,
-                response_original_s=original.mean_response(),
-                response_prefetch_s=prefetch.mean_response(),
+                response_original_s=to_multiprogram(original_run).mean_response(),
+                response_prefetch_s=to_multiprogram(prefetch_run).mean_response(),
             )
         )
     return result

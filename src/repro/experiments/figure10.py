@@ -17,9 +17,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import SimScale
-from repro.core.runtime.policies import VERSIONS
-from repro.experiments.harness import interactive_alone, run_multiprogram, run_version_suite
+from repro.experiments.harness import multiprogram_spec, run_suite_grid, to_multiprogram
 from repro.experiments.report import format_table
+from repro.experiments.runner import run_specs
+from repro.machine import ExperimentSpec
 from repro.workloads.base import OutOfCoreWorkload
 from repro.workloads.matvec import MatvecWorkload
 from repro.workloads.suite import BENCHMARKS
@@ -47,24 +48,33 @@ def run_figure10a(
     scale: SimScale,
     sleep_times: Optional[Sequence[float]] = None,
     versions: str = "OPRB",
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Figure10aResult:
     if sleep_times is None:
         sleep_times = scale.figure_sleep_times_s
     workload = MatvecWorkload()
+    stride = 1 + len(versions)  # alone + one run per version, per sleep
+    specs = []
+    for sleep in sleep_times:
+        specs.append(ExperimentSpec.interactive_alone(scale, sleep, sweeps=6))
+        for version in versions:
+            specs.append(
+                multiprogram_spec(scale, workload, version, sleep_time_s=sleep)
+            )
+    runs = run_specs(specs, jobs=jobs, cache_dir=cache_dir)
     result = Figure10aResult(scale=scale.name, sleep_times_s=list(sleep_times))
     result.series["alone"] = []
     for version in versions:
         result.series[version] = []
-    for sleep in sleep_times:
-        alone = interactive_alone(scale, sleep, sweeps=6)
+    for index in range(len(sleep_times)):
+        block = runs[stride * index : stride * (index + 1)]
+        alone = list(block[0].interactives[0].sweeps)
         result.series["alone"].append(
             sum(s.response_time for s in alone[1:]) / max(1, len(alone) - 1)
         )
-        for version in versions:
-            run = run_multiprogram(
-                scale, workload, VERSIONS[version], sleep_time_s=sleep
-            )
-            result.series[version].append(run.mean_response())
+        for version, run in zip(versions, block[1:]):
+            result.series[version].append(to_multiprogram(run).mean_response())
     return result
 
 
@@ -109,13 +119,20 @@ def run_figure10bc(
     workloads: Optional[Sequence[OutOfCoreWorkload]] = None,
     versions: str = "OPRB",
     sleep_time_s: Optional[float] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Figure10bcResult:
     """Figures 10(b) and 10(c) share their runs; compute both at once."""
     if workloads is None:
         workloads = list(BENCHMARKS.values())
     if sleep_time_s is None:
         sleep_time_s = scale.intermediate_sleep_s
-    alone = interactive_alone(scale, sleep_time_s, sweeps=6)
+    alone_run = run_specs(
+        [ExperimentSpec.interactive_alone(scale, sleep_time_s, sweeps=6)],
+        jobs=1,
+        cache_dir=cache_dir,
+    )[0]
+    alone = list(alone_run.interactives[0].sweeps)
     alone_mean = sum(s.response_time for s in alone[1:]) / max(1, len(alone) - 1)
     result = Figure10bcResult(
         scale=scale.name,
@@ -123,10 +140,16 @@ def run_figure10bc(
         alone_response_s=alone_mean,
         interactive_pages=scale.interactive_pages,
     )
+    grid = run_suite_grid(
+        scale,
+        workloads,
+        versions,
+        sleep_time_s=sleep_time_s,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
     for workload in workloads:
-        suite = run_version_suite(
-            scale, workload, versions, sleep_time_s=sleep_time_s
-        )
+        suite = grid[workload.name]
         for version, run in suite.items():
             response = run.mean_response()
             result.rows.append(

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import SimScale
-from repro.experiments.harness import MultiprogramResult, run_version_suite
+from repro.experiments.harness import MultiprogramResult, run_suite_grid
 from repro.experiments.report import format_table
 from repro.workloads.base import OutOfCoreWorkload
 from repro.workloads.suite import BENCHMARKS
@@ -61,12 +61,17 @@ def run_figure7(
     scale: SimScale,
     workloads: Optional[Sequence[OutOfCoreWorkload]] = None,
     versions: str = "OPRB",
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Figure7Result:
     if workloads is None:
         workloads = list(BENCHMARKS.values())
+    grid = run_suite_grid(
+        scale, workloads, versions, jobs=jobs, cache_dir=cache_dir
+    )
     result = Figure7Result(scale=scale.name)
     for workload in workloads:
-        suite = run_version_suite(scale, workload, versions)
+        suite = grid[workload.name]
         result.raw[workload.name] = suite
         base_total = suite["O"].app_buckets.total if "O" in suite else None
         for version, run in suite.items():

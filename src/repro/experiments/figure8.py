@@ -10,10 +10,10 @@ needs to run).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.config import SimScale
-from repro.experiments.harness import run_version_suite
+from repro.experiments.harness import run_suite_grid
 from repro.experiments.report import format_table
 from repro.workloads.base import OutOfCoreWorkload
 from repro.workloads.suite import BENCHMARKS
@@ -40,12 +40,17 @@ def run_figure8(
     scale: SimScale,
     workloads: Optional[Sequence[OutOfCoreWorkload]] = None,
     versions: str = "OPRB",
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Figure8Result:
     if workloads is None:
         workloads = list(BENCHMARKS.values())
+    grid = run_suite_grid(
+        scale, workloads, versions, jobs=jobs, cache_dir=cache_dir
+    )
     result = Figure8Result(scale=scale.name)
     for workload in workloads:
-        suite = run_version_suite(scale, workload, versions)
+        suite = grid[workload.name]
         result.soft_faults[workload.name] = {
             version: run.app_stats.soft_faults for version, run in suite.items()
         }

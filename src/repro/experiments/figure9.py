@@ -18,10 +18,10 @@ reallocation).  The interesting cases the paper calls out:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.config import SimScale
-from repro.experiments.harness import run_version_suite
+from repro.experiments.harness import run_suite_grid
 from repro.experiments.report import format_table, percent
 from repro.workloads.base import OutOfCoreWorkload
 from repro.workloads.suite import BENCHMARKS
@@ -73,12 +73,17 @@ def run_figure9(
     scale: SimScale,
     workloads: Optional[Sequence[OutOfCoreWorkload]] = None,
     versions: str = "OPRB",
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Figure9Result:
     if workloads is None:
         workloads = list(BENCHMARKS.values())
+    grid = run_suite_grid(
+        scale, workloads, versions, jobs=jobs, cache_dir=cache_dir
+    )
     result = Figure9Result(scale=scale.name)
     for workload in workloads:
-        suite = run_version_suite(scale, workload, versions)
+        suite = grid[workload.name]
         for version, run in suite.items():
             vm = run.vm
             result.rows.append(

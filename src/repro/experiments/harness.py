@@ -2,42 +2,41 @@
 
 One experiment = one out-of-core benchmark (in one of the four versions
 O/P/R/B) sharing the machine with the simulated interactive task at a given
-sleep time.  The run ends when the out-of-core program completes its fixed
-work; the result carries everything the figures and tables need: the
-application's four-way time breakdown, the VM subsystem's counters, the
-run-time layer's filter statistics, and the interactive task's per-sweep
-samples.
+sleep time.  Since the composition-root refactor all wiring lives in
+:mod:`repro.machine`; this module keeps the figure-facing vocabulary — a
+:class:`MultiprogramResult` per benchmark × version run — as a thin adapter
+over :class:`~repro.machine.ExperimentResult`, and routes grids of runs
+through the parallel, cached runner (:mod:`repro.experiments.runner`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.config import SimScale
-from repro.core.runtime.layer import RuntimeLayer, RuntimeStats
-from repro.core.runtime.policies import VERSIONS, VersionConfig
-from repro.kernel.kernel import Kernel
-from repro.sim.engine import Engine
+from repro.core.runtime.layer import RuntimeStats
+from repro.core.runtime.policies import VersionConfig
+from repro.experiments.runner import run_specs
+from repro.machine import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
 from repro.sim.stats import TimeBuckets
 from repro.vm.stats import AddressSpaceStats, VmStats
-from repro.workloads.base import (
-    OutOfCoreWorkload,
-    app_driver,
-    build_layout,
-)
-from repro.workloads.interactive import InteractiveTask, SweepSample
+from repro.workloads.base import OutOfCoreWorkload
+from repro.workloads.interactive import SweepSample
 
 __all__ = [
     "MultiprogramResult",
     "interactive_alone",
+    "multiprogram_spec",
     "run_multiprogram",
+    "run_suite_grid",
     "run_version_suite",
+    "to_multiprogram",
 ]
-
-# Hard ceiling so a badly-tuned configuration cannot spin forever; generous
-# relative to any experiment in the suite.
-MAX_ENGINE_STEPS = 200_000_000
 
 
 @dataclass
@@ -61,85 +60,80 @@ class MultiprogramResult:
     def mean_response(self, skip_warmup: int = 1) -> float:
         samples = self.sweeps[skip_warmup:] or self.sweeps
         if not samples:
-            return 0.0
+            return float("nan")
         return sum(s.response_time for s in samples) / len(samples)
 
     def mean_interactive_hard_faults(self, skip_warmup: int = 1) -> float:
         samples = self.sweeps[skip_warmup:] or self.sweeps
         if not samples:
-            return 0.0
+            return float("nan")
         return sum(s.hard_faults for s in samples) / len(samples)
 
 
-def _drive(engine: Engine, done_process) -> None:
-    steps = 0
-    while not done_process.triggered:
-        engine.step()
-        steps += 1
-        if steps > MAX_ENGINE_STEPS:  # pragma: no cover - safety net
-            raise RuntimeError("experiment exceeded the engine step budget")
-    if not done_process.ok:
-        raise done_process.value
+def _workload_name(workload: Union[str, OutOfCoreWorkload]) -> str:
+    return workload if isinstance(workload, str) else workload.name
+
+
+def _version_name(version: Union[str, VersionConfig]) -> str:
+    return version if isinstance(version, str) else version.name
+
+
+def multiprogram_spec(
+    scale: SimScale,
+    workload: Union[str, OutOfCoreWorkload],
+    version: Union[str, VersionConfig],
+    sleep_time_s: Optional[float] = None,
+    with_interactive: bool = True,
+) -> ExperimentSpec:
+    """The spec for one standard hog (+ interactive) experiment."""
+    return ExperimentSpec.multiprogram(
+        scale,
+        _workload_name(workload),
+        _version_name(version),
+        sleep_time_s=sleep_time_s,
+        with_interactive=with_interactive,
+    )
+
+
+def to_multiprogram(result: ExperimentResult) -> MultiprogramResult:
+    """Adapt an :class:`ExperimentResult` to the figure-facing shape."""
+    hog = result.primary
+    interactive = result.interactives[0] if result.interactives else None
+    return MultiprogramResult(
+        workload=hog.workload,
+        version=hog.version,
+        scale=result.scale,
+        sleep_time_s=(
+            interactive.sleep_time_s
+            if interactive is not None
+            else result.spec.scale.intermediate_sleep_s
+        ),
+        elapsed_s=result.elapsed_s,
+        app_buckets=hog.buckets,
+        worker_buckets=hog.worker_buckets,
+        app_stats=hog.stats,
+        interactive_stats=(
+            interactive.stats if interactive is not None else None
+        ),
+        vm=result.vm,
+        runtime=hog.runtime,
+        sweeps=list(interactive.sweeps) if interactive is not None else [],
+        swap=dict(result.swap),
+    )
 
 
 def run_multiprogram(
     scale: SimScale,
-    workload: OutOfCoreWorkload,
-    version: VersionConfig,
+    workload: Union[str, OutOfCoreWorkload],
+    version: Union[str, VersionConfig],
     sleep_time_s: Optional[float] = None,
     with_interactive: bool = True,
 ) -> MultiprogramResult:
     """Run one benchmark version, optionally alongside the interactive task."""
-    if sleep_time_s is None:
-        sleep_time_s = scale.intermediate_sleep_s
-    engine = Engine()
-    kernel = Kernel.boot(engine, scale)
-
-    instance = workload.build(scale)
-    process = kernel.create_process(instance.name)
-    layout = build_layout(process, instance, scale.machine.page_size)
-    pm = kernel.attach_paging_directed(process)
-    runtime = RuntimeLayer(process, pm, scale.runtime, version)
-    compiled = instance.compiled(scale)
-
-    interactive: Optional[InteractiveTask] = None
-    if with_interactive:
-        interactive = InteractiveTask(kernel, scale, sleep_time_s)
-        engine.process(interactive.run(), name="interactive")
-
-    driver = app_driver(
-        process, runtime, compiled, instance, layout, version, scale
+    spec = multiprogram_spec(
+        scale, workload, version, sleep_time_s, with_interactive
     )
-    app_process = engine.process(driver, name=instance.name)
-    _drive(engine, app_process)
-    if interactive is not None:
-        interactive.stop()
-
-    vm_stats = kernel.vm.finalize_stats()
-    swap = kernel.swap.stats
-    return MultiprogramResult(
-        workload=workload.name,
-        version=version.name,
-        scale=scale.name,
-        sleep_time_s=sleep_time_s,
-        elapsed_s=engine.now,
-        app_buckets=process.task.buckets,
-        worker_buckets=runtime.worker_time(),
-        app_stats=process.aspace.stats,
-        interactive_stats=(
-            interactive.process.aspace.stats if interactive is not None else None
-        ),
-        vm=vm_stats,
-        runtime=runtime.stats,
-        sweeps=list(interactive.samples) if interactive is not None else [],
-        swap={
-            "demand_reads": swap.demand_reads,
-            "prefetch_reads": swap.prefetch_reads,
-            "writebacks": swap.writebacks,
-            "mean_demand_latency_s": kernel.swap.mean_latency("demand"),
-            "mean_prefetch_latency_s": kernel.swap.mean_latency("prefetch"),
-        },
-    )
+    return to_multiprogram(run_experiment(spec))
 
 
 def interactive_alone(
@@ -147,38 +141,57 @@ def interactive_alone(
 ) -> List[SweepSample]:
     """The interactive task on a dedicated machine (the baselines in
     Figures 1 and 10)."""
-    engine = Engine()
-    kernel = Kernel.boot(engine, scale)
-    task = InteractiveTask(kernel, scale, sleep_time_s)
-
-    def bounded():
-        runner = task.run()
-        # Drive the task's generator until enough sweeps are recorded.
-        for event in runner:
-            yield event
-            if len(task.samples) >= sweeps:
-                task.stop()
-
-    process = engine.process(bounded(), name="interactive-alone")
-    _drive(engine, process)
-    return list(task.samples)
+    spec = ExperimentSpec.interactive_alone(scale, sleep_time_s, sweeps=sweeps)
+    return list(run_experiment(spec).interactives[0].sweeps)
 
 
 def run_version_suite(
     scale: SimScale,
-    workload: OutOfCoreWorkload,
+    workload: Union[str, OutOfCoreWorkload],
     versions: str = "OPRB",
     sleep_time_s: Optional[float] = None,
     with_interactive: bool = True,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Dict[str, MultiprogramResult]:
     """Run several versions of one benchmark under identical conditions."""
-    results: Dict[str, MultiprogramResult] = {}
-    for name in versions:
-        results[name] = run_multiprogram(
-            scale,
-            workload,
-            VERSIONS[name],
-            sleep_time_s=sleep_time_s,
-            with_interactive=with_interactive,
+    specs = [
+        multiprogram_spec(
+            scale, workload, name, sleep_time_s, with_interactive
         )
-    return results
+        for name in versions
+    ]
+    results = run_specs(specs, jobs=jobs, cache_dir=cache_dir)
+    return {
+        name: to_multiprogram(result)
+        for name, result in zip(versions, results)
+    }
+
+
+def run_suite_grid(
+    scale: SimScale,
+    workloads,
+    versions: str = "OPRB",
+    sleep_time_s: Optional[float] = None,
+    jobs: int = 1,
+    cache_dir=None,
+) -> Dict[str, Dict[str, MultiprogramResult]]:
+    """The full benchmark × version grid behind Figures 7-10 and Table 3.
+
+    Flattening the grid into one :func:`run_specs` call lets the runner
+    parallelise across the whole figure, not just within one benchmark.
+    """
+    pairs = [
+        (_workload_name(workload), version)
+        for workload in workloads
+        for version in versions
+    ]
+    specs = [
+        multiprogram_spec(scale, workload, version, sleep_time_s)
+        for workload, version in pairs
+    ]
+    results = run_specs(specs, jobs=jobs, cache_dir=cache_dir)
+    grid: Dict[str, Dict[str, MultiprogramResult]] = {}
+    for (workload, version), result in zip(pairs, results):
+        grid.setdefault(workload, {})[version] = to_multiprogram(result)
+    return grid

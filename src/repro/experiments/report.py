@@ -7,6 +7,7 @@ and figures.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 __all__ = ["format_table", "normalize", "percent"]
@@ -33,6 +34,8 @@ def format_table(
 
 def _cell(value: object) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"  # e.g. mean response over zero recorded sweeps
         if value == 0:
             return "0"
         if abs(value) >= 100:

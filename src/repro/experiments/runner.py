@@ -1,0 +1,152 @@
+"""The parallel experiment runner: fan out specs, cache results.
+
+Every figure in the paper is a grid of independent experiments (benchmark ×
+version × sleep time), each a pure function of its
+:class:`~repro.machine.ExperimentSpec`.  This module exploits both facts:
+
+- **Parallelism** — :func:`run_specs` fans a list of specs out over a
+  ``multiprocessing`` pool (``jobs > 1``) while preserving input order.
+  With ``jobs=1`` everything runs inline in this process, which keeps
+  single-experiment debugging (and test monkeypatching) trivial.
+
+- **Caching** — specs are content-hashed (:func:`spec_key`) together with a
+  hash of the ``repro`` package's own source (:func:`code_version`), and
+  results are pickled under that key in ``cache_dir``.  A re-run of any
+  figure — or a different figure sharing experiments, like Figure 7 and
+  Figure 8 — performs zero simulation steps for the shared grid.  Editing
+  any source file invalidates the whole cache, so stale physics can never
+  leak into a figure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.machine import ExperimentResult, ExperimentSpec, run_experiment
+
+__all__ = ["code_version", "run_specs", "spec_key"]
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every source file in the ``repro`` package.
+
+    Part of every cache key: a cached result is only valid for the exact
+    code that produced it.
+    """
+    global _code_version
+    if _code_version is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+def spec_key(spec: ExperimentSpec) -> str:
+    """Content hash identifying one experiment under the current code.
+
+    ``ExperimentSpec`` is a tree of frozen dataclasses of primitives, so its
+    ``repr`` is a complete, deterministic serialisation.
+    """
+    digest = hashlib.sha256()
+    digest.update(code_version().encode())
+    digest.update(repr(spec).encode())
+    return digest.hexdigest()
+
+
+def _cache_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.pkl"
+
+
+def _load_cached(cache_dir: Path, key: str) -> Optional[ExperimentResult]:
+    path = _cache_path(cache_dir, key)
+    if not path.exists():
+        return None
+    try:
+        with path.open("rb") as handle:
+            result = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None  # corrupt or stale entry: just re-run
+    if not isinstance(result, ExperimentResult):
+        return None
+    result.from_cache = True
+    return result
+
+
+def _store_cached(cache_dir: Path, key: str, result: ExperimentResult) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = _cache_path(cache_dir, key)
+    # Write-then-rename so a parallel worker never reads a torn entry.
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with tmp.open("wb") as handle:
+        pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def _execute(spec: ExperimentSpec) -> ExperimentResult:
+    result = run_experiment(spec)
+    result.from_cache = False
+    return result
+
+
+def _execute_indexed(item):
+    """Pool worker: (index, spec) -> (index, result)."""
+    index, spec = item
+    return index, _execute(spec)
+
+
+def run_specs(
+    specs: Sequence[ExperimentSpec],
+    jobs: int = 1,
+    cache_dir: Optional[os.PathLike] = None,
+) -> List[ExperimentResult]:
+    """Run experiments, in input order, with optional parallelism + cache.
+
+    ``jobs`` caps the worker-process count (clamped to the number of
+    experiments actually missing from the cache); ``jobs=1`` runs inline.
+    Cached results carry ``from_cache=True``, fresh ones ``False``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    specs = list(specs)
+    cache = Path(cache_dir) if cache_dir is not None else None
+    results: List[Optional[ExperimentResult]] = [None] * len(specs)
+    missing: List[int] = []
+    keys: List[Optional[str]] = [None] * len(specs)
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            keys[index] = spec_key(spec)
+            cached = _load_cached(cache, keys[index])
+            if cached is not None:
+                results[index] = cached
+                continue
+        missing.append(index)
+
+    if missing:
+        jobs = min(jobs, len(missing))
+        if jobs == 1:
+            for index in missing:
+                results[index] = _execute(specs[index])
+        else:
+            # Local import: multiprocessing drags in fork machinery nobody
+            # needs for the serial path.
+            from multiprocessing import Pool
+
+            with Pool(processes=jobs) as pool:
+                for index, result in pool.imap_unordered(
+                    _execute_indexed, [(i, specs[i]) for i in missing]
+                ):
+                    results[index] = result
+        if cache is not None:
+            for index in missing:
+                _store_cached(cache, keys[index], results[index])
+
+    return results  # type: ignore[return-value]

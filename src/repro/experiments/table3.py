@@ -12,10 +12,10 @@ daemon is reduced by one to two orders of magnitude."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.config import SimScale
-from repro.experiments.harness import run_multiprogram, run_version_suite
+from repro.experiments.harness import run_suite_grid
 from repro.experiments.report import format_table
 from repro.workloads.base import OutOfCoreWorkload
 from repro.workloads.suite import BENCHMARKS
@@ -58,12 +58,15 @@ class Table3Result:
 def run_table3(
     scale: SimScale,
     workloads: Optional[Sequence[OutOfCoreWorkload]] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Table3Result:
     if workloads is None:
         workloads = list(BENCHMARKS.values())
+    grid = run_suite_grid(scale, workloads, "OR", jobs=jobs, cache_dir=cache_dir)
     result = Table3Result(scale=scale.name)
     for workload in workloads:
-        suite = run_version_suite(scale, workload, "OR")
+        suite = grid[workload.name]
         original = suite["O"]
         release = suite["R"]
         result.rows.append(

@@ -93,11 +93,14 @@ class KernelProcess:
 class Kernel:
     """The simulated machine: VM + swap + daemons + policy modules."""
 
-    def __init__(self, engine: Engine, scale: SimScale) -> None:
+    def __init__(self, engine: Engine, scale: SimScale, obs=None) -> None:
         self.engine = engine
         self.scale = scale
+        self.obs = obs
         self.swap = StripedSwap(engine, scale.disk)
+        self.swap.obs = obs
         self.vm = VmSystem(engine, scale, self.swap)
+        self.vm.obs = obs
         self.releaser = Releaser(engine, self.vm, scale.tunables)
         self.paging_daemon = PagingDaemon(engine, self.vm, scale.tunables)
         self.vm.releaser = self.releaser
@@ -106,9 +109,9 @@ class Kernel:
         self._started = False
 
     @classmethod
-    def boot(cls, engine: Engine, scale: SimScale) -> "Kernel":
+    def boot(cls, engine: Engine, scale: SimScale, obs=None) -> "Kernel":
         """Construct and start the system daemons."""
-        kernel = cls(engine, scale)
+        kernel = cls(engine, scale, obs=obs)
         kernel.start()
         return kernel
 

@@ -57,6 +57,11 @@ class PagingDirectedPm(PolicyModule):
         if not self.covers(vpn):
             raise ValueError(f"vpn {vpn} outside {self!r}")
         self.prefetch_requests += 1
+        if self.vm.obs is not None:
+            self.vm.obs.emit(
+                "kernel.syscall",
+                {"syscall": "pm_prefetch", "aspace": self.aspace.name},
+            )
         yield from task.system(self.vm.machine.syscall_s)
         brought_in = yield from self.vm.prefetch_page(task, self.aspace, vpn)
         self.shared_page.refresh()
@@ -74,6 +79,11 @@ class PagingDirectedPm(PolicyModule):
             raise ValueError("release request outside the PM's range")
         self.release_requests += 1
         self.release_pages_requested += len(pages)
+        if self.vm.obs is not None:
+            self.vm.obs.emit(
+                "kernel.syscall",
+                {"syscall": "pm_release", "aspace": self.aspace.name},
+            )
         yield from task.system(self.vm.machine.syscall_s)
         accepted = self.vm.request_release(self.aspace, pages)
         return accepted

@@ -65,6 +65,15 @@ class SharedPage:
         self.upper_limit = min(
             maxrss, current + free - tunables.min_freemem_pages
         )
+        if vm.obs is not None:
+            vm.obs.emit(
+                "kernel.shared_page",
+                {
+                    "aspace": self._aspace.name,
+                    "usage": self.current_usage,
+                    "limit": self.upper_limit,
+                },
+            )
 
     def headroom(self) -> int:
         """Pages the process may still compete for before hitting the limit."""

@@ -1,0 +1,490 @@
+"""The composition root: one simulated machine, built from a declarative spec.
+
+:class:`Machine` is the only place in the repository that wires an
+:class:`~repro.sim.engine.Engine`, a :class:`~repro.kernel.kernel.Kernel`
+(which owns the striped swap, the VM system, and the daemons), workload
+processes, and the optional instrumentation bus together.  Everything above
+it — the experiment harness, the figure modules, the CLI, the paper-scale
+script — describes *what* to run as an :class:`ExperimentSpec` and hands it
+here.
+
+An :class:`ExperimentSpec` is a frozen value object: a
+:class:`~repro.config.SimScale` plus any number of
+:class:`WorkloadProcessSpec` entries (out-of-core benchmarks in one of the
+four versions, or instances of the paper's interactive task), each with an
+optional start offset.  Because it is declarative and deterministic, a spec
+can be content-hashed — the parallel runner
+(:mod:`repro.experiments.runner`) uses this to fan specs out across CPU
+cores and cache results on disk.
+
+The run ends when every *bounded* process has completed: out-of-core
+benchmarks always are, and an interactive task is bounded when its spec
+gives a ``sweeps`` count.  Unbounded interactive tasks are stopped at that
+point, exactly like the seed harness did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import SimScale
+from repro.core.runtime.layer import RuntimeLayer, RuntimeStats
+from repro.core.runtime.policies import VERSIONS
+from repro.kernel.kernel import Kernel
+from repro.obs import Bus, Sink
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.stats import TimeBuckets
+from repro.vm.stats import AddressSpaceStats, VmStats
+from repro.workloads.base import app_driver, build_layout
+from repro.workloads.interactive import InteractiveTask, SweepSample
+from repro.workloads.suite import BENCHMARKS
+
+__all__ = [
+    "INTERACTIVE",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Machine",
+    "ProcessResult",
+    "SpecError",
+    "StepBudgetExceeded",
+    "WorkloadProcessSpec",
+    "run_experiment",
+]
+
+#: Workload name selecting the paper's interactive task (Section 1.1)
+#: instead of an out-of-core benchmark.
+INTERACTIVE = "INTERACTIVE"
+
+
+class SpecError(ValueError):
+    """An :class:`ExperimentSpec` that cannot be built into a machine."""
+
+
+class StepBudgetExceeded(RuntimeError):
+    """The experiment exceeded ``SimScale.max_engine_steps`` engine events.
+
+    Carries the simulated time reached and each process's time buckets at
+    the moment the budget ran out, so a runaway configuration can be
+    diagnosed from the exception alone.
+    """
+
+    def __init__(
+        self,
+        budget: int,
+        elapsed_s: float,
+        buckets: Dict[str, TimeBuckets],
+    ) -> None:
+        self.budget = budget
+        self.elapsed_s = elapsed_s
+        self.buckets = buckets
+        detail = ", ".join(
+            f"{name}: {bucket.total:.3f}s" for name, bucket in buckets.items()
+        )
+        super().__init__(
+            f"experiment exceeded the engine step budget of {budget} "
+            f"at simulated time {elapsed_s:.3f}s ({detail})"
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadProcessSpec:
+    """One simulated process within an experiment.
+
+    ``workload`` is a benchmark name from :data:`repro.workloads.BENCHMARKS`
+    or :data:`INTERACTIVE`.  ``version`` (O/P/R/B) applies to out-of-core
+    benchmarks only; ``sleep_time_s`` and ``sweeps`` apply to the
+    interactive task only (``sleep_time_s=None`` means the scale's
+    intermediate sleep; ``sweeps=None`` means "run until the bounded
+    processes finish").  ``start_offset_s`` delays the process's first
+    activity.
+    """
+
+    workload: str
+    version: str = "O"
+    start_offset_s: float = 0.0
+    sleep_time_s: Optional[float] = None
+    sweeps: Optional[int] = None
+    name: Optional[str] = None
+
+    @property
+    def is_interactive(self) -> bool:
+        return self.workload.upper() == INTERACTIVE
+
+    @property
+    def bounded(self) -> bool:
+        """Does this process's completion end the experiment?"""
+        return not self.is_interactive or self.sweeps is not None
+
+    def validate(self) -> None:
+        if self.is_interactive:
+            if self.sweeps is not None and self.sweeps <= 0:
+                raise SpecError(f"sweeps must be positive, got {self.sweeps}")
+        else:
+            if self.workload.upper() not in BENCHMARKS:
+                raise SpecError(
+                    f"unknown workload {self.workload!r}; choose from "
+                    f"{sorted(BENCHMARKS)} or {INTERACTIVE!r}"
+                )
+            if self.version not in VERSIONS:
+                raise SpecError(
+                    f"unknown version {self.version!r}; choose from "
+                    f"{sorted(VERSIONS)}"
+                )
+        if self.start_offset_s < 0:
+            raise SpecError(f"negative start offset: {self.start_offset_s}")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, declarative description of one experiment."""
+
+    scale: SimScale
+    processes: Tuple[WorkloadProcessSpec, ...]
+
+    def validate(self) -> None:
+        if not self.processes:
+            raise SpecError("an experiment needs at least one process")
+        for process in self.processes:
+            process.validate()
+        if not any(process.bounded for process in self.processes):
+            raise SpecError(
+                "no bounded process: give an out-of-core workload or an "
+                "interactive task with a sweeps count"
+            )
+
+    def with_scale_overrides(self, **kwargs) -> "ExperimentSpec":
+        """Copy with top-level :class:`SimScale` fields replaced."""
+        return replace(self, scale=self.scale.with_overrides(**kwargs))
+
+    # -- common shapes -----------------------------------------------------
+    @staticmethod
+    def multiprogram(
+        scale: SimScale,
+        workload: str,
+        version: str = "R",
+        sleep_time_s: Optional[float] = None,
+        with_interactive: bool = True,
+    ) -> "ExperimentSpec":
+        """The paper's standard mix: one hog, optionally one interactive."""
+        processes = [WorkloadProcessSpec(workload=workload, version=version)]
+        if with_interactive:
+            processes.append(
+                WorkloadProcessSpec(
+                    workload=INTERACTIVE, sleep_time_s=sleep_time_s
+                )
+            )
+        return ExperimentSpec(scale=scale, processes=tuple(processes))
+
+    @staticmethod
+    def interactive_alone(
+        scale: SimScale, sleep_time_s: float, sweeps: int = 8
+    ) -> "ExperimentSpec":
+        """The dedicated-machine baseline of Figures 1 and 10."""
+        return ExperimentSpec(
+            scale=scale,
+            processes=(
+                WorkloadProcessSpec(
+                    workload=INTERACTIVE,
+                    sleep_time_s=sleep_time_s,
+                    sweeps=sweeps,
+                ),
+            ),
+        )
+
+
+@dataclass
+class ProcessResult:
+    """Everything measured from one process of an experiment."""
+
+    name: str
+    workload: str
+    version: str
+    interactive: bool
+    completed: bool
+    buckets: TimeBuckets
+    stats: AddressSpaceStats
+    worker_buckets: Optional[TimeBuckets] = None
+    runtime: Optional[RuntimeStats] = None
+    sleep_time_s: Optional[float] = None
+    sweeps: List[SweepSample] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentResult:
+    """Spec in, measurements out — the unit the runner caches."""
+
+    spec: ExperimentSpec
+    scale: str
+    elapsed_s: float
+    engine_steps: int
+    processes: List[ProcessResult]
+    vm: VmStats
+    swap: Dict[str, float]
+    #: Set by the runner: True when this result was loaded from the on-disk
+    #: cache rather than simulated in this invocation.
+    from_cache: bool = False
+
+    def process(self, name: str) -> ProcessResult:
+        for process in self.processes:
+            if process.name == name:
+                return process
+        raise KeyError(name)
+
+    @property
+    def out_of_core(self) -> List[ProcessResult]:
+        return [p for p in self.processes if not p.interactive]
+
+    @property
+    def interactives(self) -> List[ProcessResult]:
+        return [p for p in self.processes if p.interactive]
+
+    @property
+    def primary(self) -> ProcessResult:
+        """The first out-of-core process (most results revolve around it)."""
+        hogs = self.out_of_core
+        if not hogs:
+            raise KeyError("experiment has no out-of-core process")
+        return hogs[0]
+
+
+class _Attached:
+    """Bookkeeping for one process attached to a machine."""
+
+    __slots__ = (
+        "wspec",
+        "name",
+        "kprocess",
+        "runtime",
+        "interactive",
+        "process",
+        "sleep_time_s",
+    )
+
+    def __init__(self, wspec: WorkloadProcessSpec, name: str) -> None:
+        self.wspec = wspec
+        self.name = name
+        self.kprocess = None
+        self.runtime: Optional[RuntimeLayer] = None
+        self.interactive: Optional[InteractiveTask] = None
+        self.process = None  # the sim Process driving this workload
+        self.sleep_time_s: Optional[float] = None
+
+
+def _delayed(engine: Engine, generator, delay: float):
+    """Wrap a process generator with an initial idle delay."""
+    yield engine.timeout(delay)
+    result = yield from generator
+    return result
+
+
+class Machine:
+    """The simulated machine, fully wired: engine + kernel + processes.
+
+    Build it from a spec (:meth:`from_spec` or :func:`run_experiment`) or
+    construct it empty and attach processes programmatically with
+    :meth:`add_out_of_core` / :meth:`add_interactive`.
+    """
+
+    def __init__(self, scale: SimScale, sinks: Iterable[Sink] = ()) -> None:
+        self.scale = scale
+        self.engine = Engine()
+        sinks = tuple(sinks)
+        self.bus: Optional[Bus] = Bus(self.engine, sinks) if sinks else None
+        self.engine.obs = self.bus
+        self.kernel = Kernel.boot(self.engine, scale, obs=self.bus)
+        self._attached: List[_Attached] = []
+        self._names: Dict[str, int] = {}
+        self._spec: Optional[ExperimentSpec] = None
+        self._finished = False
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec, sinks: Iterable[Sink] = ()) -> "Machine":
+        spec.validate()
+        machine = cls(spec.scale, sinks=sinks)
+        machine._spec = spec
+        # Build in the same order the seed harness did, so event sequences
+        # (and therefore every reproduced figure) are bit-identical: first
+        # every out-of-core process and its runtime layer, then the
+        # interactive tasks, then the application drivers.
+        hogs = [w for w in spec.processes if not w.is_interactive]
+        interactives = [w for w in spec.processes if w.is_interactive]
+        prepared = [machine._prepare_out_of_core(w) for w in hogs]
+        for wspec in interactives:
+            machine.add_interactive(wspec)
+        for attached, driver in prepared:
+            machine._spawn(attached, driver)
+        return machine
+
+    def _unique_name(self, base: str) -> str:
+        count = self._names.get(base, 0) + 1
+        self._names[base] = count
+        return base if count == 1 else f"{base}-{count}"
+
+    def _prepare_out_of_core(self, wspec: WorkloadProcessSpec):
+        """Create the kernel process, PM, and runtime layer; return the
+        handle plus the (not yet spawned) driver generator."""
+        workload = BENCHMARKS[wspec.workload.upper()]
+        version = VERSIONS[wspec.version]
+        scale = self.scale
+        attached = _Attached(wspec, self._unique_name(wspec.name or workload.name))
+        instance = workload.build(scale)
+        process = self.kernel.create_process(attached.name)
+        layout = build_layout(process, instance, scale.machine.page_size)
+        pm = self.kernel.attach_paging_directed(process)
+        runtime = RuntimeLayer(process, pm, scale.runtime, version)
+        compiled = instance.compiled(scale)
+        attached.kprocess = process
+        attached.runtime = runtime
+        driver = app_driver(
+            process, runtime, compiled, instance, layout, version, scale
+        )
+        self._attached.append(attached)
+        return attached, driver
+
+    def _spawn(self, attached: _Attached, driver) -> None:
+        if attached.wspec.start_offset_s > 0:
+            driver = _delayed(self.engine, driver, attached.wspec.start_offset_s)
+        attached.process = self.engine.process(driver, name=attached.name)
+
+    def add_out_of_core(self, wspec: WorkloadProcessSpec) -> _Attached:
+        """Attach one out-of-core benchmark process, ready to run."""
+        wspec.validate()
+        attached, driver = self._prepare_out_of_core(wspec)
+        self._spawn(attached, driver)
+        return attached
+
+    def add_interactive(self, wspec: WorkloadProcessSpec) -> _Attached:
+        """Attach one instance of the paper's interactive task."""
+        wspec.validate()
+        scale = self.scale
+        sleep = (
+            wspec.sleep_time_s
+            if wspec.sleep_time_s is not None
+            else scale.intermediate_sleep_s
+        )
+        attached = _Attached(wspec, self._unique_name(wspec.name or "interactive"))
+        task = InteractiveTask(self.kernel, scale, sleep, name=attached.name)
+        attached.interactive = task
+        attached.kprocess = task.process
+        attached.sleep_time_s = sleep
+        sweeps = wspec.sweeps
+        if sweeps is None:
+            driver = task.run()
+        else:
+            driver = self._bounded_sweeps(task, sweeps)
+        self._spawn(attached, driver)
+        self._attached.append(attached)
+        return attached
+
+    @staticmethod
+    def _bounded_sweeps(task: InteractiveTask, sweeps: int):
+        runner = task.run()
+        # Drive the task's generator until enough sweeps are recorded.
+        for event in runner:
+            yield event
+            if len(task.samples) >= sweeps:
+                task.stop()
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> "Machine":
+        """Drive the engine until every bounded process completes.
+
+        Raises :class:`StepBudgetExceeded` past ``scale.max_engine_steps``
+        and re-raises the first failure of any bounded process.
+        """
+        bounded = [a.process for a in self._attached if a.wspec.bounded]
+        if not bounded:
+            raise SpecError("machine has no bounded process to wait for")
+        done = self.engine.all_of(bounded)
+        engine = self.engine
+        budget = self.scale.max_engine_steps
+        while not done.triggered:
+            if engine.steps >= budget:
+                raise StepBudgetExceeded(
+                    budget,
+                    engine.now,
+                    {
+                        a.name: a.kprocess.task.buckets
+                        for a in self._attached
+                        if a.kprocess is not None
+                    },
+                )
+            try:
+                engine.step()
+            except IndexError:
+                raise SimulationError(
+                    "event queue drained before the bounded processes "
+                    "completed (deadlock)"
+                ) from None
+        if not done.ok:
+            raise done.value
+        for attached in self._attached:
+            if attached.interactive is not None:
+                attached.interactive.stop()
+        self._finished = True
+        return self
+
+    # -- reporting ---------------------------------------------------------
+    def result(self) -> ExperimentResult:
+        """Snapshot everything the figures and tables need."""
+        swap = self.kernel.swap.stats
+        processes: List[ProcessResult] = []
+        for attached in self._attached:
+            wspec = attached.wspec
+            completed = attached.process.triggered and attached.process.ok
+            processes.append(
+                ProcessResult(
+                    name=attached.name,
+                    workload=wspec.workload.upper(),
+                    version="" if wspec.is_interactive else wspec.version,
+                    interactive=wspec.is_interactive,
+                    completed=completed,
+                    buckets=attached.kprocess.task.buckets,
+                    stats=attached.kprocess.aspace.stats,
+                    worker_buckets=(
+                        attached.runtime.worker_time()
+                        if attached.runtime is not None
+                        else None
+                    ),
+                    runtime=(
+                        attached.runtime.stats
+                        if attached.runtime is not None
+                        else None
+                    ),
+                    sleep_time_s=attached.sleep_time_s,
+                    sweeps=(
+                        list(attached.interactive.samples)
+                        if attached.interactive is not None
+                        else []
+                    ),
+                )
+            )
+        return ExperimentResult(
+            spec=self._spec
+            if self._spec is not None
+            else ExperimentSpec(
+                scale=self.scale,
+                processes=tuple(a.wspec for a in self._attached),
+            ),
+            scale=self.scale.name,
+            elapsed_s=self.engine.now,
+            engine_steps=self.engine.steps,
+            processes=processes,
+            vm=self.kernel.vm.finalize_stats(),
+            swap={
+                "demand_reads": swap.demand_reads,
+                "prefetch_reads": swap.prefetch_reads,
+                "writebacks": swap.writebacks,
+                "mean_demand_latency_s": self.kernel.swap.mean_latency("demand"),
+                "mean_prefetch_latency_s": self.kernel.swap.mean_latency("prefetch"),
+            },
+        )
+
+
+def run_experiment(
+    spec: ExperimentSpec, sinks: Sequence[Sink] = ()
+) -> ExperimentResult:
+    """Build a machine from the spec, run it, and return the result."""
+    return Machine.from_spec(spec, sinks=sinks).run().result()

@@ -1,0 +1,44 @@
+"""The instrumentation bus: cross-layer observability for the simulation.
+
+Components (`sim.engine`, `disk`, `vm`, `kernel`) carry an ``obs`` attribute
+that is ``None`` by default; every emit site is guarded by a single ``is not
+None`` check, so with no sinks attached the instrumentation costs one
+attribute load per site — within measurement noise on the full test suite.
+
+When a :class:`~repro.machine.Machine` is built with sinks, it constructs one
+:class:`Bus` and threads it through every layer.  Two sinks are bundled:
+
+- :class:`TraceRecorder` — a bounded structured event trace (newest events
+  kept, drop count reported);
+- :class:`MetricsAggregator` — event counts and per-kind aggregates, giving a
+  single cross-layer view that used to require stitching together the
+  scattered ``VmStats``/``RuntimeStats``/``SwapStats`` objects by hand.
+
+Event vocabulary (kind → payload fields):
+
+- ``engine.dispatch`` — one event popped from the queue (``event``);
+- ``engine.switch`` — a process resumed (``process``);
+- ``disk.issue`` / ``disk.complete`` — one swap transfer
+  (``disk``, ``purpose``, ``write``; complete adds ``latency_s``);
+- ``vm.fault`` — slow-path touch resolved (``kind``, ``aspace``, ``vpn``);
+- ``vm.prefetch`` — prefetch request outcome (``aspace``, ``vpn``,
+  ``outcome`` ∈ duplicate/rescued/discarded/issued);
+- ``vm.release_request`` — PM-side release (``aspace``, ``accepted``);
+- ``vm.release`` — releaser processed one work item (``aspace``,
+  ``requested``, ``freed``);
+- ``vm.clock_pass`` — one paging-daemon pass (``stolen``);
+- ``kernel.syscall`` — PM syscall crossing (``syscall``, ``aspace``);
+- ``kernel.shared_page`` — shared page refreshed (``aspace``, ``usage``,
+  ``limit``).
+"""
+
+from repro.obs.bus import Bus, Sink, TraceEvent
+from repro.obs.sinks import MetricsAggregator, TraceRecorder
+
+__all__ = [
+    "Bus",
+    "MetricsAggregator",
+    "Sink",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,50 @@
+"""The bus proper: timestamping fan-out from emit sites to sinks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["Bus", "Sink", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event as delivered to sinks."""
+
+    time: float
+    kind: str
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+class Sink:
+    """Base class for event sinks (duck typing suffices; this documents the
+    protocol and provides a no-op default)."""
+
+    def on_event(
+        self, time: float, kind: str, payload: Optional[Dict[str, object]]
+    ) -> None:  # pragma: no cover - interface default
+        """Receive one event.  ``payload`` may be ``None`` for events with
+        no fields; sinks must not mutate it."""
+
+
+class Bus:
+    """Fans events out to sinks, stamping them with the engine clock.
+
+    A ``Bus`` only exists while at least one sink is attached; components
+    hold ``obs = None`` otherwise, which is the zero-overhead-when-disabled
+    contract.
+    """
+
+    __slots__ = ("engine", "sinks")
+
+    def __init__(self, engine, sinks: Iterable[Sink]) -> None:
+        self.engine = engine
+        self.sinks: List[Sink] = list(sinks)
+        if not self.sinks:
+            raise ValueError("a Bus requires at least one sink")
+
+    def emit(self, kind: str, payload: Optional[Dict[str, object]] = None) -> None:
+        now = self.engine.now
+        for sink in self.sinks:
+            sink.on_event(now, kind, payload)

@@ -267,6 +267,9 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         engine = self.engine
+        obs = engine.obs
+        if obs is not None:
+            obs.emit("engine.switch", {"process": self.name})
         previous = engine.active_process
         engine.active_process = self
         try:
@@ -305,6 +308,10 @@ class Engine:
         self._queue: List[Tuple[float, int, Event]] = []
         self._sequence = 0
         self.active_process: Optional[Process] = None
+        #: Total events dispatched; drives the experiment step budget.
+        self.steps = 0
+        #: Instrumentation bus (:mod:`repro.obs`), or None when disabled.
+        self.obs = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -341,6 +348,9 @@ class Engine:
         if time < self._now:
             raise SimulationError("time went backwards")
         self._now = time
+        self.steps += 1
+        if self.obs is not None:
+            self.obs.emit("engine.dispatch", {"event": type(event).__name__})
         event._run_callbacks()
 
     def peek(self) -> float:

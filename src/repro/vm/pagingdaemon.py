@@ -95,8 +95,10 @@ class PagingDaemon:
                 continue
             self.vm.stats.daemon_runs += 1
             started = self.engine.now
-            yield from self._clock_pass()
+            stolen = yield from self._clock_pass()
             self.vm.stats.daemon_active_time += self.engine.now - started
+            if self.vm.obs is not None:
+                self.vm.obs.emit("vm.clock_pass", {"stolen": stolen})
 
     def _clock_pass(self):
         """Advance the hands until free memory reaches the target or a full
@@ -106,9 +108,11 @@ class PagingDaemon:
         target = self._target()
         batch = tunables.daemon_lock_batch_pages
         steps = 0
+        stolen_total = 0
         while vm.freelist.free_count < target and steps < self._nframes:
             lead_frames, steal_candidates = self._collect_batch(batch)
             stolen = yield from self._process_batch(lead_frames, steal_candidates)
+            stolen_total += stolen
             steps += batch
             # Pacing: the hands move at the pressure-scaled scan rate.  The
             # pacing delay happens with no locks held; only the PTE work
@@ -120,6 +124,7 @@ class PagingDaemon:
             pace = max(0.0, batch / rate - work_time)
             if pace > 0:
                 yield self.engine.timeout(pace)
+        return stolen_total
 
     def _collect_batch(self, batch: int):
         """Gather the frames the two hands will pass over this batch."""

@@ -66,6 +66,7 @@ class Releaser:
         while True:
             item: ReleaseWorkItem = yield self.queue.get()
             started = self.engine.now
+            freed_before = vm.stats.releaser_pages_freed
             aspace = item.aspace
             vpns = item.vpns
             for start in range(0, len(vpns), batch_size):
@@ -98,3 +99,12 @@ class Releaser:
             if aspace.shared_page is not None:
                 aspace.shared_page.refresh()
             vm.stats.releaser_active_time += self.engine.now - started
+            if vm.obs is not None:
+                vm.obs.emit(
+                    "vm.release",
+                    {
+                        "aspace": aspace.name,
+                        "requested": len(vpns),
+                        "freed": vm.stats.releaser_pages_freed - freed_before,
+                    },
+                )

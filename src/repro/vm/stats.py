@@ -11,7 +11,7 @@ Two levels:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["AddressSpaceStats", "VmStats"]

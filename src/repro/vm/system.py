@@ -62,6 +62,8 @@ class VmSystem:
         self.stats = VmStats()
         self.address_spaces: List[AddressSpace] = []
         self._next_asid = 1
+        # Instrumentation bus (:mod:`repro.obs`), or None when disabled.
+        self.obs = None
         # Wired in by the kernel after construction.
         self.paging_daemon = None
         self.releaser = None
@@ -84,6 +86,12 @@ class VmSystem:
     def _notify_daemon(self) -> None:
         if self.paging_daemon is not None:
             self.paging_daemon.notify()
+
+    def _emit_fault(self, aspace: AddressSpace, vpn: int, kind: str) -> None:
+        if self.obs is not None:
+            self.obs.emit(
+                "vm.fault", {"kind": kind, "aspace": aspace.name, "vpn": vpn}
+            )
 
     # -- the fast path ------------------------------------------------------
     def touch_fast(self, aspace: AddressSpace, vpn: int, write: bool) -> bool:
@@ -124,6 +132,7 @@ class VmSystem:
                 frame.referenced = True
                 if write:
                     frame.dirty = True
+                self._emit_fault(aspace, vpn, FaultKind.PREFETCH_VALIDATE)
                 return FaultKind.PREFETCH_VALIDATE
             if frame.release_pending:
                 kind = FaultKind.RELEASE_REVALIDATE
@@ -165,6 +174,7 @@ class VmSystem:
             finally:
                 aspace.lock.release()
             self._refresh_shared(aspace)
+            self._emit_fault(aspace, vpn, kind)
             return kind
 
         # Not mapped: try to rescue it from the free list.
@@ -191,6 +201,7 @@ class VmSystem:
             if write:
                 frame.dirty = True
             self._refresh_shared(aspace)
+            self._emit_fault(aspace, vpn, FaultKind.RESCUE)
             return FaultKind.RESCUE
 
         # Hard fault: allocate and read from swap.
@@ -214,6 +225,7 @@ class VmSystem:
         if write:
             frame.dirty = True
         self._refresh_shared(aspace)
+        self._emit_fault(aspace, vpn, FaultKind.HARD)
         return FaultKind.HARD
 
     # -- allocation ---------------------------------------------------------
@@ -252,9 +264,15 @@ class VmSystem:
         prefetch); on completion the page is left unvalidated with no TLB
         entry.  Returns True if a page was brought in.
         """
+        obs = self.obs
         if aspace.is_present(vpn):
             # Already in memory (possibly with the I/O still in flight).
             aspace.stats.prefetches_duplicate += 1
+            if obs is not None:
+                obs.emit(
+                    "vm.prefetch",
+                    {"aspace": aspace.name, "vpn": vpn, "outcome": "duplicate"},
+                )
             return False
         rescued = self.freelist.rescue(aspace, vpn)
         if rescued is not None:
@@ -268,15 +286,30 @@ class VmSystem:
             aspace.stats.rescues += 1
             if aspace.shared_page is not None:
                 aspace.shared_page.set_bit(vpn)
+            if obs is not None:
+                obs.emit(
+                    "vm.prefetch",
+                    {"aspace": aspace.name, "vpn": vpn, "outcome": "rescued"},
+                )
             return True
         frame = self.allocate_nowait()
         if frame is None:
             aspace.stats.prefetches_discarded += 1
             self._notify_daemon()
+            if obs is not None:
+                obs.emit(
+                    "vm.prefetch",
+                    {"aspace": aspace.name, "vpn": vpn, "outcome": "discarded"},
+                )
             return False
         aspace.attach(vpn, frame)
         aspace.stats.allocations += 1
         aspace.stats.prefetches_issued += 1
+        if obs is not None:
+            obs.emit(
+                "vm.prefetch",
+                {"aspace": aspace.name, "vpn": vpn, "outcome": "issued"},
+            )
         frame.from_prefetch = True
         inflight = self.engine.event()
         frame.in_transit = inflight
@@ -315,6 +348,11 @@ class VmSystem:
         if accepted and self.releaser is not None:
             self.releaser.enqueue(aspace, accepted)
         self._refresh_shared(aspace)
+        if self.obs is not None:
+            self.obs.emit(
+                "vm.release_request",
+                {"aspace": aspace.name, "accepted": len(accepted)},
+            )
         return len(accepted)
 
     # -- freeing ------------------------------------------------------------

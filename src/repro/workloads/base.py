@@ -15,8 +15,8 @@ time and routing every hint through the run-time layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.config import SimScale
 from repro.core.compiler.codegen import CompiledProgram

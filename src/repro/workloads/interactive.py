@@ -12,12 +12,11 @@ needs no modification: only the memory hog changes its behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.config import SimScale
 from repro.kernel.kernel import Kernel, KernelProcess
-from repro.sim.engine import Event
 
 __all__ = ["InteractiveTask", "SweepSample"]
 

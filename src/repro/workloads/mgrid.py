@@ -41,7 +41,6 @@ from repro.core.compiler.ir import (
     Stmt,
     Symbol,
     VaryingStrideRef,
-    affine,
 )
 from repro.workloads.base import OutOfCoreWorkload, WorkloadInstance
 

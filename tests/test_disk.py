@@ -6,7 +6,6 @@ from repro.config import DiskParams
 from repro.disk.adapter import ScsiAdapter
 from repro.disk.device import DiskDevice
 from repro.disk.swap import StripedSwap
-from repro.sim.engine import Engine
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 from repro.config import CompilerParams, MachineConfig
 from repro.core.compiler.interp import nest_ops
 from repro.core.compiler.ir import (
-    AffineExpr,
     Array,
     ArrayRef,
     IndirectRef,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import paper, small, tiny
 from repro.kernel import Kernel
-from repro.sim.engine import Engine
 from repro.workloads.interactive import InteractiveTask
 
 from tests.helpers import drive

@@ -1,6 +1,5 @@
 """Unit tests for locality analysis and hint insertion."""
 
-import pytest
 
 from repro.config import CompilerParams
 from repro.core.compiler.insertion import plan_hints, prefetch_distance, release_priority

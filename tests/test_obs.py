@@ -1,0 +1,111 @@
+"""The instrumentation bus: disabled by default, faithful when enabled."""
+
+import pytest
+
+from repro.machine import ExperimentSpec, Machine
+from repro.obs import Bus, MetricsAggregator, TraceRecorder
+from repro.sim.engine import Engine
+from repro.vm.system import FaultKind
+
+
+def test_obs_is_disabled_by_default(kernel, engine):
+    assert engine.obs is None
+    assert kernel.obs is None
+    assert kernel.vm.obs is None
+    assert kernel.swap.obs is None
+
+
+def test_bus_requires_a_sink(engine):
+    with pytest.raises(ValueError):
+        Bus(engine, [])
+
+
+def test_machine_without_sinks_has_no_bus(scale):
+    machine = Machine(scale)
+    assert machine.bus is None
+    assert machine.engine.obs is None
+
+
+def test_bus_stamps_events_with_engine_time():
+    engine = Engine()
+    recorder = TraceRecorder()
+    bus = Bus(engine, [recorder])
+    engine._now = 1.5
+    bus.emit("vm.clock_pass", {"stolen": 3})
+    (event,) = recorder.events
+    assert event.time == 1.5
+    assert event.kind == "vm.clock_pass"
+    assert event.payload == {"stolen": 3}
+
+
+def test_trace_recorder_is_bounded():
+    recorder = TraceRecorder(limit=10)
+    for index in range(25):
+        recorder.on_event(float(index), "engine.dispatch", None)
+    assert recorder.seen == 25
+    assert len(recorder.events) == 10
+    assert recorder.dropped == 15
+    assert recorder.events[0].time == 15.0
+    assert "15 earlier events dropped" in recorder.format()
+
+
+def test_trace_recorder_kind_filter():
+    recorder = TraceRecorder(kinds={"vm.fault"})
+    recorder.on_event(0.0, "engine.dispatch", None)
+    recorder.on_event(0.1, "vm.fault", {"kind": "hard"})
+    assert [e.kind for e in recorder.events] == ["vm.fault"]
+
+
+def _run_instrumented(scale, *sinks):
+    machine = Machine.from_spec(
+        ExperimentSpec.multiprogram(scale, "MATVEC", "R"), sinks=sinks
+    )
+    machine.run()
+    return machine
+
+
+def test_metrics_aggregator_matches_subsystem_stats(scale):
+    metrics = MetricsAggregator()
+    machine = _run_instrumented(scale, metrics)
+    result = machine.result()
+
+    hard = sum(p.stats.hard_faults for p in result.processes)
+    soft = sum(p.stats.soft_faults for p in result.processes)
+    assert metrics.faults_by_kind.get(FaultKind.HARD, 0) == hard
+    assert metrics.faults_by_kind.get(FaultKind.SOFT, 0) == soft
+    assert metrics.pages_released == result.vm.releaser_pages_freed
+    assert metrics.pages_stolen == result.vm.daemon_pages_stolen
+    demand = metrics.disk_requests.get("demand", 0)
+    assert demand == result.swap["demand_reads"]
+    if demand:
+        assert metrics.mean_disk_latency("demand") == pytest.approx(
+            result.swap["mean_demand_latency_s"]
+        )
+    assert metrics.counts["engine.dispatch"] == result.engine_steps
+    snapshot = metrics.snapshot()
+    assert snapshot["pages_released"] == result.vm.releaser_pages_freed
+
+
+def test_instrumented_run_is_identical_to_bare_run(scale):
+    """Observation must never perturb the simulation itself."""
+    from repro.machine import run_experiment
+
+    spec = ExperimentSpec.multiprogram(scale, "MATVEC", "B")
+    bare = run_experiment(spec)
+    observed = run_experiment(spec, sinks=(MetricsAggregator(),))
+    assert observed.elapsed_s == bare.elapsed_s
+    assert observed.engine_steps == bare.engine_steps
+    assert observed.primary.buckets.as_dict() == bare.primary.buckets.as_dict()
+
+
+def test_trace_contains_cross_layer_events(scale):
+    recorder = TraceRecorder(limit=200_000)
+    _run_instrumented(scale, recorder)
+    kinds = {event.kind for event in recorder.events}
+    assert "engine.dispatch" in kinds
+    assert "engine.switch" in kinds
+    assert "disk.issue" in kinds
+    assert "disk.complete" in kinds
+    assert "vm.fault" in kinds
+    assert "kernel.syscall" in kinds
+    assert "kernel.shared_page" in kinds

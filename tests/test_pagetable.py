@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.kernel.shared_page import SharedPage
-from repro.sim.engine import Engine
 from repro.vm.frames import Frame
 from repro.vm.pagetable import AddressSpace
 

@@ -9,7 +9,6 @@ from repro.core.compiler.ir import (
     Loop,
     Nest,
     Stmt,
-    Symbol,
     VaryingStrideRef,
     affine,
 )

@@ -1,0 +1,87 @@
+"""The parallel runner: spec hashing, caching, and fan-out."""
+
+import pytest
+
+from repro.experiments.runner import run_specs, spec_key
+from repro.machine import ExperimentSpec
+from repro.sim.engine import Engine
+
+
+def _spec(scale, version="R"):
+    return ExperimentSpec.multiprogram(scale, "MATVEC", version)
+
+
+def test_spec_key_is_stable_and_discriminating(scale):
+    assert spec_key(_spec(scale)) == spec_key(_spec(scale))
+    assert spec_key(_spec(scale, "R")) != spec_key(_spec(scale, "B"))
+    assert spec_key(_spec(scale)) != spec_key(
+        _spec(scale.with_overrides(max_engine_steps=123))
+    )
+
+
+def test_run_specs_preserves_input_order(scale):
+    specs = [_spec(scale, v) for v in "RB"]
+    results = run_specs(specs)
+    assert [r.primary.version for r in results] == ["R", "B"]
+    assert all(not r.from_cache for r in results)
+
+
+def test_cached_rerun_performs_zero_simulation_steps(scale, tmp_path, monkeypatch):
+    cache = tmp_path / "cache"
+    spec = _spec(scale)
+    first = run_specs([spec], cache_dir=cache)[0]
+    assert not first.from_cache
+    assert first.engine_steps > 0
+
+    # Any attempt to simulate would now blow up: the result must come
+    # entirely from the cache.
+    def forbidden(self):
+        raise AssertionError("engine stepped on a cached spec")
+
+    monkeypatch.setattr(Engine, "step", forbidden)
+    second = run_specs([spec], cache_dir=cache)[0]
+    assert second.from_cache
+    assert second.elapsed_s == first.elapsed_s
+    assert second.engine_steps == first.engine_steps
+    assert second.primary.stats.hard_faults == first.primary.stats.hard_faults
+
+
+def test_cache_is_shared_across_overlapping_grids(scale, tmp_path, monkeypatch):
+    cache = tmp_path / "cache"
+    run_specs([_spec(scale, v) for v in "OR"], cache_dir=cache)
+    # A different grid overlapping on R: only B may simulate.
+    real_step = Engine.step
+    stepped = {"count": 0}
+
+    def counting(self):
+        stepped["count"] += 1
+        real_step(self)
+
+    monkeypatch.setattr(Engine, "step", counting)
+    results = run_specs([_spec(scale, v) for v in "RB"], cache_dir=cache)
+    assert results[0].from_cache and not results[1].from_cache
+    assert stepped["count"] == results[1].engine_steps
+
+
+def test_corrupt_cache_entry_is_recomputed(scale, tmp_path):
+    cache = tmp_path / "cache"
+    spec = _spec(scale)
+    run_specs([spec], cache_dir=cache)
+    entry = cache / f"{spec_key(spec)}.pkl"
+    entry.write_bytes(b"not a pickle")
+    result = run_specs([spec], cache_dir=cache)[0]
+    assert not result.from_cache
+    assert result.engine_steps > 0
+
+
+def test_parallel_pool_path_matches_serial(scale):
+    specs = [_spec(scale, v) for v in "RB"]
+    serial = run_specs(specs, jobs=1)
+    parallel = run_specs(specs, jobs=2)
+    assert [r.elapsed_s for r in parallel] == [r.elapsed_s for r in serial]
+    assert [r.engine_steps for r in parallel] == [r.engine_steps for r in serial]
+
+
+def test_rejects_nonpositive_jobs(scale):
+    with pytest.raises(ValueError):
+        run_specs([_spec(scale)], jobs=0)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.engine import Engine
 from repro.sim.sync import Lock, Resource, Store
 
 
