@@ -41,6 +41,8 @@ from repro.experiments import (
 )
 from repro.experiments.harness import multiprogram_spec, to_multiprogram
 from repro.experiments.report import format_table
+from repro.experiments.runner import cache_entries, prune_cache
+from repro.faults import EMPTY_PLAN, FaultPlan
 from repro.machine import ExperimentSpec, WorkloadProcessSpec, run_experiment
 from repro.obs import TraceRecorder
 from repro.workloads import BENCHMARKS, benchmark, table2_rows
@@ -72,6 +74,18 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="directory for content-addressed result caching (default: off)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget per experiment in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts for a failing experiment (default 0)",
     )
 
 
@@ -121,6 +135,24 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_json_argument(text: str):
+    """Parse a JSON argument given as a file path or an inline literal."""
+    if os.path.exists(text):
+        with open(text, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    return json.loads(text)
+
+
+def _faults_from_args(args: argparse.Namespace) -> FaultPlan:
+    """The fault plan requested by ``--faults`` / ``--fault-seed``."""
+    plan = EMPTY_PLAN
+    if getattr(args, "faults", None) is not None:
+        plan = FaultPlan.from_dict(_load_json_argument(args.faults))
+    if getattr(args, "fault_seed", None) is not None:
+        plan = plan.with_seed(args.fault_seed)
+    return plan
+
+
 def _spec_from_argument(text: str, default_scale: str) -> ExperimentSpec:
     """Build an :class:`ExperimentSpec` from a JSON file path or literal.
 
@@ -128,16 +160,13 @@ def _spec_from_argument(text: str, default_scale: str) -> ExperimentSpec:
 
         {"scale": "tiny",
          "overrides": {"max_engine_steps": 1000000},
+         "faults": {"seed": 7, "disk": {"io_error_prob": 0.05}},
          "processes": [
              {"workload": "MATVEC", "version": "R"},
              {"workload": "EMBAR", "version": "P", "start_offset_s": 0.05},
              {"workload": "interactive", "sleep_s": 0.1, "sweeps": 6}]}
     """
-    if os.path.exists(text):
-        with open(text, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
-    else:
-        data = json.loads(text)
+    data = _load_json_argument(text)
     scale = _SCALES[data.get("scale", default_scale)]()
     overrides = data.get("overrides", {})
     if overrides:
@@ -153,11 +182,16 @@ def _spec_from_argument(text: str, default_scale: str) -> ExperimentSpec:
         )
         for entry in data["processes"]
     )
-    return ExperimentSpec(scale=scale, processes=processes)
+    faults = FaultPlan.from_dict(data["faults"]) if "faults" in data else EMPTY_PLAN
+    return ExperimentSpec(scale=scale, processes=processes, faults=faults)
 
 
 def _cmd_run_spec(args: argparse.Namespace) -> int:
     spec = _spec_from_argument(args.spec, args.scale)
+    if args.faults is not None:
+        spec = spec.with_faults(_faults_from_args(args))
+    elif args.fault_seed is not None:
+        spec = spec.with_faults(spec.faults.with_seed(args.fault_seed))
     recorder = TraceRecorder() if args.trace else None
     result = run_experiment(spec, sinks=(recorder,) if recorder else ())
     rows = []
@@ -201,6 +235,14 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if spec.faults.enabled:
+        swap = result.swap
+        print(
+            f"faults: io_errors={swap['io_errors']} "
+            f"io_timeouts={swap['io_timeouts']} io_retries={swap['io_retries']} "
+            f"spindles_failed={swap['spindles_failed']} "
+            f"online_disks={swap['online_disks']}"
+        )
     if recorder is not None:
         print()
         print(recorder.format(last=args.trace_last))
@@ -219,6 +261,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         VERSIONS[args.version],
         sleep_time_s=args.sleep,
     )
+    plan = _faults_from_args(args)
+    if plan.enabled:
+        spec = spec.with_faults(plan)
     recorder = TraceRecorder() if args.trace else None
     experiment = run_experiment(spec, sinks=(recorder,) if recorder else ())
     result = to_multiprogram(experiment)
@@ -241,6 +286,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             round(result.mean_interactive_hard_faults(), 2),
         ),
     ]
+    if plan.enabled:
+        rows += [
+            ("io_errors", result.swap["io_errors"]),
+            ("io_timeouts", result.swap["io_timeouts"]),
+            ("io_retries", result.swap["io_retries"]),
+            ("spindles_failed", result.swap["spindles_failed"]),
+            ("online_disks", result.swap["online_disks"]),
+        ]
     print(
         format_table(
             ["metric", "value"],
@@ -265,6 +318,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         args.versions,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
     )
     base = suite.get("O")
     rows = []
@@ -313,7 +368,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     print(
         _FIGURES[args.number](
-            scale, jobs=args.jobs, cache_dir=args.cache_dir
+            scale,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            timeout_s=args.timeout,
+            retries=args.retries,
         )
     )
     return 0
@@ -334,9 +393,44 @@ def _cmd_table(args: argparse.Namespace) -> int:
     else:
         print(
             format_table3(
-                run_table3(scale, jobs=args.jobs, cache_dir=args.cache_dir)
+                run_table3(
+                    scale,
+                    jobs=args.jobs,
+                    cache_dir=args.cache_dir,
+                    timeout_s=args.timeout,
+                    retries=args.retries,
+                )
             )
         )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action == "prune":
+        removed = prune_cache(args.cache_dir)
+        freed = sum(entry.size_bytes for entry in removed)
+        for entry in removed:
+            print(f"removed {entry.path.name}  [{entry.status}]")
+        print(f"pruned {len(removed)} entries, {freed} bytes")
+        return 0
+    entries = cache_entries(args.cache_dir)
+    if not entries:
+        print(f"cache at {args.cache_dir} is empty")
+        return 0
+    rows = [
+        (entry.path.name, entry.status, entry.size_bytes) for entry in entries
+    ]
+    prunable = sum(1 for entry in entries if entry.prunable)
+    print(
+        format_table(
+            ["entry", "status", "bytes"],
+            rows,
+            title=(
+                f"result cache at {args.cache_dir}: {len(entries)} entries, "
+                f"{prunable} prunable"
+            ),
+        )
+    )
     return 0
 
 
@@ -388,6 +482,18 @@ def build_parser() -> argparse.ArgumentParser:
         "intermediate sleep)",
     )
     run_parser.add_argument(
+        "--faults",
+        default=None,
+        help="fault plan as JSON (a file path or an inline literal), e.g. "
+        '\'{"seed": 7, "disk": {"io_error_prob": 0.05}}\'',
+    )
+    run_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="override the fault plan's seed (reproduces one exact schedule)",
+    )
+    run_parser.add_argument(
         "--trace",
         action="store_true",
         help="attach a trace recorder and print the tail of the event trace",
@@ -427,6 +533,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(table_parser)
     _add_runner(table_parser)
     table_parser.set_defaults(handler=_cmd_table)
+
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or prune a result cache directory"
+    )
+    cache_parser.add_argument("action", choices=["list", "prune"])
+    cache_parser.add_argument(
+        "--cache-dir",
+        required=True,
+        help="the result cache directory to inspect",
+    )
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     return parser
 

@@ -53,6 +53,15 @@ class DiskParams:
     disks: int = 10
     adapters: int = 5
     adapter_queue_depth: int = 8
+    # Kernel-side error handling (only exercised under a fault plan —
+    # :mod:`repro.faults`): a request that errors or exceeds
+    # ``request_timeout_s`` is retried with capped exponential backoff;
+    # after ``retry_attempts`` consecutive failures the spindle is declared
+    # dead and its pages fail over to the surviving stripe members.
+    retry_attempts: int = 4
+    retry_backoff_s: float = 0.002
+    retry_backoff_cap_s: float = 0.05
+    request_timeout_s: float = 0.25
 
     @property
     def page_service_s(self) -> float:

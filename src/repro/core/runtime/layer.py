@@ -21,11 +21,12 @@ those identified by the compiler").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config import RuntimeParams
 from repro.core.runtime.buffering import ReleaseBuffer
 from repro.core.runtime.policies import VersionConfig
+from repro.faults import HintFaultModel
 from repro.kernel.kernel import KernelProcess
 from repro.kernel.paging_directed import PagingDirectedPm
 from repro.sim.sync import Store
@@ -49,6 +50,10 @@ class RuntimeStats:
     release_pages_issued: int = 0
     release_pages_buffered: int = 0
     pressure_drains: int = 0
+    # Injected hint corruption (all zero outside chaos experiments).
+    hints_dropped: int = 0
+    hints_spurious: int = 0
+    hints_mistimed: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -63,11 +68,13 @@ class RuntimeLayer:
         pm: PagingDirectedPm,
         params: RuntimeParams,
         version: VersionConfig,
+        faults: Optional[HintFaultModel] = None,
     ) -> None:
         self.process = process
         self.pm = pm
         self.params = params
         self.version = version
+        self.faults = faults
         self.engine = process.engine
         self.stats = RuntimeStats()
         self.buffer = ReleaseBuffer(drain_newest_first=params.drain_newest_first)
@@ -83,11 +90,28 @@ class RuntimeLayer:
                 self._workers.append(task)
                 self.engine.process(self._worker(task), name=task.name)
 
+    # -- fault injection --------------------------------------------------------
+    def _corrupted(self, op: str, vpns: Sequence[int]) -> Optional[Sequence[int]]:
+        """Apply the fault plan's hint corruption, if any.
+
+        Runs *before* the layer's own filters — a corrupted hint is exactly
+        what a buggy compiler would hand this layer, and the paper's claim
+        is that everything downstream must cope.  Returns ``None`` for a
+        dropped hint.
+        """
+        if self.faults is None:
+            return vpns
+        return self.faults.corrupt(op, vpns, self.pm.mapped_range, self.stats)
+
     # -- prefetch hints --------------------------------------------------------
     def handle_prefetch(self, tag: int, vpns: Sequence[int]) -> None:
         """Inline handling of one compiler prefetch hint (synchronous)."""
         if not self.version.prefetch:
             return
+        corrupted = self._corrupted("prefetch", vpns)
+        if corrupted is None:
+            return
+        vpns = corrupted
         self.process.charge(self.params.hint_filter_s * len(vpns))
         self.stats.prefetch_hints += len(vpns)
         page_in_memory = self.pm.page_in_memory
@@ -107,6 +131,10 @@ class RuntimeLayer:
         """Inline handling of one compiler release hint (synchronous)."""
         if not self.version.release:
             return
+        corrupted = self._corrupted("release", vpns)
+        if corrupted is None:
+            return
+        vpns = corrupted
         self.process.charge(self.params.hint_filter_s * len(vpns))
         self.stats.release_hints += 1
         self.stats.release_pages_hinted += len(vpns)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.config import DiskParams
+from repro.faults import DiskIOError
 from repro.sim.engine import Engine
 from repro.sim.sync import Resource
 
@@ -37,6 +38,7 @@ class ScsiAdapter:
             engine, params.adapter_queue_depth, name=f"scsi{adapter_id}"
         )
         self.commands = 0
+        self.errors = 0
 
     def owns(self, disk: DiskDevice) -> bool:
         return disk in self.disks
@@ -45,6 +47,10 @@ class ScsiAdapter:
         """Process generator: run one transfer through the adapter.
 
         Yields engine events; returns the completed :class:`DiskRequest`.
+        An injected transient failure propagates as
+        :class:`~repro.faults.DiskIOError` — the command still held its
+        channel slot for the full (wasted) service time, exactly like a real
+        SCSI command that comes back CHECK CONDITION.
         """
         if disk not in self.disks:
             raise ValueError(
@@ -57,6 +63,9 @@ class ScsiAdapter:
             yield self.engine.timeout(self.params.adapter_overhead_s)
             request: DiskRequest = disk.submit(block, is_write)
             yield request.done
+        except DiskIOError:
+            self.errors += 1
+            raise
         finally:
             self._slots.release()
         return request

@@ -5,6 +5,12 @@ component depends on where the head is: a request for the block immediately
 following the previous one pays no seek and only a fraction of the average
 rotational latency, which is what makes striped sequential prefetch streams
 so much faster than random demand faults.
+
+A device may carry a :class:`~repro.faults.DiskFaultModel` (chaos
+experiments only): the model can stretch a request's service time or fail
+the request outright, in which case ``request.done`` fails with
+:class:`~repro.faults.DiskIOError` after the (wasted) service time — the
+platters spun either way.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.config import DiskParams
+from repro.faults import DiskFaultModel, DiskIOError
 from repro.sim.engine import Engine, Event
 
 __all__ = ["DiskDevice", "DiskRequest"]
@@ -20,14 +27,20 @@ __all__ = ["DiskDevice", "DiskRequest"]
 
 @dataclass
 class DiskRequest:
-    """One page-sized transfer."""
+    """One page-sized transfer.
+
+    ``done`` is required at construction — only :meth:`DiskDevice.submit`
+    creates requests, and it always supplies the completion event, so a
+    half-constructed request can never be awaited.
+    """
 
     block: int
     is_write: bool
     issued_at: float
-    done: Event = field(repr=False, default=None)  # type: ignore[assignment]
+    done: Event = field(repr=False)
     start_time: float = 0.0
     finish_time: float = 0.0
+    failed: bool = False
 
     @property
     def queue_delay(self) -> float:
@@ -47,10 +60,17 @@ class DiskDevice:
     exact for a FIFO queue and costs one heap event per request.
     """
 
-    def __init__(self, engine: Engine, params: DiskParams, disk_id: int) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        params: DiskParams,
+        disk_id: int,
+        faults: Optional[DiskFaultModel] = None,
+    ) -> None:
         self.engine = engine
         self.params = params
         self.disk_id = disk_id
+        self.faults = faults
         self._busy_until = 0.0
         self._last_block: Optional[int] = None
         # Statistics.
@@ -58,6 +78,7 @@ class DiskDevice:
         self.reads = 0
         self.writes = 0
         self.sequential_hits = 0
+        self.errors = 0
         self.busy_time = 0.0
         self.total_queue_delay = 0.0
 
@@ -76,8 +97,17 @@ class DiskDevice:
         return positioning + params.transfer_s_per_page
 
     def submit(self, block: int, is_write: bool) -> DiskRequest:
-        """Queue one page transfer; ``request.done`` fires on completion."""
+        """Queue one page transfer; ``request.done`` fires on completion.
+
+        With an injected transient error the event *fails* with
+        :class:`~repro.faults.DiskIOError` instead — after the same queueing
+        and service delay a successful transfer would have taken.
+        """
         now = self.engine.now
+        service = self._service_time(block)
+        failed = False
+        if self.faults is not None:
+            service, failed = self.faults.perturb(service)
         request = DiskRequest(
             block=block,
             is_write=is_write,
@@ -85,7 +115,6 @@ class DiskDevice:
             done=self.engine.event(),
         )
         start = max(now, self._busy_until)
-        service = self._service_time(block)
         finish = start + service
         self._busy_until = finish
         self._last_block = block
@@ -98,7 +127,15 @@ class DiskDevice:
             self.reads += 1
         self.busy_time += service
         self.total_queue_delay += start - now
-        request.done.succeed(request, delay=finish - now)
+        if failed:
+            self.errors += 1
+            request.failed = True
+            request.done.fail(
+                DiskIOError(self.disk_id, block, is_write, detail="transient"),
+                delay=finish - now,
+            )
+        else:
+            request.done.succeed(request, delay=finish - now)
         return request
 
     @property

@@ -4,20 +4,32 @@ IRIX striped its raw swap partitions across the ten disks; a virtual page's
 backing block is determined by its (process, page) identity, so consecutive
 pages of an array land on consecutive disks — a sequential sweep keeps all
 ten spindles busy.  The VM layer talks only to this class.
+
+Under a fault plan (:mod:`repro.faults`) this layer is also where the
+kernel's error handling lives: transient I/O errors and requests that
+exceed ``DiskParams.request_timeout_s`` are retried with capped exponential
+backoff; a spindle that keeps failing (or that the plan kills outright) is
+taken offline and its pages deterministically remapped over the surviving
+stripe members, so prefetch parallelism degrades instead of crashing.  With
+the default empty plan none of that machinery is constructed and the
+transfer path is byte-for-byte the fault-free one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.config import DiskParams
+from repro.faults import DiskIOError, FaultInjector
 from repro.sim.engine import Engine, Process
 
 from repro.disk.adapter import ScsiAdapter
 from repro.disk.device import DiskDevice
 
 __all__ = ["StripedSwap", "SwapStats"]
+
+_PURPOSES = ("demand", "prefetch", "writeback")
 
 
 @dataclass
@@ -30,16 +42,41 @@ class SwapStats:
     demand_read_time: float = 0.0
     prefetch_read_time: float = 0.0
     writeback_time: float = 0.0
+    # Fault handling (all zero outside chaos experiments).
+    io_errors: int = 0
+    io_timeouts: int = 0
+    io_retries: int = 0
+    spindles_failed: int = 0
 
 
 class StripedSwap:
     """Round-robin page striping over ``DiskParams.disks`` spindles."""
 
-    def __init__(self, engine: Engine, params: DiskParams) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        params: DiskParams,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         self.engine = engine
         self.params = params
+        # Disk faults only: a hint-only plan leaves the I/O path pristine.
+        self.faults = faults if faults is not None and faults.disk_enabled else None
+        if self.faults is not None:
+            highest = self.faults.plan.disk.max_disk_id()
+            if highest >= params.disks:
+                raise ValueError(
+                    f"fault plan names disk {highest}, but the stripe has "
+                    f"only {params.disks} spindles"
+                )
         self.disks: List[DiskDevice] = [
-            DiskDevice(engine, params, disk_id=i) for i in range(params.disks)
+            DiskDevice(
+                engine,
+                params,
+                disk_id=i,
+                faults=self.faults.disk_model(i) if self.faults is not None else None,
+            )
+            for i in range(params.disks)
         ]
         per_adapter = params.disks_per_adapter
         self.adapters: List[ScsiAdapter] = [
@@ -54,9 +91,14 @@ class StripedSwap:
         self.stats = SwapStats()
         # Instrumentation bus (:mod:`repro.obs`), or None when disabled.
         self.obs = None
-        # Within-disk block counters so sequential page streams map to
-        # sequential blocks on each spindle.
-        self._next_block = [0] * params.disks
+        # Spindles taken out of the stripe: scheduled failures from the
+        # plan plus any disk the retry path gave up on.
+        self._offline: Set[int] = set()
+        self._failures_pending = (
+            sorted(self.faults.plan.disk.failures, key=lambda f: f.at_s)
+            if self.faults is not None
+            else []
+        )
 
     # -- placement --------------------------------------------------------
     def placement(self, pid: int, vpn: int) -> Tuple[int, int]:
@@ -74,51 +116,167 @@ class StripedSwap:
     def _adapter_for(self, disk_index: int) -> ScsiAdapter:
         return self.adapters[disk_index // self.params.disks_per_adapter]
 
+    # -- degraded-stripe placement ----------------------------------------
+    def _check_scheduled_failures(self) -> None:
+        """Lazily apply plan-scheduled spindle failures that are now due."""
+        now = self.engine.now
+        while self._failures_pending and self._failures_pending[0].at_s <= now:
+            failure = self._failures_pending.pop(0)
+            self._mark_offline(failure.disk, reason="scheduled")
+
+    def _mark_offline(self, disk_index: int, reason: str) -> None:
+        if disk_index in self._offline:
+            return
+        self._offline.add(disk_index)
+        self.stats.spindles_failed += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "fault.disk_offline", {"disk": disk_index, "reason": reason}
+            )
+
+    def _live_placement(self, pid: int, vpn: int) -> Tuple[int, int]:
+        """Placement over the spindles that are still in the stripe.
+
+        Pages whose home spindle is offline remap deterministically across
+        the survivors; the block number only shapes seek timing, so the
+        remap needs no relocation table.
+        """
+        self._check_scheduled_failures()
+        disk_index, block = self.placement(pid, vpn)
+        if disk_index not in self._offline:
+            return disk_index, block
+        online = [d for d in range(self.params.disks) if d not in self._offline]
+        if not online:
+            raise DiskIOError(disk_index, block, False, detail="all spindles offline")
+        return online[(vpn + pid) % len(online)], block
+
+    @property
+    def online_disks(self) -> int:
+        return self.params.disks - len(self._offline)
+
     # -- transfers --------------------------------------------------------
     def transfer(self, pid: int, vpn: int, is_write: bool, purpose: str) -> Process:
         """Start one page transfer; returns a Process to wait on.
 
         ``purpose`` is one of ``"demand"``, ``"prefetch"``, ``"writeback"``
-        and only affects accounting.
+        and only affects accounting.  It is validated here, before any event
+        is scheduled, so a bad caller fails immediately instead of
+        mid-simulation after the I/O completed.
         """
-        disk_index, block = self.placement(pid, vpn)
-        disk = self.disks[disk_index]
-        adapter = self._adapter_for(disk_index)
-        started = self.engine.now
+        if purpose not in _PURPOSES:
+            raise ValueError(f"unknown transfer purpose {purpose!r}")
+        if self.faults is None:
+            run = self._run_direct(pid, vpn, is_write, purpose)
+        else:
+            run = self._run_faulted(pid, vpn, is_write, purpose)
+        return self.engine.process(run, name=f"swap-{purpose}-{pid}:{vpn}")
+
+    def _emit_issue(self, disk_index: int, purpose: str, is_write: bool) -> None:
         if self.obs is not None:
             self.obs.emit(
                 "disk.issue",
                 {"disk": disk_index, "purpose": purpose, "write": is_write},
             )
 
-        def _run():
-            request = yield from adapter.transfer(disk, block, is_write)
-            elapsed = self.engine.now - started
+    def _complete(
+        self, disk_index: int, purpose: str, is_write: bool, elapsed: float
+    ) -> None:
+        if self.obs is not None:
+            self.obs.emit(
+                "disk.complete",
+                {
+                    "disk": disk_index,
+                    "purpose": purpose,
+                    "write": is_write,
+                    "latency_s": elapsed,
+                },
+            )
+        stats = self.stats
+        if purpose == "demand":
+            stats.demand_reads += 1
+            stats.demand_read_time += elapsed
+        elif purpose == "prefetch":
+            stats.prefetch_reads += 1
+            stats.prefetch_read_time += elapsed
+        else:
+            stats.writebacks += 1
+            stats.writeback_time += elapsed
+
+    def _run_direct(self, pid: int, vpn: int, is_write: bool, purpose: str):
+        """The fault-free transfer path (the only path without a plan)."""
+        disk_index, block = self.placement(pid, vpn)
+        disk = self.disks[disk_index]
+        adapter = self._adapter_for(disk_index)
+        started = self.engine.now
+        self._emit_issue(disk_index, purpose, is_write)
+        request = yield from adapter.transfer(disk, block, is_write)
+        self._complete(disk_index, purpose, is_write, self.engine.now - started)
+        return request
+
+    def _run_faulted(self, pid: int, vpn: int, is_write: bool, purpose: str):
+        """Transfer with kernel-side error handling (chaos experiments).
+
+        Each attempt races the adapter command against the per-request
+        timeout.  An error or timeout backs off exponentially (capped) and
+        reissues; ``retry_attempts`` consecutive failures on one spindle
+        take it offline and the page fails over to the surviving stripe.  A
+        timed-out command is not cancelled — it keeps its channel slot until
+        the disk finishes, exactly like a real orphaned SCSI command.
+        """
+        params = self.params
+        engine = self.engine
+        stats = self.stats
+        started = engine.now
+        attempts = 0
+        while True:
+            disk_index, block = self._live_placement(pid, vpn)
+            disk = self.disks[disk_index]
+            adapter = self._adapter_for(disk_index)
+            self._emit_issue(disk_index, purpose, is_write)
+            command = engine.process(
+                adapter.transfer(disk, block, is_write),
+                name=f"cmd-{purpose}-{pid}:{vpn}",
+            )
+            deadline = engine.timeout(params.request_timeout_s)
+            error: Optional[DiskIOError] = None
+            try:
+                yield engine.any_of([command, deadline])
+            except DiskIOError as exc:
+                error = exc
+            if error is None and command.triggered and command.ok:
+                request = command.value
+                break
+            if error is not None:
+                reason = "error"
+                stats.io_errors += 1
+            else:
+                reason = "timeout"
+                stats.io_timeouts += 1
+            attempts += 1
+            stats.io_retries += 1
             if self.obs is not None:
                 self.obs.emit(
-                    "disk.complete",
+                    "fault.disk_retry",
                     {
                         "disk": disk_index,
                         "purpose": purpose,
-                        "write": is_write,
-                        "latency_s": elapsed,
+                        "reason": reason,
+                        "attempt": attempts,
                     },
                 )
-            stats = self.stats
-            if purpose == "demand":
-                stats.demand_reads += 1
-                stats.demand_read_time += elapsed
-            elif purpose == "prefetch":
-                stats.prefetch_reads += 1
-                stats.prefetch_read_time += elapsed
-            elif purpose == "writeback":
-                stats.writebacks += 1
-                stats.writeback_time += elapsed
-            else:
-                raise ValueError(f"unknown transfer purpose {purpose!r}")
-            return request
-
-        return self.engine.process(_run(), name=f"swap-{purpose}-{pid}:{vpn}")
+            if attempts >= params.retry_attempts:
+                # The spindle is not coming back: fail it out of the stripe
+                # and start fresh against the survivors.
+                self._mark_offline(disk_index, reason=reason)
+                attempts = 0
+                continue
+            backoff = min(
+                params.retry_backoff_cap_s,
+                params.retry_backoff_s * (2 ** (attempts - 1)),
+            )
+            yield engine.timeout(backoff)
+        self._complete(disk_index, purpose, is_write, engine.now - started)
+        return request
 
     def read_page(self, pid: int, vpn: int, purpose: str = "demand") -> Process:
         return self.transfer(pid, vpn, is_write=False, purpose=purpose)

@@ -56,6 +56,8 @@ def run_figure1(
     workload: Optional[MatvecWorkload] = None,
     jobs: int = 1,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> Figure1Result:
     if sleep_times is None:
         sleep_times = scale.figure_sleep_times_s
@@ -68,7 +70,9 @@ def run_figure1(
         specs.append(ExperimentSpec.interactive_alone(scale, sleep, sweeps=6))
         specs.append(multiprogram_spec(scale, workload, "O", sleep_time_s=sleep))
         specs.append(multiprogram_spec(scale, workload, "P", sleep_time_s=sleep))
-    runs = run_specs(specs, jobs=jobs, cache_dir=cache_dir)
+    runs = run_specs(
+        specs, jobs=jobs, cache_dir=cache_dir, timeout_s=timeout_s, retries=retries
+    )
     result = Figure1Result(scale=scale.name)
     for index, sleep in enumerate(sleep_times):
         alone_run, original_run, prefetch_run = runs[3 * index : 3 * index + 3]

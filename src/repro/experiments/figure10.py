@@ -50,6 +50,8 @@ def run_figure10a(
     versions: str = "OPRB",
     jobs: int = 1,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> Figure10aResult:
     if sleep_times is None:
         sleep_times = scale.figure_sleep_times_s
@@ -62,7 +64,9 @@ def run_figure10a(
             specs.append(
                 multiprogram_spec(scale, workload, version, sleep_time_s=sleep)
             )
-    runs = run_specs(specs, jobs=jobs, cache_dir=cache_dir)
+    runs = run_specs(
+        specs, jobs=jobs, cache_dir=cache_dir, timeout_s=timeout_s, retries=retries
+    )
     result = Figure10aResult(scale=scale.name, sleep_times_s=list(sleep_times))
     result.series["alone"] = []
     for version in versions:
@@ -121,6 +125,8 @@ def run_figure10bc(
     sleep_time_s: Optional[float] = None,
     jobs: int = 1,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> Figure10bcResult:
     """Figures 10(b) and 10(c) share their runs; compute both at once."""
     if workloads is None:
@@ -131,6 +137,8 @@ def run_figure10bc(
         [ExperimentSpec.interactive_alone(scale, sleep_time_s, sweeps=6)],
         jobs=1,
         cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
     )[0]
     alone = list(alone_run.interactives[0].sweeps)
     alone_mean = sum(s.response_time for s in alone[1:]) / max(1, len(alone) - 1)
@@ -147,6 +155,8 @@ def run_figure10bc(
         sleep_time_s=sleep_time_s,
         jobs=jobs,
         cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
     )
     for workload in workloads:
         suite = grid[workload.name]

@@ -42,11 +42,19 @@ def run_figure8(
     versions: str = "OPRB",
     jobs: int = 1,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> Figure8Result:
     if workloads is None:
         workloads = list(BENCHMARKS.values())
     grid = run_suite_grid(
-        scale, workloads, versions, jobs=jobs, cache_dir=cache_dir
+        scale,
+        workloads,
+        versions,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
     )
     result = Figure8Result(scale=scale.name)
     for workload in workloads:

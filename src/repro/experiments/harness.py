@@ -153,6 +153,8 @@ def run_version_suite(
     with_interactive: bool = True,
     jobs: int = 1,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> Dict[str, MultiprogramResult]:
     """Run several versions of one benchmark under identical conditions."""
     specs = [
@@ -161,7 +163,9 @@ def run_version_suite(
         )
         for name in versions
     ]
-    results = run_specs(specs, jobs=jobs, cache_dir=cache_dir)
+    results = run_specs(
+        specs, jobs=jobs, cache_dir=cache_dir, timeout_s=timeout_s, retries=retries
+    )
     return {
         name: to_multiprogram(result)
         for name, result in zip(versions, results)
@@ -175,6 +179,8 @@ def run_suite_grid(
     sleep_time_s: Optional[float] = None,
     jobs: int = 1,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> Dict[str, Dict[str, MultiprogramResult]]:
     """The full benchmark × version grid behind Figures 7-10 and Table 3.
 
@@ -190,7 +196,9 @@ def run_suite_grid(
         multiprogram_spec(scale, workload, version, sleep_time_s)
         for workload, version in pairs
     ]
-    results = run_specs(specs, jobs=jobs, cache_dir=cache_dir)
+    results = run_specs(
+        specs, jobs=jobs, cache_dir=cache_dir, timeout_s=timeout_s, retries=retries
+    )
     grid: Dict[str, Dict[str, MultiprogramResult]] = {}
     for (workload, version), result in zip(pairs, results):
         grid.setdefault(workload, {})[version] = to_multiprogram(result)

@@ -1,12 +1,12 @@
-"""The parallel experiment runner: fan out specs, cache results.
+"""The parallel experiment runner: fan out specs, cache results, contain failures.
 
 Every figure in the paper is a grid of independent experiments (benchmark ×
 version × sleep time), each a pure function of its
 :class:`~repro.machine.ExperimentSpec`.  This module exploits both facts:
 
 - **Parallelism** — :func:`run_specs` fans a list of specs out over a
-  ``multiprocessing`` pool (``jobs > 1``) while preserving input order.
-  With ``jobs=1`` everything runs inline in this process, which keeps
+  process pool (``jobs > 1``) while preserving input order.  With
+  ``jobs=1`` everything runs inline in this process, which keeps
   single-experiment debugging (and test monkeypatching) trivial.
 
 - **Caching** — specs are content-hashed (:func:`spec_key`) together with a
@@ -16,6 +16,16 @@ version × sleep time), each a pure function of its
   Figure 8 — performs zero simulation steps for the shared grid.  Editing
   any source file invalidates the whole cache, so stale physics can never
   leak into a figure.
+
+- **Containment** — one bad spec must not cost the rest of the grid.  A
+  spec that raises, exceeds ``timeout_s`` of wall clock, or kills its
+  worker process outright becomes a structured :class:`ExperimentFailure`
+  in its grid slot; every other spec still runs, completes, and is cached.
+  ``retries`` re-runs a failing spec before giving up (simulations are
+  deterministic, so this mainly absorbs environmental flakes: OOM kills,
+  signal-interrupted workers).  With ``on_error="raise"`` (the default) an
+  :class:`ExperimentGridError` summarising the failures is raised *after*
+  the grid finishes; ``on_error="return"`` hands back the mixed list.
 """
 
 from __future__ import annotations
@@ -23,12 +33,25 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import signal
+import threading
+import traceback
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.machine import ExperimentResult, ExperimentSpec, run_experiment
 
-__all__ = ["code_version", "run_specs", "spec_key"]
+__all__ = [
+    "CacheEntry",
+    "ExperimentFailure",
+    "ExperimentGridError",
+    "cache_entries",
+    "code_version",
+    "prune_cache",
+    "run_specs",
+    "spec_key",
+]
 
 _code_version: Optional[str] = None
 
@@ -53,13 +76,68 @@ def code_version() -> str:
 def spec_key(spec: ExperimentSpec) -> str:
     """Content hash identifying one experiment under the current code.
 
-    ``ExperimentSpec`` is a tree of frozen dataclasses of primitives, so its
-    ``repr`` is a complete, deterministic serialisation.
+    ``ExperimentSpec`` is a tree of frozen dataclasses of primitives
+    (including its :class:`~repro.faults.FaultPlan`), so its ``repr`` is a
+    complete, deterministic serialisation.
     """
     digest = hashlib.sha256()
     digest.update(code_version().encode())
     digest.update(repr(spec).encode())
     return digest.hexdigest()
+
+
+# -- failures ---------------------------------------------------------------
+
+
+@dataclass
+class ExperimentFailure:
+    """One spec that could not produce a result.
+
+    Occupies the failed spec's slot in :func:`run_specs`'s output so grid
+    positions stay aligned.  ``kind`` is ``"error"`` (the simulation
+    raised), ``"timeout"`` (exceeded the wall-clock budget), or ``"crash"``
+    (the worker process died).  Failures are never written to the cache.
+    """
+
+    spec: ExperimentSpec
+    kind: str
+    message: str
+    attempts: int = 1
+    from_cache: bool = False  # mirrors ExperimentResult for uniform handling
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] after {self.attempts} attempt(s): {self.message}"
+
+
+class ExperimentGridError(RuntimeError):
+    """Raised after a grid completes when some specs failed.
+
+    Raised only once every other spec has run and been cached, so a single
+    bad configuration never costs the rest of the figure.  ``results``
+    holds the full mixed output list; ``failures`` just the failed slots.
+    """
+
+    def __init__(
+        self,
+        results: List[Union[ExperimentResult, ExperimentFailure]],
+        failures: List[ExperimentFailure],
+    ) -> None:
+        self.results = results
+        self.failures = failures
+        lines = [f"{len(failures)} of {len(results)} experiments failed:"]
+        lines += [f"  - {failure}" for failure in failures]
+        super().__init__("\n".join(lines))
+
+
+class _SpecTimeout(Exception):
+    """Internal: the SIGALRM deadline fired inside a worker."""
+
+
+# -- cache ------------------------------------------------------------------
 
 
 def _cache_path(cache_dir: Path, key: str) -> Path:
@@ -81,7 +159,11 @@ def _load_cached(cache_dir: Path, key: str) -> Optional[ExperimentResult]:
     return result
 
 
-def _store_cached(cache_dir: Path, key: str, result: ExperimentResult) -> None:
+def _store_cached(cache_dir: Path, key: str, result: object) -> None:
+    if not isinstance(result, ExperimentResult):
+        # Failures (or a slot that never produced anything) must not be
+        # persisted: a cached failure would satisfy every future lookup.
+        return
     cache_dir.mkdir(parents=True, exist_ok=True)
     path = _cache_path(cache_dir, key)
     # Write-then-rename so a parallel worker never reads a torn entry.
@@ -91,34 +173,227 @@ def _store_cached(cache_dir: Path, key: str, result: ExperimentResult) -> None:
     os.replace(tmp, path)
 
 
-def _execute(spec: ExperimentSpec) -> ExperimentResult:
-    result = run_experiment(spec)
-    result.from_cache = False
-    return result
+@dataclass
+class CacheEntry:
+    """One file in a result cache, classified for ``repro cache``.
+
+    ``status`` is ``"ok"`` (loads, and its key matches the current code),
+    ``"stale"`` (a result from an older code version), ``"corrupt"``
+    (unreadable), or ``"orphan"`` (a ``*.tmp.*`` left by a crashed worker).
+    Everything except ``"ok"`` is prunable.
+    """
+
+    path: Path
+    size_bytes: int
+    status: str
+
+    @property
+    def prunable(self) -> bool:
+        return self.status != "ok"
 
 
-def _execute_indexed(item):
-    """Pool worker: (index, spec) -> (index, result)."""
-    index, spec = item
-    return index, _execute(spec)
+def cache_entries(cache_dir: os.PathLike) -> List[CacheEntry]:
+    """Classify every file in a result cache directory."""
+    cache = Path(cache_dir)
+    entries: List[CacheEntry] = []
+    if not cache.is_dir():
+        return entries
+    for path in sorted(cache.iterdir()):
+        if not path.is_file():
+            continue
+        size = path.stat().st_size
+        if ".tmp." in path.name:
+            entries.append(CacheEntry(path, size, "orphan"))
+            continue
+        if path.suffix != ".pkl":
+            continue
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            entries.append(CacheEntry(path, size, "corrupt"))
+            continue
+        if not isinstance(result, ExperimentResult):
+            entries.append(CacheEntry(path, size, "corrupt"))
+            continue
+        # Re-deriving the key from the embedded spec uses the *current*
+        # code hash; an entry written by older code lands on a different
+        # name than its own, marking it stale.
+        status = "ok" if path.stem == spec_key(result.spec) else "stale"
+        entries.append(CacheEntry(path, size, status))
+    return entries
+
+
+def prune_cache(cache_dir: os.PathLike) -> List[CacheEntry]:
+    """Delete stale/corrupt/orphaned cache files; returns what was removed."""
+    removed: List[CacheEntry] = []
+    for entry in cache_entries(cache_dir):
+        if entry.prunable:
+            entry.path.unlink(missing_ok=True)
+            removed.append(entry)
+    return removed
+
+
+# -- guarded execution ------------------------------------------------------
+
+
+def _run_with_deadline(spec: ExperimentSpec, timeout_s: Optional[float]):
+    """Run one experiment, bounded by ``timeout_s`` of wall clock.
+
+    The deadline uses ``SIGALRM``/``setitimer``, which interrupts even a
+    simulation stuck in a tight Python loop.  It is only armed where it
+    can work — the main thread of a Unix process (which a pool worker's
+    entry point always is); elsewhere the experiment runs unbounded.
+    """
+    if (
+        timeout_s is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return run_experiment(spec)
+
+    def _alarm(signum, frame):
+        raise _SpecTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return run_experiment(spec)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_guarded(
+    spec: ExperimentSpec,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+) -> Union[ExperimentResult, ExperimentFailure]:
+    """Run one spec; never raises — failures come back as values.
+
+    Returning (not raising) is what keeps a pool worker alive and the rest
+    of the grid unharmed when one configuration is broken.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            result = _run_with_deadline(spec, timeout_s)
+            result.from_cache = False
+            return result
+        except _SpecTimeout:
+            failure = ExperimentFailure(
+                spec,
+                "timeout",
+                f"exceeded the wall-clock budget of {timeout_s}s",
+                attempts=attempts,
+            )
+        except Exception as exc:
+            detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+            failure = ExperimentFailure(spec, "error", detail, attempts=attempts)
+        if attempts > retries:
+            return failure
+
+
+def _execute_indexed_guarded(item):
+    """Pool worker: (index, spec, timeout_s, retries) -> (index, outcome)."""
+    index, spec, timeout_s, retries = item
+    return index, _execute_guarded(spec, timeout_s, retries)
+
+
+def _run_pool(
+    specs: Sequence[ExperimentSpec],
+    indexes: List[int],
+    results: List[Optional[Union[ExperimentResult, ExperimentFailure]]],
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+) -> None:
+    """Fan ``indexes`` out over a process pool, containing worker deaths.
+
+    Guarded execution converts ordinary exceptions and timeouts into
+    values, so the only way a future can *raise* is the worker process
+    dying (segfault, OOM kill).  That breaks the whole pool; the specs
+    still unfinished are then re-run one per private single-worker pool,
+    which pins the blame: a spec that kills its own pool is the crasher
+    and fails alone, everything else completes normally.
+    """
+    # Local import: the futures machinery is only needed for jobs > 1.
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+    from concurrent.futures.process import BrokenProcessPool
+
+    broken = False
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(
+                    _execute_indexed_guarded, (i, specs[i], timeout_s, retries)
+                ): i
+                for i in indexes
+            }
+            for future in as_completed(futures):
+                try:
+                    index, outcome = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    break  # every remaining future died with the pool
+                results[index] = outcome
+    except BrokenProcessPool:
+        broken = True
+    if not broken:
+        return
+    for index in indexes:
+        if results[index] is not None:
+            continue
+        try:
+            with ProcessPoolExecutor(max_workers=1) as solo:
+                _, outcome = solo.submit(
+                    _execute_indexed_guarded,
+                    (index, specs[index], timeout_s, retries),
+                ).result()
+            results[index] = outcome
+        except BrokenProcessPool:
+            results[index] = ExperimentFailure(
+                specs[index],
+                "crash",
+                "worker process died while running this spec",
+            )
 
 
 def run_specs(
     specs: Sequence[ExperimentSpec],
     jobs: int = 1,
     cache_dir: Optional[os.PathLike] = None,
-) -> List[ExperimentResult]:
-    """Run experiments, in input order, with optional parallelism + cache.
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+) -> List[Union[ExperimentResult, ExperimentFailure]]:
+    """Run experiments, in input order, with parallelism, cache, containment.
 
     ``jobs`` caps the worker-process count (clamped to the number of
     experiments actually missing from the cache); ``jobs=1`` runs inline.
     Cached results carry ``from_cache=True``, fresh ones ``False``.
+
+    ``timeout_s`` bounds each spec's wall clock; ``retries`` re-runs a
+    failing spec that many extra times.  A spec that still fails becomes an
+    :class:`ExperimentFailure` in its slot (never cached).  With
+    ``on_error="raise"`` (default) an :class:`ExperimentGridError` is
+    raised after the whole grid has run and every success is cached;
+    ``on_error="return"`` returns the mixed list instead.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+    if on_error not in ("raise", "return"):
+        raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
     specs = list(specs)
     cache = Path(cache_dir) if cache_dir is not None else None
-    results: List[Optional[ExperimentResult]] = [None] * len(specs)
+    results: List[Optional[Union[ExperimentResult, ExperimentFailure]]] = [
+        None
+    ] * len(specs)
     missing: List[int] = []
     keys: List[Optional[str]] = [None] * len(specs)
     for index, spec in enumerate(specs):
@@ -134,19 +409,14 @@ def run_specs(
         jobs = min(jobs, len(missing))
         if jobs == 1:
             for index in missing:
-                results[index] = _execute(specs[index])
+                results[index] = _execute_guarded(specs[index], timeout_s, retries)
         else:
-            # Local import: multiprocessing drags in fork machinery nobody
-            # needs for the serial path.
-            from multiprocessing import Pool
-
-            with Pool(processes=jobs) as pool:
-                for index, result in pool.imap_unordered(
-                    _execute_indexed, [(i, specs[i]) for i in missing]
-                ):
-                    results[index] = result
+            _run_pool(specs, missing, results, jobs, timeout_s, retries)
         if cache is not None:
             for index in missing:
                 _store_cached(cache, keys[index], results[index])
 
+    failures = [r for r in results if isinstance(r, ExperimentFailure)]
+    if failures and on_error == "raise":
+        raise ExperimentGridError(results, failures)  # type: ignore[arg-type]
     return results  # type: ignore[return-value]

@@ -60,10 +60,20 @@ def run_table3(
     workloads: Optional[Sequence[OutOfCoreWorkload]] = None,
     jobs: int = 1,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> Table3Result:
     if workloads is None:
         workloads = list(BENCHMARKS.values())
-    grid = run_suite_grid(scale, workloads, "OR", jobs=jobs, cache_dir=cache_dir)
+    grid = run_suite_grid(
+        scale,
+        workloads,
+        "OR",
+        jobs=jobs,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
     result = Table3Result(scale=scale.name)
     for workload in workloads:
         suite = grid[workload.name]

@@ -93,11 +93,16 @@ class KernelProcess:
 class Kernel:
     """The simulated machine: VM + swap + daemons + policy modules."""
 
-    def __init__(self, engine: Engine, scale: SimScale, obs=None) -> None:
+    def __init__(
+        self, engine: Engine, scale: SimScale, obs=None, faults=None
+    ) -> None:
         self.engine = engine
         self.scale = scale
         self.obs = obs
-        self.swap = StripedSwap(engine, scale.disk)
+        # Fault injector (:class:`repro.faults.FaultInjector`), or None for
+        # the ordinary fault-free machine.
+        self.faults = faults
+        self.swap = StripedSwap(engine, scale.disk, faults=faults)
         self.swap.obs = obs
         self.vm = VmSystem(engine, scale, self.swap)
         self.vm.obs = obs
@@ -109,9 +114,11 @@ class Kernel:
         self._started = False
 
     @classmethod
-    def boot(cls, engine: Engine, scale: SimScale, obs=None) -> "Kernel":
+    def boot(
+        cls, engine: Engine, scale: SimScale, obs=None, faults=None
+    ) -> "Kernel":
         """Construct and start the system daemons."""
-        kernel = cls(engine, scale, obs=obs)
+        kernel = cls(engine, scale, obs=obs, faults=faults)
         kernel.start()
         return kernel
 

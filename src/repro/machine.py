@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.config import SimScale
 from repro.core.runtime.layer import RuntimeLayer, RuntimeStats
 from repro.core.runtime.policies import VERSIONS
+from repro.faults import EMPTY_PLAN, FaultInjector, FaultPlan, FaultPlanError
 from repro.kernel.kernel import Kernel
 from repro.obs import Bus, Sink
 from repro.sim.engine import Engine, SimulationError
@@ -137,10 +138,18 @@ class WorkloadProcessSpec:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """A complete, declarative description of one experiment."""
+    """A complete, declarative description of one experiment.
+
+    ``faults`` is the experiment's :class:`~repro.faults.FaultPlan`; the
+    default :data:`~repro.faults.EMPTY_PLAN` injects nothing and builds no
+    fault machinery, so ordinary experiments are unaffected.  Because the
+    plan is part of the frozen spec, fault experiments content-hash and
+    cache exactly like fault-free ones.
+    """
 
     scale: SimScale
     processes: Tuple[WorkloadProcessSpec, ...]
+    faults: FaultPlan = EMPTY_PLAN
 
     def validate(self) -> None:
         if not self.processes:
@@ -152,10 +161,18 @@ class ExperimentSpec:
                 "no bounded process: give an out-of-core workload or an "
                 "interactive task with a sweeps count"
             )
+        try:
+            self.faults.validate()
+        except FaultPlanError as exc:
+            raise SpecError(f"invalid fault plan: {exc}") from exc
 
     def with_scale_overrides(self, **kwargs) -> "ExperimentSpec":
         """Copy with top-level :class:`SimScale` fields replaced."""
         return replace(self, scale=self.scale.with_overrides(**kwargs))
+
+    def with_faults(self, faults: FaultPlan) -> "ExperimentSpec":
+        """Copy with the fault plan replaced."""
+        return replace(self, faults=faults)
 
     # -- common shapes -----------------------------------------------------
     @staticmethod
@@ -286,13 +303,23 @@ class Machine:
     :meth:`add_out_of_core` / :meth:`add_interactive`.
     """
 
-    def __init__(self, scale: SimScale, sinks: Iterable[Sink] = ()) -> None:
+    def __init__(
+        self,
+        scale: SimScale,
+        sinks: Iterable[Sink] = (),
+        faults: FaultPlan = EMPTY_PLAN,
+    ) -> None:
         self.scale = scale
         self.engine = Engine()
         sinks = tuple(sinks)
         self.bus: Optional[Bus] = Bus(self.engine, sinks) if sinks else None
         self.engine.obs = self.bus
-        self.kernel = Kernel.boot(self.engine, scale, obs=self.bus)
+        # The injector exists only for an enabled plan; otherwise every
+        # layer receives None and keeps its fault-free fast path.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(faults, obs=self.bus) if faults.enabled else None
+        )
+        self.kernel = Kernel.boot(self.engine, scale, obs=self.bus, faults=self.faults)
         self._attached: List[_Attached] = []
         self._names: Dict[str, int] = {}
         self._spec: Optional[ExperimentSpec] = None
@@ -302,7 +329,7 @@ class Machine:
     @classmethod
     def from_spec(cls, spec: ExperimentSpec, sinks: Iterable[Sink] = ()) -> "Machine":
         spec.validate()
-        machine = cls(spec.scale, sinks=sinks)
+        machine = cls(spec.scale, sinks=sinks, faults=spec.faults)
         machine._spec = spec
         # Build in the same order the seed harness did, so event sequences
         # (and therefore every reproduced figure) are bit-identical: first
@@ -333,7 +360,10 @@ class Machine:
         process = self.kernel.create_process(attached.name)
         layout = build_layout(process, instance, scale.machine.page_size)
         pm = self.kernel.attach_paging_directed(process)
-        runtime = RuntimeLayer(process, pm, scale.runtime, version)
+        hint_faults = (
+            self.faults.hint_model(attached.name) if self.faults is not None else None
+        )
+        runtime = RuntimeLayer(process, pm, scale.runtime, version, faults=hint_faults)
         compiled = instance.compiled(scale)
         attached.kprocess = process
         attached.runtime = runtime
@@ -479,6 +509,11 @@ class Machine:
                 "writebacks": swap.writebacks,
                 "mean_demand_latency_s": self.kernel.swap.mean_latency("demand"),
                 "mean_prefetch_latency_s": self.kernel.swap.mean_latency("prefetch"),
+                "io_errors": swap.io_errors,
+                "io_timeouts": swap.io_timeouts,
+                "io_retries": swap.io_retries,
+                "spindles_failed": swap.spindles_failed,
+                "online_disks": self.kernel.swap.online_disks,
             },
         )
 

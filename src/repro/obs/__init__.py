@@ -22,7 +22,8 @@ Event vocabulary (kind → payload fields):
   (``disk``, ``purpose``, ``write``; complete adds ``latency_s``);
 - ``vm.fault`` — slow-path touch resolved (``kind``, ``aspace``, ``vpn``);
 - ``vm.prefetch`` — prefetch request outcome (``aspace``, ``vpn``,
-  ``outcome`` ∈ duplicate/rescued/discarded/issued);
+  ``outcome`` ∈ duplicate/rescued/discarded/issued/failed — ``failed``
+  only under a fault plan, when the backing I/O never completed);
 - ``vm.release_request`` — PM-side release (``aspace``, ``accepted``);
 - ``vm.release`` — releaser processed one work item (``aspace``,
   ``requested``, ``freed``);
@@ -30,6 +31,18 @@ Event vocabulary (kind → payload fields):
 - ``kernel.syscall`` — PM syscall crossing (``syscall``, ``aspace``);
 - ``kernel.shared_page`` — shared page refreshed (``aspace``, ``usage``,
   ``limit``).
+
+Fault-injection vocabulary (emitted only under a :mod:`repro.faults` plan):
+
+- ``fault.disk_latency`` — an injected service-time spike (``disk``,
+  ``service_s``);
+- ``fault.disk_error`` — an injected transient I/O error (``disk``);
+- ``fault.disk_retry`` — the swap layer retried a request after an error
+  or timeout (``disk``, ``purpose``, ``reason``, ``attempt``);
+- ``fault.disk_offline`` — a spindle left the stripe (``disk``,
+  ``reason`` ∈ scheduled/error/timeout);
+- ``fault.hint`` — a compiler hint was corrupted at the run-time layer
+  (``process``, ``op``, ``mode`` ∈ drop/spurious/mistime, ``pages``).
 """
 
 from repro.obs.bus import Bus, Sink, TraceEvent

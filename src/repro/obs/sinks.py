@@ -67,6 +67,9 @@ class MetricsAggregator(Sink):
         self.disk_requests: Dict[str, int] = {}
         self.disk_time: Dict[str, float] = {}
         self.syscalls: Dict[str, int] = {}
+        # Injected faults (``fault.*`` events), keyed by the part after the
+        # dot; empty outside chaos experiments.
+        self.faults_injected: Dict[str, int] = {}
         self.pages_stolen = 0
         self.pages_released = 0
         self.release_pages_requested = 0
@@ -76,6 +79,9 @@ class MetricsAggregator(Sink):
     ) -> None:
         counts = self.counts
         counts[kind] = counts.get(kind, 0) + 1
+        if kind.startswith("fault."):
+            name = kind[len("fault."):]
+            self.faults_injected[name] = self.faults_injected.get(name, 0) + 1
         if payload is None:
             return
         if kind == "vm.fault":
@@ -109,6 +115,7 @@ class MetricsAggregator(Sink):
             "prefetch_outcomes": dict(self.prefetch_outcomes),
             "disk_requests": dict(self.disk_requests),
             "syscalls": dict(self.syscalls),
+            "faults_injected": dict(self.faults_injected),
             "pages_stolen": self.pages_stolen,
             "pages_released": self.pages_released,
             "release_pages_requested": self.release_pages_requested,

@@ -32,6 +32,7 @@ class AddressSpaceStats:
     prefetches_issued: int = 0
     prefetches_discarded: int = 0  # no free memory at request time
     prefetches_duplicate: int = 0  # page already present/in transit
+    prefetches_failed: int = 0  # I/O never completed (chaos experiments)
     writebacks: int = 0
     fault_wait_time: float = 0.0  # time spent blocked on memory locks
 
@@ -57,6 +58,7 @@ class VmStats:
     releaser_active_time: float = 0.0
     total_allocations: int = 0  # Table 3 "total page allocations"
     low_memory_stalls: int = 0  # allocators that had to block
+    writeback_failures: int = 0  # dirty page lost to total I/O failure
 
     # Figure 9 inputs come from the free list itself; these mirror them so a
     # single object carries everything the reports need.

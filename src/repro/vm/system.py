@@ -23,10 +23,12 @@ from typing import List, Optional
 
 from repro.config import SimScale
 from repro.disk.swap import StripedSwap
+from repro.faults import DiskIOError
 from repro.sim.engine import Engine
 from repro.sim.task import SimTask
 from repro.vm.frames import (
     FREED_BY_DAEMON,
+    FREED_BY_EXIT,
     FREED_BY_RELEASE,
     Frame,
     FrameTable,
@@ -314,7 +316,28 @@ class VmSystem:
         inflight = self.engine.event()
         frame.in_transit = inflight
         io = self.swap.read_page(aspace.asid, vpn, purpose="prefetch")
-        yield from task.wait_io(io)
+        try:
+            yield from task.wait_io(io)
+        except DiskIOError:
+            # Catastrophic I/O failure (the swap layer retries and fails
+            # over internally, so this means no spindle is left).  A
+            # prefetch is advisory: drop it and recycle the frame instead
+            # of crashing the worker — if the page is really needed a
+            # demand fault will surface the problem on the application.
+            frame.in_transit = None
+            inflight.succeed()
+            aspace.detach(vpn)
+            frame.present = False
+            frame.reset_identity()
+            self.freelist.push(frame, FREED_BY_EXIT)
+            aspace.stats.prefetches_failed += 1
+            if obs is not None:
+                obs.emit(
+                    "vm.prefetch",
+                    {"aspace": aspace.name, "vpn": vpn, "outcome": "failed"},
+                )
+            self._refresh_shared(aspace)
+            return False
         frame.in_transit = None
         inflight.succeed()
         # Deliberately NOT validated: sw_valid stays False so the first real
@@ -383,7 +406,16 @@ class VmSystem:
     def _writeback_then_free(self, asid: int, frame: Frame, freed_by: str) -> None:
         def run():
             io = self.swap.write_page(asid, frame.vpn)
-            yield io
+            try:
+                yield io
+            except DiskIOError:
+                # Every spindle is gone: the copy cannot be persisted.  The
+                # page's swap identity is now a lie, so destroy it before
+                # recycling the frame — a later fault re-reads (and fails
+                # loudly on the application path) instead of silently
+                # rescuing data that was never written.
+                self.stats.writeback_failures += 1
+                frame.reset_identity()
             frame.dirty = False
             self.freelist.push(frame, freed_by)
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import DiskParams
 from repro.disk.adapter import ScsiAdapter
-from repro.disk.device import DiskDevice
+from repro.disk.device import DiskDevice, DiskRequest
 from repro.disk.swap import StripedSwap
 
 
@@ -70,6 +70,40 @@ class TestDiskDevice:
         disk.submit(block=0, is_write=False)
         assert disk.queue_horizon > 0.0
 
+    def test_utilization_zero_at_time_zero(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        assert disk.utilization() == 0.0
+        # Even with work queued, no simulated time has elapsed yet.
+        disk.submit(block=0, is_write=False)
+        assert disk.utilization() == 0.0
+
+    def test_utilization_saturated_queue_is_capped(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        # Back-to-back queue from t=0: the disk is busy for the whole run,
+        # and the cap keeps rounding from pushing utilization past 1.
+        for block in range(6):
+            disk.submit(block=block * 100, is_write=False)
+        engine.run()
+        assert disk.utilization() == pytest.approx(1.0)
+
+    def test_queue_horizon_tracks_backlog_and_drains(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        assert disk.queue_horizon == 0.0
+        first = disk.submit(block=0, is_write=False)
+        assert disk.queue_horizon == pytest.approx(first.service_time)
+        second = disk.submit(block=1000, is_write=False)
+        assert disk.queue_horizon == pytest.approx(
+            first.service_time + second.service_time
+        )
+        engine.run()
+        assert disk.queue_horizon == 0.0
+
+    def test_request_requires_completion_event(self):
+        # The completion event is a required field: a request that could be
+        # awaited before its event exists cannot be constructed at all.
+        with pytest.raises(TypeError):
+            DiskRequest(block=0, is_write=False, issued_at=0.0)
+
 
 class TestScsiAdapter:
     def test_rejects_foreign_disk(self, engine, params):
@@ -122,6 +156,22 @@ class TestScsiAdapter:
         assert adapter.owns(disk)
         assert not adapter.owns(DiskDevice(engine, params, 1))
 
+    def test_contention_records_queue_wait(self, engine, params):
+        disk = DiskDevice(engine, params, 0)
+        adapter = ScsiAdapter(engine, params, 0, [disk])
+
+        def proc(block):
+            yield from adapter.transfer(disk, block, False)
+
+        for block in range(params.adapter_queue_depth + 3):
+            engine.process(proc(block * 50))
+        engine.run()
+        # The commands beyond the queue depth had to wait for a slot, and
+        # every slot was handed back once the backlog drained.
+        assert adapter.total_queue_wait > 0.0
+        assert adapter.outstanding == 0
+        assert adapter.commands == params.adapter_queue_depth + 3
+
 
 class TestStripedSwap:
     def test_topology(self, engine, params):
@@ -167,6 +217,16 @@ class TestStripedSwap:
 
         with pytest.raises(ValueError):
             engine.run_process(proc())
+
+    def test_unknown_purpose_rejected_before_any_io(self, engine, params):
+        swap = StripedSwap(engine, params)
+        # The purpose is validated synchronously, before any event is
+        # scheduled: the caller fails immediately and no disk saw traffic.
+        with pytest.raises(ValueError):
+            swap.transfer(1, 0, is_write=False, purpose="bogus")
+        assert all(disk.requests == 0 for disk in swap.disks)
+        engine.run()
+        assert engine.now == 0.0
 
     def test_mean_latency(self, engine, params):
         swap = StripedSwap(engine, params)
