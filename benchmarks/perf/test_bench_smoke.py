@@ -1,0 +1,136 @@
+"""Smoke test for the wall-clock benchmark suite (`repro bench`).
+
+These assertions are structural: the case registry is intact, one small
+case produces a well-formed record and JSON file, and the baseline gate
+fires on the regression side.  No wall-time thresholds are asserted here —
+CI machines are too noisy for that; the `bench-smoke` CI job applies the
+(wide) tolerance band via ``repro bench --check`` instead.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import bench
+from repro.cli import main
+
+BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def test_case_registry_matches_baseline_file():
+    cases = bench.load_baseline(BASELINE)
+    assert set(cases) == set(bench.BENCH_CASES)
+    for entry in cases.values():
+        assert entry["wall_s"] > 0
+
+
+def test_every_case_builds_valid_specs():
+    for make_specs in bench.BENCH_CASES.values():
+        specs = make_specs()
+        assert specs
+        for spec in specs:
+            spec.validate()
+
+
+def test_unknown_case_raises():
+    with pytest.raises(KeyError, match="unknown bench case"):
+        bench.run_case("nope")
+
+
+def test_run_case_produces_complete_record(tmp_path):
+    record, profile_text = bench.run_case("interactive_sweep_tiny", repeats=1)
+    assert profile_text is None
+    assert record.name == "interactive_sweep_tiny"
+    assert record.wall_s > 0
+    assert record.engine_steps > 0
+    assert record.sim_s > 0
+    assert record.specs == 7
+    assert record.events_per_s == pytest.approx(
+        record.engine_steps / record.wall_s, rel=0.01
+    )
+    assert record.peak_rss_mb > 0
+    assert record.meta["python"]
+
+    ok, message = bench.compare_to_baseline(
+        record, bench.load_baseline(BASELINE), tolerance=1e9
+    )
+    assert ok
+    assert record.baseline_wall_s is not None
+    assert record.speedup_vs_baseline is not None
+
+    path = bench.write_record(record, tmp_path)
+    assert path.name == "BENCH_interactive_sweep_tiny.json"
+    data = json.loads(path.read_text())
+    assert data["name"] == record.name
+    assert data["baseline_wall_s"] == record.baseline_wall_s
+    assert "commit" in data["meta"]
+
+
+def test_regression_gate_fires():
+    record = bench.BenchRecord(
+        name="standard_mix",
+        wall_s=1000.0,
+        engine_steps=1,
+        sim_s=1.0,
+        specs=4,
+        events_per_s=1.0,
+        sim_s_per_wall_s=1.0,
+        peak_rss_mb=1.0,
+        repeats=1,
+    )
+    ok, message = bench.compare_to_baseline(
+        record, bench.load_baseline(BASELINE), tolerance=2.0
+    )
+    assert not ok
+    assert "REGRESSION" in message
+
+
+def test_missing_baseline_entry_skips_gate():
+    record = bench.BenchRecord(
+        name="brand_new_case",
+        wall_s=1.0,
+        engine_steps=1,
+        sim_s=1.0,
+        specs=1,
+        events_per_s=1.0,
+        sim_s_per_wall_s=1.0,
+        peak_rss_mb=1.0,
+        repeats=1,
+    )
+    ok, message = bench.compare_to_baseline(record, {}, tolerance=2.0)
+    assert ok
+    assert "no baseline" in message
+
+
+def test_cli_bench_runs_one_case(tmp_path, capsys):
+    rc = main(
+        [
+            "bench",
+            "--case",
+            "interactive_sweep_tiny",
+            "--repeats",
+            "1",
+            "--baseline",
+            str(BASELINE),
+            "--out-dir",
+            str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "interactive_sweep_tiny" in out
+    assert (tmp_path / "BENCH_interactive_sweep_tiny.json").exists()
+
+
+def test_cli_bench_rejects_unknown_case(tmp_path):
+    rc = main(
+        [
+            "bench",
+            "--case",
+            "bogus",
+            "--out-dir",
+            str(tmp_path),
+        ]
+    )
+    assert rc == 2

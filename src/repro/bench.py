@@ -1,0 +1,260 @@
+"""Wall-clock benchmarks: measure, record, and protect simulator speed.
+
+ROADMAP's north star is "as fast as the hardware allows", and the paper's
+full-scale experiments are tractable only while the simulator stays fast.
+This module defines the benchmark *cases* (named spec lists mirroring the
+standard mix and the per-figure grids), runs them with best-of-N timing,
+and writes ``BENCH_<name>.json`` records carrying machine/commit metadata
+plus the checked-in baseline for regression comparison.
+
+Three throughput metrics are reported per case:
+
+- ``wall_s`` — best-of-N wall-clock for the whole case;
+- ``events_per_s`` — engine events dispatched per wall second (the
+  engine's raw dispatch rate);
+- ``sim_s_per_wall_s`` — simulated seconds produced per wall second (how
+  much paper-time a second of host time buys).
+
+``repro bench`` is the CLI front-end; ``benchmarks/perf`` holds the
+committed baseline and a smoke test.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import platform
+import pstats
+import resource
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.config import small, tiny
+from repro.experiments.harness import multiprogram_spec
+from repro.machine import ExperimentResult, ExperimentSpec, run_experiment
+
+__all__ = [
+    "BENCH_CASES",
+    "BenchRecord",
+    "bench_filename",
+    "compare_to_baseline",
+    "load_baseline",
+    "run_case",
+    "serialize_result",
+    "write_record",
+]
+
+#: Workload ordering shared by the grid cases (Figure 7's order).
+WORKLOAD_ORDER = ["EMBAR", "MATVEC", "BUK", "CGM", "MGRID", "FFTPDE"]
+
+
+def _standard_mix() -> List[ExperimentSpec]:
+    """The paper's standard mix: MATVEC O/P/R/B + interactive, small scale."""
+    return [multiprogram_spec(small(), "MATVEC", v) for v in "OPRB"]
+
+
+def _grid_tiny() -> List[ExperimentSpec]:
+    """The full benchmark × version grid behind Figures 7-10, tiny scale."""
+    return [
+        multiprogram_spec(tiny(), w, v) for w in WORKLOAD_ORDER for v in "OPRB"
+    ]
+
+
+def _indirect_tiny() -> List[ExperimentSpec]:
+    """The two indirect-reference benchmarks (BUK, CGM), tiny scale."""
+    return [
+        multiprogram_spec(tiny(), w, v) for w in ("BUK", "CGM") for v in "OPRB"
+    ]
+
+
+def _interactive_sweep_tiny() -> List[ExperimentSpec]:
+    """Figure 10's sleep-time sweep for MATVEC R, tiny scale."""
+    scale = tiny()
+    return [
+        multiprogram_spec(scale, "MATVEC", "R", sleep_time_s=t)
+        for t in scale.figure_sleep_times_s
+    ]
+
+
+BENCH_CASES: Dict[str, Callable[[], List[ExperimentSpec]]] = {
+    "standard_mix": _standard_mix,
+    "grid_tiny": _grid_tiny,
+    "indirect_tiny": _indirect_tiny,
+    "interactive_sweep_tiny": _interactive_sweep_tiny,
+}
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark case's measurement, as written to BENCH_<name>.json."""
+
+    name: str
+    wall_s: float
+    engine_steps: int
+    sim_s: float
+    specs: int
+    events_per_s: float
+    sim_s_per_wall_s: float
+    peak_rss_mb: float
+    repeats: int
+    meta: Dict[str, object] = field(default_factory=dict)
+    baseline_wall_s: Optional[float] = None
+    speedup_vs_baseline: Optional[float] = None
+
+
+def machine_metadata() -> Dict[str, object]:
+    """Host/commit context so BENCH records are comparable over time."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        commit = ""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "commit": commit or None,
+    }
+
+
+def run_case(
+    name: str,
+    repeats: int = 2,
+    profile: bool = False,
+    profile_top: int = 25,
+) -> tuple:
+    """Run one case; returns ``(BenchRecord, profile_text_or_None)``.
+
+    Timing is best-of-``repeats`` to shed scheduler noise; steps and
+    simulated seconds are identical across repeats (the simulator is
+    deterministic), so they are taken from the last pass.
+    """
+    try:
+        make_specs = BENCH_CASES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench case {name!r}; known: {sorted(BENCH_CASES)}"
+        ) from None
+    specs = make_specs()
+    best = float("inf")
+    results: List[ExperimentResult] = []
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        results = [run_experiment(spec) for spec in specs]
+        best = min(best, time.perf_counter() - started)
+    profile_text = None
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for spec in specs:
+            run_experiment(spec)
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(profile_top)
+        profile_text = buffer.getvalue()
+    engine_steps = sum(r.engine_steps for r in results)
+    sim_s = sum(r.elapsed_s for r in results)
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    record = BenchRecord(
+        name=name,
+        wall_s=round(best, 4),
+        engine_steps=engine_steps,
+        sim_s=round(sim_s, 4),
+        specs=len(specs),
+        events_per_s=round(engine_steps / best, 1),
+        sim_s_per_wall_s=round(sim_s / best, 3),
+        peak_rss_mb=round(peak_rss_mb, 1),
+        repeats=max(1, repeats),
+        meta=machine_metadata(),
+    )
+    return record, profile_text
+
+
+# -- baseline comparison ---------------------------------------------------
+def load_baseline(path) -> Dict[str, Dict[str, float]]:
+    """Load ``benchmarks/perf/baseline.json``; returns its ``cases`` map."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return data.get("cases", {})
+
+
+def compare_to_baseline(
+    record: BenchRecord,
+    baseline_cases: Dict[str, Dict[str, float]],
+    tolerance: float = 2.0,
+) -> tuple:
+    """Annotate ``record`` with the baseline and judge the regression gate.
+
+    Returns ``(ok, message)``.  The gate fails when the measured wall time
+    exceeds ``tolerance`` × the committed baseline — a deliberately wide
+    band, since the baseline was captured on one particular machine.
+    """
+    entry = baseline_cases.get(record.name)
+    if entry is None:
+        return True, f"{record.name}: no baseline entry, skipping the gate"
+    baseline_wall = float(entry["wall_s"])
+    record.baseline_wall_s = baseline_wall
+    record.speedup_vs_baseline = round(baseline_wall / record.wall_s, 3)
+    if record.wall_s > baseline_wall * tolerance:
+        return False, (
+            f"{record.name}: REGRESSION — wall {record.wall_s:.3f}s exceeds "
+            f"{tolerance:g}x the baseline {baseline_wall:.3f}s"
+        )
+    return True, (
+        f"{record.name}: wall {record.wall_s:.3f}s vs baseline "
+        f"{baseline_wall:.3f}s ({record.speedup_vs_baseline:.2f}x)"
+    )
+
+
+def bench_filename(name: str) -> str:
+    return f"BENCH_{name}.json"
+
+
+def write_record(record: BenchRecord, out_dir=".") -> Path:
+    """Write ``BENCH_<name>.json``; returns the path."""
+    path = Path(out_dir) / bench_filename(record.name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(asdict(record), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# -- canonical result serialization ----------------------------------------
+def serialize_result(result: ExperimentResult) -> str:
+    """A canonical, byte-stable string of everything the figures read.
+
+    Two runs of the same spec must produce identical strings; the
+    determinism regression test and the golden-equivalence test compare
+    these directly.  Dataclass reprs are stable and cover every field, so
+    they are used for the nested stat objects.
+    """
+    parts = [
+        f"scale={result.scale}",
+        f"elapsed_s={result.elapsed_s!r}",
+        f"engine_steps={result.engine_steps}",
+        f"vm={result.vm!r}",
+        f"swap={sorted(result.swap.items())!r}",
+    ]
+    for process in result.processes:
+        parts.append(
+            "process "
+            f"name={process.name} workload={process.workload} "
+            f"version={process.version} completed={process.completed} "
+            f"interactive={process.interactive} "
+            f"sleep_time_s={process.sleep_time_s!r} "
+            f"buckets={process.buckets!r} stats={process.stats!r} "
+            f"worker_buckets={process.worker_buckets!r} "
+            f"runtime={process.runtime!r} sweeps={process.sweeps!r}"
+        )
+    return "\n".join(parts)

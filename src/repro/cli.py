@@ -434,6 +434,88 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if args.all or not args.case:
+        names = list(bench.BENCH_CASES)
+    else:
+        names = list(dict.fromkeys(args.case))
+    unknown = [name for name in names if name not in bench.BENCH_CASES]
+    if unknown:
+        print(
+            f"unknown case(s) {', '.join(unknown)}; "
+            f"known: {', '.join(bench.BENCH_CASES)}",
+            file=sys.stderr,
+        )
+        return 2
+    baseline_cases = {}
+    if os.path.exists(args.baseline):
+        baseline_cases = bench.load_baseline(args.baseline)
+    elif args.check:
+        print(f"--check given but no baseline at {args.baseline}", file=sys.stderr)
+        return 2
+    rows = []
+    failures = []
+    for name in names:
+        record, profile_text = bench.run_case(
+            name, repeats=args.repeats, profile=args.profile
+        )
+        ok, message = bench.compare_to_baseline(
+            record, baseline_cases, tolerance=args.tolerance
+        )
+        if not ok:
+            failures.append(message)
+        path = bench.write_record(record, args.out_dir)
+        print(f"{message}  -> {path}")
+        if profile_text:
+            print(profile_text)
+        rows.append(
+            (
+                record.name,
+                f"{record.wall_s:.3f}",
+                record.engine_steps,
+                f"{record.events_per_s:,.0f}",
+                f"{record.sim_s_per_wall_s:.2f}",
+                f"{record.peak_rss_mb:.0f}",
+                "-"
+                if record.speedup_vs_baseline is None
+                else f"{record.speedup_vs_baseline:.2f}x",
+            )
+        )
+    print(
+        format_table(
+            [
+                "case",
+                "wall s",
+                "events",
+                "events/s",
+                "sim s / wall s",
+                "rss MB",
+                "vs baseline",
+            ],
+            rows,
+            title=f"repro bench (best of {args.repeats})",
+        )
+    )
+    if args.update_baseline:
+        payload = {
+            "note": "committed wall-clock baselines for `repro bench --check`",
+            "cases": {
+                row[0]: {"wall_s": float(row[1])} for row in rows
+            },
+        }
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+    if failures and args.check:
+        for message in failures:
+            print(message, file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -533,6 +615,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(table_parser)
     _add_runner(table_parser)
     table_parser.set_defaults(handler=_cmd_table)
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="time the simulator's hot paths and write BENCH_<case>.json",
+    )
+    bench_parser.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        help="benchmark case to run (repeatable; default: all cases)",
+    )
+    bench_parser.add_argument(
+        "--all", action="store_true", help="run every case (the default)"
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing passes per case; wall time is the best (default 2)",
+    )
+    bench_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally run each case under cProfile and print the top "
+        "functions by cumulative time",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if any case regresses past --tolerance x baseline",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="allowed wall-time ratio vs the committed baseline (default 2.0)",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        default="benchmarks/perf/baseline.json",
+        help="baseline file to compare against "
+        "(default benchmarks/perf/baseline.json)",
+    )
+    bench_parser.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for BENCH_<case>.json records (default: cwd)",
+    )
+    bench_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file with this run's wall times",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     cache_parser = commands.add_parser(
         "cache", help="inspect or prune a result cache directory"

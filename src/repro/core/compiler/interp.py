@@ -5,6 +5,11 @@ The specialised executable's behaviour is reproduced as a stream of *ops*:
 - ``('w', seconds)`` — user compute;
 - ``('t', vpn, write, extra_seconds)`` — a page touch (the driver runs the
   fast path or the fault path against the kernel);
+- ``('T', start_vpn, count, write, secs_per_page)`` — a run-length batch of
+  sequential full-page touches, equivalent to ``count`` repetitions of
+  ``('w', secs_per_page)`` + ``('t', start_vpn + i, write, 0.0)``; emitted
+  only for hint-free unit-stride streams (runs never cross a prefetch or
+  release hint boundary), and expandable back via :func:`expand_ops`;
 - ``('p', tag, vpns)`` — a compiler-scheduled prefetch hint;
 - ``('r', tag, vpns, priority)`` — a compiler-inserted release hint.
 
@@ -44,7 +49,7 @@ from repro.core.compiler.ir import (
     bound_value,
 )
 
-__all__ = ["NestRunner", "Op", "nest_ops"]
+__all__ = ["NestRunner", "Op", "expand_ops", "nest_ops"]
 
 Op = tuple
 
@@ -75,6 +80,8 @@ class _RefState:
         "hints_apparent",
         "apparent_subs",
         "last_hint_page",
+        "crc_mix",
+        "chunk_cache",
     )
 
     def __init__(
@@ -106,6 +113,7 @@ class _RefState:
         self.hints_apparent = False
         self.apparent_subs = None
         self.last_hint_page = None
+        self.chunk_cache: Dict[int, Tuple[int, ...]] = {}
         if isinstance(ref, IndirectRef):
             self.indirect = True
             self.subscripts = None
@@ -113,11 +121,17 @@ class _RefState:
             self.index_epp = max(1, page_size // index_array.element_size)
             self.sample_count = ref.sample_touches_per_chunk
             self.rng_tag = ref.rng_stream
+            # The per-chunk seed mixes two crc32s that never change for the
+            # lifetime of the state; fold them once instead of per chunk.
+            self.crc_mix = zlib.crc32(self.rng_tag.encode()) ^ (
+                zlib.crc32(array.name.encode()) << 1
+            )
         else:
             self.indirect = False
             self.index_epp = 0
             self.sample_count = 0
             self.rng_tag = ""
+            self.crc_mix = 0
             if isinstance(ref, VaryingStrideRef):
                 # Resolved afresh at each inner-loop entry: the real stride
                 # can change with the enclosing loop state (FFTPDE stages).
@@ -212,6 +226,7 @@ class NestRunner:
         rng_seed: int = 0,
         emit_prefetch: bool = True,
         emit_release: bool = True,
+        batch: bool = True,
     ) -> None:
         self.compiled = compiled
         self.env = dict(env)
@@ -220,6 +235,11 @@ class NestRunner:
         self.rng_seed = rng_seed
         self.emit_prefetch = emit_prefetch
         self.emit_release = emit_release
+        #: Emit run-length ('T', ...) ops for hint-free unit-stride streams.
+        #: ``batch=False`` reproduces the historical per-page stream exactly;
+        #: the golden-equivalence tests rely on it.
+        self.batch = batch
+        self._rng = random.Random()
         self._states: List[_RefState] = [
             _RefState(cref, self.env, layout, machine.page_size)
             for cref in compiled.refs
@@ -321,6 +341,27 @@ class NestRunner:
                 yield ("r", state.rel_tag, (hint_last,), state.rel_priority)
         v = lo
         iterations_left = (hi - lo + step - 1) // step
+        # Run-length fast path: a single hint-free ascending unit-stride
+        # stream touches pages base, base+1, ... with a fixed compute charge
+        # per full page, so the whole loop collapses into at most two (w, t)
+        # boundary pairs around one ('T', start, count, write, secs_per_page)
+        # run.  Hinted streams never qualify — in steady state they emit a
+        # hint at every page crossing, so a run would cross a hint boundary.
+        if self.batch and not indirect_entries and len(affine_entries) == 1:
+            state, base, coeff, _abase, _acoeff = affine_entries[0]
+            if (
+                coeff * step == 1
+                and not state.hints_apparent
+                and not (self.emit_prefetch and state.pf_tag >= 0)
+                and not (self.emit_release and state.rel_tag >= 0)
+            ):
+                elem0 = base + coeff * lo
+                elem_last = elem0 + iterations_left - 1
+                if elem0 >= 0 and elem_last // state.epp < state.array_pages:
+                    yield from self._run_unit_stride(
+                        state, elem0, iterations_left, total_flops
+                    )
+                    return
         while iterations_left > 0:
             chunk = iterations_left
             for state, base, coeff, abase, acoeff in affine_entries:
@@ -370,6 +411,42 @@ class NestRunner:
                 yield from self._advance_indirect(state, chunk)
             v += chunk * step
             iterations_left -= chunk
+
+    def _run_unit_stride(
+        self, state: _RefState, elem0: int, iters: int, total_flops: float
+    ) -> Iterator[Op]:
+        """Closed form of the chunk loop for one hint-free unit stride.
+
+        Emits the identical boundary ops the generic loop would (partial
+        first page, partial last page) and collapses the full pages between
+        them into a single ``('T', ...)`` run.  All ``w`` values are computed
+        with the same ``chunk * total_flops * cpu`` association as the
+        generic loop so the op streams match bit-for-bit when expanded.
+        """
+        cpu = self.machine.cpu_s_per_element
+        epp = state.epp
+        first = epp - elem0 % epp
+        if first > iters:
+            first = iters
+        page = state.base_vpn + elem0 // epp
+        yield ("w", first * total_flops * cpu)
+        if page != state.last_page:
+            yield ("t", page, state.write, 0.0)
+            state.last_page = page
+        remaining = iters - first
+        if remaining <= 0:
+            return
+        full_pages = remaining // epp
+        tail = remaining - full_pages * epp
+        if full_pages:
+            yield ("T", page + 1, full_pages, state.write, epp * total_flops * cpu)
+            page += full_pages
+            state.last_page = page
+        if tail:
+            yield ("w", tail * total_flops * cpu)
+            page += 1
+            yield ("t", page, state.write, 0.0)
+            state.last_page = page
 
     def _run_innermost_slow(self, loop: Loop) -> Iterator[Op]:
         """Fallback for negative steps: plain per-iteration execution."""
@@ -460,18 +537,29 @@ class NestRunner:
     # -- indirect references ----------------------------------------------------
     def _chunk_pages(self, state: _RefState, chunk_id: int) -> Tuple[int, ...]:
         # Deterministic per (seed, reference, chunk): versions O/P/R/B of a
-        # benchmark sample identical random pages.
+        # benchmark sample identical random pages.  Each chunk is sampled
+        # once by the prefetch pipeline and once by the touch stream, so a
+        # tiny cache (pruned after the touches, never more than two entries)
+        # halves the sampling work; the seed mix and the reseeded shared
+        # Random produce streams identical to a fresh Random(seed).
+        cached = state.chunk_cache.get(chunk_id)
+        if cached is not None:
+            return cached
         seed = (
             self.rng_seed * 0x9E3779B1
-            ^ zlib.crc32(state.rng_tag.encode())
-            ^ zlib.crc32(state.cref.ref.array.name.encode()) << 1
+            ^ state.crc_mix
             ^ chunk_id * 0x85EBCA6B
         ) & 0xFFFFFFFFFFFF
-        rng = random.Random(seed)
+        rng = self._rng
+        rng.seed(seed)
+        randrange = rng.randrange
         span = state.array_pages
-        return tuple(
-            state.base_vpn + rng.randrange(span) for _ in range(state.sample_count)
+        base = state.base_vpn
+        pages = tuple(
+            base + randrange(span) for _ in range(state.sample_count)
         )
+        state.chunk_cache[chunk_id] = pages
+        return pages
 
     def _advance_indirect(self, state: _RefState, iterations: int) -> Iterator[Op]:
         state.pending_iters += iterations
@@ -486,6 +574,7 @@ class NestRunner:
                 yield ("p", state.pf_tag, self._chunk_pages(state, chunk + 1))
             for vpn in self._chunk_pages(state, chunk):
                 yield ("t", vpn, state.write, 0.0)
+            state.chunk_cache.pop(chunk, None)
 
 
 def nest_ops(
@@ -496,6 +585,7 @@ def nest_ops(
     rng_seed: int = 0,
     emit_prefetch: bool = True,
     emit_release: bool = True,
+    batch: bool = True,
 ) -> Iterator[Op]:
     """Convenience wrapper: interpret one nest invocation."""
     runner = NestRunner(
@@ -506,5 +596,23 @@ def nest_ops(
         rng_seed=rng_seed,
         emit_prefetch=emit_prefetch,
         emit_release=emit_release,
+        batch=batch,
     )
     return runner.run()
+
+
+def expand_ops(ops: Iterator[Op]) -> Iterator[Op]:
+    """Expand run-length ``('T', ...)`` ops into the per-page pairs they
+    stand for, yielding exactly the stream the unbatched interpreter emits.
+
+    Golden-equivalence tests compare ``expand_ops(batched)`` against the
+    ``batch=False`` stream op-for-op.
+    """
+    for op in ops:
+        if op[0] == "T":
+            _kind, start_vpn, count, write, secs_per_page = op
+            for i in range(count):
+                yield ("w", secs_per_page)
+                yield ("t", start_vpn + i, write, 0.0)
+        else:
+            yield op

@@ -47,6 +47,10 @@ class KernelProcess:
         self.task = SimTask(kernel.engine, name)
         self.pending_user = 0.0
         self._quantum = kernel.scale.time_quantum_s
+        # Hot-path bindings: touch() runs once per page touch, so the
+        # kernel.vm / kernel.scale.machine attribute chains are hoisted here.
+        self._touch_fast = kernel.vm.touch_fast
+        self._resident_touch_s = kernel.scale.machine.resident_touch_s
 
     # -- time batching ---------------------------------------------------
     def charge(self, seconds: float) -> None:
@@ -58,7 +62,8 @@ class KernelProcess:
         pending = self.pending_user
         if pending > 0:
             self.pending_user = 0.0
-            yield from self.task.user(pending)
+            yield self.engine.timeout(pending)
+            self.task.buckets.user += pending
 
     def flush_if_due(self):
         if self.pending_user >= self._quantum:
@@ -67,13 +72,20 @@ class KernelProcess:
     # -- memory access ------------------------------------------------------
     def touch(self, vpn: int, write: bool = False):
         """Fast-path touch; returns None on hit, else the fault generator."""
-        if self.kernel.vm.touch_fast(self.aspace, vpn, write):
-            self.pending_user += self.kernel.scale.machine.resident_touch_s
+        if self._touch_fast(self.aspace, vpn, write):
+            self.pending_user += self._resident_touch_s
             return None
         return self._fault(vpn, write)
 
     def _fault(self, vpn: int, write: bool):
-        yield from self.flush()
+        # flush() inlined: the batch is almost always non-empty here, and
+        # the fault path runs often enough that the extra generator frame
+        # (plus task.user's) showed up in profiles.
+        pending = self.pending_user
+        if pending > 0:
+            self.pending_user = 0.0
+            yield self.engine.timeout(pending)
+            self.task.buckets.user += pending
         kind = yield from self.kernel.vm.fault(self.task, self.aspace, vpn, write)
         return kind
 

@@ -32,6 +32,10 @@ class SharedPage:
         self.current_usage = 0
         self.upper_limit = 0
         self.refreshes = 0
+        # The frame table never grows or shrinks, so the maxrss term of
+        # Equation 1 is a constant; refresh() runs on every fault and hint.
+        self._maxrss = vm.tunables.maxrss_pages(len(vm.frame_table))
+        self._min_freemem = vm.tunables.min_freemem_pages
         # "When the application attaches the PM to a region of its virtual
         # address space, the bits corresponding to those addresses are all
         # cleared" — we start with an empty set, which is the same thing.
@@ -57,16 +61,15 @@ class SharedPage:
         """Recompute the two reserved words (called on memory activity)."""
         self.refreshes += 1
         vm = self._vm
-        tunables = vm.tunables
-        maxrss = tunables.maxrss_pages(len(vm.frame_table))
         current = self._aspace.resident
         free = vm.freelist.free_count
         self.current_usage = current
         self.upper_limit = min(
-            maxrss, current + free - tunables.min_freemem_pages
+            self._maxrss, current + free - self._min_freemem
         )
-        if vm.obs is not None:
-            vm.obs.emit(
+        obs = vm.obs
+        if obs is not None and obs.wants("kernel.shared_page"):
+            obs.emit(
                 "kernel.shared_page",
                 {
                     "aspace": self._aspace.name,

@@ -34,7 +34,7 @@ from repro.core.runtime.policies import VERSIONS
 from repro.faults import EMPTY_PLAN, FaultInjector, FaultPlan, FaultPlanError
 from repro.kernel.kernel import Kernel
 from repro.obs import Bus, Sink
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import Engine
 from repro.sim.stats import TimeBuckets
 from repro.vm.stats import AddressSpaceStats, VmStats
 from repro.workloads.base import app_driver, build_layout
@@ -430,24 +430,19 @@ class Machine:
         done = self.engine.all_of(bounded)
         engine = self.engine
         budget = self.scale.max_engine_steps
-        while not done.triggered:
-            if engine.steps >= budget:
-                raise StepBudgetExceeded(
-                    budget,
-                    engine.now,
-                    {
-                        a.name: a.kprocess.task.buckets
-                        for a in self._attached
-                        if a.kprocess is not None
-                    },
-                )
-            try:
-                engine.step()
-            except IndexError:
-                raise SimulationError(
-                    "event queue drained before the bounded processes "
-                    "completed (deadlock)"
-                ) from None
+        # The engine owns the dispatch loop (run_until_triggered inlines the
+        # per-event hot path); the machine only turns a budget stop into the
+        # experiment-level error with per-process diagnostics attached.
+        if not engine.run_until_triggered(done, budget):
+            raise StepBudgetExceeded(
+                budget,
+                engine.now,
+                {
+                    a.name: a.kprocess.task.buckets
+                    for a in self._attached
+                    if a.kprocess is not None
+                },
+            )
         if not done.ok:
             raise done.value
         for attached in self._attached:

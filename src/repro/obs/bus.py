@@ -19,13 +19,20 @@ class TraceEvent:
 
 class Sink:
     """Base class for event sinks (duck typing suffices; this documents the
-    protocol and provides a no-op default)."""
+    protocol and provides a no-op default).
+
+    A sink may expose a ``kinds`` attribute (a set of event-kind strings, or
+    ``None`` for "everything").  Emit sites use :meth:`Bus.wants` to skip
+    building payloads for kinds no attached sink subscribes to; a sink
+    without the attribute subscribes to everything.
+    """
 
     def on_event(
         self, time: float, kind: str, payload: Optional[Dict[str, object]]
     ) -> None:  # pragma: no cover - interface default
         """Receive one event.  ``payload`` may be ``None`` for events with
-        no fields; sinks must not mutate it."""
+        no fields; sinks must not mutate it (payloads may be interned and
+        reused across emissions)."""
 
 
 class Bus:
@@ -36,13 +43,32 @@ class Bus:
     contract.
     """
 
-    __slots__ = ("engine", "sinks")
+    __slots__ = ("engine", "sinks", "_wants_all", "_wanted")
 
     def __init__(self, engine, sinks: Iterable[Sink]) -> None:
         self.engine = engine
         self.sinks: List[Sink] = list(sinks)
         if not self.sinks:
             raise ValueError("a Bus requires at least one sink")
+        # Precompute the subscription union so hot emit sites can skip the
+        # payload-dict build entirely when nobody is listening for a kind.
+        self._wants_all = False
+        wanted: set = set()
+        for sink in self.sinks:
+            kinds = getattr(sink, "kinds", None)
+            if kinds is None:
+                self._wants_all = True
+                break
+            wanted.update(kinds)
+        self._wanted = wanted
+
+    def wants(self, kind: str) -> bool:
+        """True if at least one sink subscribes to ``kind``.
+
+        Subscriptions are read once at construction; a sink that mutates its
+        ``kinds`` afterwards must attach a fresh Bus.
+        """
+        return self._wants_all or kind in self._wanted
 
     def emit(self, kind: str, payload: Optional[Dict[str, object]] = None) -> None:
         now = self.engine.now

@@ -330,3 +330,149 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestFastLane:
+    """The run-loop optimizations: event pooling and run_until_triggered."""
+
+    def test_plain_timeouts_are_pooled_and_reused(self, engine):
+        def proc():
+            for _ in range(5):
+                yield engine.timeout(1.0)
+
+        engine.process(proc())
+        engine.run()
+        assert engine._timeout_pool
+        pooled = engine._timeout_pool[-1]
+        fresh = engine.timeout(2.0)
+        assert fresh is pooled
+        assert fresh.triggered
+
+    def test_externally_referenced_timeout_is_not_recycled(self, engine):
+        held = []
+
+        def proc():
+            timeout = engine.timeout(1.0)
+            held.append(timeout)
+            yield timeout
+
+        engine.process(proc())
+        engine.run()
+        assert held[0] not in engine._timeout_pool
+
+    def test_valued_timeout_is_not_recycled(self, engine):
+        seen = []
+
+        def proc():
+            value = yield engine.timeout(1.0, value="payload")
+            seen.append(value)
+
+        engine.process(proc())
+        engine.run()
+        assert seen == ["payload"]
+        assert all(t._value is None for t in engine._timeout_pool)
+
+    def test_valued_timeout_never_comes_from_the_pool(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+
+        engine.process(proc())
+        engine.run()
+        assert engine._timeout_pool
+        fresh = engine.timeout(1.0, value="payload")
+        assert fresh not in engine._timeout_pool
+        assert fresh._value == "payload"
+
+    def test_succeeded_events_are_pooled_and_reused(self, engine):
+        # The event must not be referenced from this frame, or the
+        # refcount guard (correctly) refuses to recycle it.
+        def firer(event):
+            yield engine.timeout(1.0)
+            event.succeed()
+
+        def waiter():
+            event = engine.event()
+            engine.process(firer(event))
+            yield event
+
+        engine.process(waiter())
+        engine.run()
+        assert engine._event_pool
+        pooled = engine._event_pool[-1]
+        fresh = engine.event()
+        assert fresh is pooled
+        assert not fresh.triggered
+        assert fresh.callbacks == []
+
+    def test_externally_referenced_event_is_not_recycled(self, engine):
+        def firer(event):
+            yield engine.timeout(1.0)
+            event.succeed()
+
+        def waiter(event):
+            yield event
+
+        event = engine.event()
+        engine.process(waiter(event))
+        engine.process(firer(event))
+        engine.run()
+        assert event not in engine._event_pool
+
+    def test_pool_is_bounded(self, engine):
+        from repro.sim.engine import _TIMEOUT_POOL_LIMIT
+
+        def proc():
+            for _ in range(2 * _TIMEOUT_POOL_LIMIT):
+                yield engine.timeout(1.0)
+
+        engine.process(proc())
+        engine.run()
+        assert len(engine._timeout_pool) <= _TIMEOUT_POOL_LIMIT
+
+    def test_run_until_triggered_stops_at_the_event(self, engine):
+        done = engine.event()
+        log = []
+
+        def proc():
+            yield engine.timeout(3.0)
+            done.succeed()
+            yield engine.timeout(10.0)
+            log.append("late")
+
+        engine.process(proc())
+        assert engine.run_until_triggered(done) is True
+        assert engine.now == 3.0
+        assert log == []
+
+    def test_run_until_triggered_respects_the_step_budget(self, engine):
+        done = engine.event()
+
+        def ticker():
+            while True:
+                yield engine.timeout(1.0)
+
+        engine.process(ticker())
+        assert engine.run_until_triggered(done, max_steps=10) is False
+        assert engine.steps >= 10
+
+    def test_run_until_triggered_raises_on_deadlock(self, engine):
+        done = engine.event()
+        with pytest.raises(SimulationError):
+            engine.run_until_triggered(done)
+
+    def test_pooling_preserves_determinism(self):
+        def run_once():
+            engine = Engine()
+            trace = []
+
+            def producer(name, period):
+                for _ in range(20):
+                    yield engine.timeout(period)
+                    trace.append((engine.now, name))
+
+            engine.process(producer("a", 0.7))
+            engine.process(producer("b", 1.1))
+            engine.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -109,3 +109,62 @@ def test_trace_contains_cross_layer_events(scale):
     assert "vm.fault" in kinds
     assert "kernel.syscall" in kinds
     assert "kernel.shared_page" in kinds
+
+
+class _NarrowSink:
+    """A sink subscribing to a fixed kind set (exercises Bus.wants)."""
+
+    def __init__(self, kinds):
+        self.kinds = kinds
+        self.seen = []
+
+    def on_event(self, time, kind, payload):
+        self.seen.append(kind)
+
+
+def test_bus_wants_honours_sink_subscriptions():
+    engine = Engine()
+    bus = Bus(engine, [_NarrowSink({"vm.fault"})])
+    assert bus.wants("vm.fault")
+    assert not bus.wants("engine.dispatch")
+    assert not bus.wants("kernel.shared_page")
+
+
+def test_bus_wants_everything_for_unfiltered_sinks():
+    engine = Engine()
+    bus = Bus(engine, [TraceRecorder()])
+    assert bus.wants("engine.dispatch")
+    assert bus.wants("anything.at.all")
+
+
+def test_bus_wants_is_the_union_across_sinks():
+    engine = Engine()
+    bus = Bus(
+        engine, [_NarrowSink({"vm.fault"}), _NarrowSink({"swap.read"})]
+    )
+    assert bus.wants("vm.fault")
+    assert bus.wants("swap.read")
+    assert not bus.wants("engine.dispatch")
+
+
+def test_unwanted_hot_kinds_are_not_emitted(scale):
+    """The hot emit sites (per-event dispatch, per-quantum switch, the
+    shared-page refresh) gate on wants() and skip their payload builds
+    when no sink subscribes; cold sites still fan out unconditionally."""
+    narrow = _NarrowSink({"vm.fault"})
+    _run_instrumented(scale, narrow)
+    kinds = set(narrow.seen)
+    assert "vm.fault" in kinds
+    assert "engine.dispatch" not in kinds
+    assert "engine.switch" not in kinds
+    assert "kernel.shared_page" not in kinds
+
+
+def test_default_trace_recorder_still_sees_engine_dispatch(scale):
+    """An unfiltered sink keeps the engine.dispatch firehose flowing —
+    the wants() fast path must not silence it."""
+    recorder = TraceRecorder(limit=100_000)
+    _run_instrumented(scale, recorder)
+    kinds = {event.kind for event in recorder.events}
+    assert "engine.dispatch" in kinds
+    assert "vm.fault" in kinds

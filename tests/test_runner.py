@@ -35,10 +35,11 @@ def test_cached_rerun_performs_zero_simulation_steps(scale, tmp_path, monkeypatc
 
     # Any attempt to simulate would now blow up: the result must come
     # entirely from the cache.
-    def forbidden(self):
+    def forbidden(self, *args, **kwargs):
         raise AssertionError("engine stepped on a cached spec")
 
     monkeypatch.setattr(Engine, "step", forbidden)
+    monkeypatch.setattr(Engine, "run_until_triggered", forbidden)
     second = run_specs([spec], cache_dir=cache)[0]
     assert second.from_cache
     assert second.elapsed_s == first.elapsed_s
@@ -50,14 +51,17 @@ def test_cache_is_shared_across_overlapping_grids(scale, tmp_path, monkeypatch):
     cache = tmp_path / "cache"
     run_specs([_spec(scale, v) for v in "OR"], cache_dir=cache)
     # A different grid overlapping on R: only B may simulate.
-    real_step = Engine.step
+    real_run = Engine.run_until_triggered
     stepped = {"count": 0}
 
-    def counting(self):
-        stepped["count"] += 1
-        real_step(self)
+    def counting(self, event, max_steps=None):
+        before = self.steps
+        try:
+            return real_run(self, event, max_steps)
+        finally:
+            stepped["count"] += self.steps - before
 
-    monkeypatch.setattr(Engine, "step", counting)
+    monkeypatch.setattr(Engine, "run_until_triggered", counting)
     results = run_specs([_spec(scale, v) for v in "RB"], cache_dir=cache)
     assert results[0].from_cache and not results[1].from_cache
     assert stepped["count"] == results[1].engine_steps

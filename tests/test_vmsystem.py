@@ -282,3 +282,55 @@ class TestAllocationBlocking:
         assert kind == FaultKind.HARD
         assert kernel.vm.stats.low_memory_stalls >= 1
         assert proc.task.buckets.stall_memory > 0
+
+
+class TestFaultWaitClamp:
+    """fault_wait_time must never pick up negative float-rounding dust."""
+
+    def test_adversarial_rounding_is_clamped_to_zero(self, scale):
+        # Engineer the exact adversarial case: an uncontended soft fault
+        # starting at t=0.3 with a handler cost of 0.6 ends at
+        # 0.3 + 0.6 = 0.8999999999999999, so now - started - cost computes
+        # to -1.1e-16.  Without the clamp that dust accumulates into the
+        # reported lock-queueing time.
+        from dataclasses import replace
+
+        from repro.kernel import Kernel
+        from repro.sim.engine import Engine
+
+        assert (0.3 + 0.6) - 0.3 - 0.6 < 0  # the premise of this test
+        adversarial = replace(
+            scale, machine=replace(scale.machine, soft_fault_cpu_s=0.6)
+        )
+        engine = Engine()
+        # No Kernel.boot: the daemons stay parked, so nothing else touches
+        # the clock or the address-space lock during the fault.
+        kernel = Kernel(engine, adversarial)
+        proc = kernel.create_process("app")
+        proc.aspace.map_segment("a", 8)
+        touch(kernel, proc, 0)
+        frame = proc.aspace.frame_for(0)
+        frame.sw_valid = False
+        frame.invalidated = True
+        proc.pending_user = 0.0
+
+        def app():
+            yield engine.timeout(0.3 - engine.now)
+            kind = yield from kernel.vm.fault(proc.task, proc.aspace, 0, False)
+            return kind
+
+        kind = drive(engine, engine.process(app()))
+        assert kind == FaultKind.SOFT
+        assert proc.aspace.stats.fault_wait_time == 0.0
+
+    def test_fault_wait_time_is_never_negative(self, kernel, proc):
+        for vpn in range(50):
+            touch(kernel, proc, vpn)
+        for vpn in range(50):
+            frame = proc.aspace.frame_for(vpn)
+            if frame is not None:
+                frame.sw_valid = False
+                frame.invalidated = True
+        for vpn in range(50):
+            touch(kernel, proc, vpn)
+        assert proc.aspace.stats.fault_wait_time >= 0.0
