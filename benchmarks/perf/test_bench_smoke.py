@@ -20,7 +20,7 @@ BASELINE = Path(__file__).parent / "baseline.json"
 
 def test_case_registry_matches_baseline_file():
     cases = bench.load_baseline(BASELINE)
-    assert set(cases) == set(bench.BENCH_CASES)
+    assert set(cases) == set(bench.all_case_names())
     for entry in cases.values():
         assert entry["wall_s"] > 0
 

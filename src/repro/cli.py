@@ -9,6 +9,13 @@ Examples::
     python -m repro suite --benchmark BUK --scale tiny --jobs 4
     python -m repro figure 7 --scale tiny --jobs 4 --cache-dir results/cache
     python -m repro table 3 --scale tiny
+    python -m repro trace record --benchmark MATVEC --version B --out traces/
+    python -m repro trace replay traces/MATVEC.trace --interactive
+    python -m repro trace diff traces/MATVEC.trace traces/MATVEC2.trace
+
+Every command exits 2 with a one-line ``repro: error: …`` message on bad
+input (missing spec file, corrupt trace, invalid fault plan) instead of a
+traceback.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.config import SimScale, paper, small, tiny
@@ -42,9 +50,27 @@ from repro.experiments import (
 from repro.experiments.harness import multiprogram_spec, to_multiprogram
 from repro.experiments.report import format_table
 from repro.experiments.runner import cache_entries, prune_cache
-from repro.faults import EMPTY_PLAN, FaultPlan
-from repro.machine import ExperimentSpec, WorkloadProcessSpec, run_experiment
+from repro.faults import EMPTY_PLAN, FaultPlan, FaultPlanError
+from repro.machine import (
+    INTERACTIVE,
+    ExperimentSpec,
+    SpecError,
+    WorkloadProcessSpec,
+    run_experiment,
+)
 from repro.obs import TraceRecorder
+from repro.trace import (
+    TraceError,
+    diff_traces,
+    format_diff,
+    format_info,
+    import_text,
+    read_header,
+    record_experiment,
+    trace_info,
+    trace_process_spec,
+    verify_against_code,
+)
 from repro.workloads import BENCHMARKS, benchmark, table2_rows
 
 _SCALES = {"tiny": tiny, "small": small, "paper": paper}
@@ -136,11 +162,25 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _load_json_argument(text: str):
-    """Parse a JSON argument given as a file path or an inline literal."""
+    """Parse a JSON argument given as a file path or an inline literal.
+
+    A value that *looks* like a path (no JSON bracket in sight) but does
+    not exist is reported as a missing file rather than falling through to
+    a JSON syntax error about its first character.
+    """
     if os.path.exists(text):
-        with open(text, "r", encoding="utf-8") as handle:
-            return json.load(handle)
-    return json.loads(text)
+        try:
+            with open(text, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"{text} is not valid JSON: {exc}") from exc
+    stripped = text.lstrip()
+    if not stripped.startswith(("{", "[", '"')):
+        raise SpecError(f"no such file: {text}")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"inline JSON argument is invalid: {exc}") from exc
 
 
 def _faults_from_args(args: argparse.Namespace) -> FaultPlan:
@@ -164,36 +204,48 @@ def _spec_from_argument(text: str, default_scale: str) -> ExperimentSpec:
          "processes": [
              {"workload": "MATVEC", "version": "R"},
              {"workload": "EMBAR", "version": "P", "start_offset_s": 0.05},
+             {"trace": "traces/MATVEC.trace"},
              {"workload": "interactive", "sleep_s": 0.1, "sweeps": 6}]}
+
+    A ``{"trace": path}`` entry replays a recorded trace file as one of the
+    mix's processes (hint version and layout come from the trace header).
     """
     data = _load_json_argument(text)
     scale = _SCALES[data.get("scale", default_scale)]()
     overrides = data.get("overrides", {})
     if overrides:
         scale = scale.with_overrides(**overrides)
-    processes = tuple(
-        WorkloadProcessSpec(
-            workload=entry["workload"],
-            version=entry.get("version", "O"),
-            start_offset_s=entry.get("start_offset_s", 0.0),
-            sleep_time_s=entry.get("sleep_s"),
-            sweeps=entry.get("sweeps"),
-            name=entry.get("name"),
-        )
-        for entry in data["processes"]
-    )
+    processes = []
+    for entry in data.get("processes", ()):
+        if "trace" in entry:
+            processes.append(
+                trace_process_spec(
+                    entry["trace"],
+                    start_offset_s=entry.get("start_offset_s", 0.0),
+                    name=entry.get("name"),
+                )
+            )
+        elif "workload" in entry:
+            processes.append(
+                WorkloadProcessSpec(
+                    workload=entry["workload"],
+                    version=entry.get("version", "O"),
+                    start_offset_s=entry.get("start_offset_s", 0.0),
+                    sleep_time_s=entry.get("sleep_s"),
+                    sweeps=entry.get("sweeps"),
+                    name=entry.get("name"),
+                )
+            )
+        else:
+            raise SpecError(
+                f"process entry needs a 'workload' or 'trace' key: {entry!r}"
+            )
     faults = FaultPlan.from_dict(data["faults"]) if "faults" in data else EMPTY_PLAN
-    return ExperimentSpec(scale=scale, processes=processes, faults=faults)
+    return ExperimentSpec(scale=scale, processes=tuple(processes), faults=faults)
 
 
-def _cmd_run_spec(args: argparse.Namespace) -> int:
-    spec = _spec_from_argument(args.spec, args.scale)
-    if args.faults is not None:
-        spec = spec.with_faults(_faults_from_args(args))
-    elif args.fault_seed is not None:
-        spec = spec.with_faults(spec.faults.with_seed(args.fault_seed))
-    recorder = TraceRecorder() if args.trace else None
-    result = run_experiment(spec, sinks=(recorder,) if recorder else ())
+def _print_process_table(result, label: str) -> None:
+    """The per-process summary table shared by ``run --spec`` and replay."""
     rows = []
     for process in result.processes:
         rows.append(
@@ -228,13 +280,24 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
             ],
             rows,
             title=(
-                f"custom mix at scale '{spec.scale.name}': "
+                f"{label} at scale '{result.scale}': "
                 f"elapsed_s={result.elapsed_s:.3f}  "
                 f"engine_steps={result.engine_steps}  "
                 f"pages_released={result.vm.releaser_pages_freed}"
             ),
         )
     )
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    spec = _spec_from_argument(args.spec, args.scale)
+    if args.faults is not None:
+        spec = spec.with_faults(_faults_from_args(args))
+    elif args.fault_seed is not None:
+        spec = spec.with_faults(spec.faults.with_seed(args.fault_seed))
+    recorder = TraceRecorder() if args.trace else None
+    result = run_experiment(spec, sinks=(recorder,) if recorder else ())
+    _print_process_table(result, "custom mix")
     if spec.faults.enabled:
         swap = result.swap
         print(
@@ -437,15 +500,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
+    known = bench.all_case_names()
     if args.all or not args.case:
-        names = list(bench.BENCH_CASES)
+        names = known
     else:
         names = list(dict.fromkeys(args.case))
-    unknown = [name for name in names if name not in bench.BENCH_CASES]
+    unknown = [name for name in names if name not in known]
     if unknown:
         print(
-            f"unknown case(s) {', '.join(unknown)}; "
-            f"known: {', '.join(bench.BENCH_CASES)}",
+            f"unknown case(s) {', '.join(unknown)}; known: {', '.join(known)}",
             file=sys.stderr,
         )
         return 2
@@ -499,21 +562,127 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     )
     if args.update_baseline:
+        from repro.ioutil import atomic_write_json
+
         payload = {
             "note": "committed wall-clock baselines for `repro bench --check`",
             "cases": {
                 row[0]: {"wall_s": float(row[1])} for row in rows
             },
         }
-        with open(args.baseline, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(args.baseline, payload)
         print(f"baseline updated: {args.baseline}")
     if failures and args.check:
         for message in failures:
             print(message, file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        spec = _spec_from_argument(args.spec, args.scale)
+    elif args.benchmark is not None:
+        spec = multiprogram_spec(
+            _scale_from(args),
+            benchmark(args.benchmark),
+            VERSIONS[args.version],
+            sleep_time_s=args.sleep,
+        )
+    else:
+        raise SpecError("trace record: give --benchmark or --spec")
+    result, paths = record_experiment(
+        spec,
+        args.out,
+        processes=args.process or None,
+        include_faults=args.include_faults,
+    )
+    for name in sorted(paths):
+        path = paths[name]
+        header = read_header(path)
+        print(
+            f"recorded {name} -> {path} "
+            f"({Path(path).stat().st_size} bytes, "
+            f"{header.workload}/{header.version} @ {header.scale})"
+        )
+    print(f"elapsed_s={result.elapsed_s:.3f} engine_steps={result.engine_steps}")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    processes = [trace_process_spec(path) for path in args.trace]
+    if args.interactive:
+        processes.append(
+            WorkloadProcessSpec(workload=INTERACTIVE, sleep_time_s=args.sleep)
+        )
+    spec = ExperimentSpec(scale=_scale_from(args), processes=tuple(processes))
+    if args.record_to is not None:
+        result, paths = record_experiment(spec, args.record_to)
+        for name in sorted(paths):
+            print(f"re-recorded {name} -> {paths[name]}")
+    else:
+        result = run_experiment(spec)
+    _print_process_table(result, "trace replay")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    for index, path in enumerate(args.trace):
+        if index:
+            print()
+        info = trace_info(path)
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+        else:
+            print(format_info(info))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    diff = diff_traces(
+        args.trace_a,
+        args.trace_b,
+        expand=args.expand,
+        include_faults=args.include_faults,
+    )
+    print(format_diff(diff))
+    return 0 if diff.equal else 1
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    header, path, count = import_text(args.source, args.out, name=args.name)
+    print(
+        f"imported {args.source} -> {path} "
+        f"({count} ops, {header.footprint_pages} pages, "
+        f"version {header.version})"
+    )
+    return 0
+
+
+def _cmd_trace_verify(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.trace:
+        summary = verify_against_code(path)
+        if summary["equal"]:
+            print(
+                f"{path}: OK — {summary['recorded_ops']} recorded ops match "
+                f"the current compiler ({summary['workload']}/"
+                f"{summary['version']} @ {summary['scale']})"
+            )
+        else:
+            status = 1
+            mismatch = summary.get("first_mismatch")
+            print(
+                f"{path}: MISMATCH — recorded {summary['recorded_ops']} ops, "
+                f"regenerated {summary['regenerated_ops']}"
+            )
+            if mismatch:
+                print(
+                    f"  first at index {mismatch['index']}: "
+                    f"recorded {mismatch['recorded']} vs "
+                    f"regenerated {mismatch['regenerated']}"
+                )
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -681,13 +850,142 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.set_defaults(handler=_cmd_cache)
 
+    trace_parser = commands.add_parser(
+        "trace",
+        help="record, replay, inspect, diff, and import binary op traces",
+    )
+    trace_commands = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    record_parser = trace_commands.add_parser(
+        "record",
+        help="run an experiment and capture each hog's op stream to a trace",
+    )
+    _add_benchmark(record_parser, required=False)
+    record_parser.add_argument(
+        "--spec",
+        default=None,
+        help="JSON experiment spec (file path or inline); overrides "
+        "--benchmark/--version/--sleep",
+    )
+    record_parser.add_argument(
+        "--version",
+        default="B",
+        type=str.upper,
+        choices=sorted(VERSIONS),
+        help="program version for --benchmark (default B)",
+    )
+    record_parser.add_argument(
+        "--sleep",
+        type=float,
+        default=None,
+        help="interactive sleep for --benchmark (default: the scale's)",
+    )
+    record_parser.add_argument(
+        "--out",
+        required=True,
+        help="output: a directory (one <process>.trace per hog) or a "
+        "single .trace file (single-hog mixes only)",
+    )
+    record_parser.add_argument(
+        "--process",
+        action="append",
+        default=None,
+        help="capture only this process (repeatable; default: every hog)",
+    )
+    record_parser.add_argument(
+        "--include-faults",
+        action="store_true",
+        help="also record page-fault annotations ('f' ops)",
+    )
+    _add_scale(record_parser)
+    record_parser.set_defaults(handler=_cmd_trace_record)
+
+    replay_parser = trace_commands.add_parser(
+        "replay", help="replay trace files as a scheduled experiment mix"
+    )
+    replay_parser.add_argument(
+        "trace", nargs="+", help="trace file(s) to replay as processes"
+    )
+    replay_parser.add_argument(
+        "--interactive",
+        action="store_true",
+        help="add the paper's interactive task to the mix",
+    )
+    replay_parser.add_argument(
+        "--sleep",
+        type=float,
+        default=None,
+        help="interactive sleep time (default: the scale's intermediate)",
+    )
+    replay_parser.add_argument(
+        "--record-to",
+        default=None,
+        help="re-record the replayed op streams to this directory "
+        "(for round-trip checks via `repro trace diff`)",
+    )
+    _add_scale(replay_parser)
+    replay_parser.set_defaults(handler=_cmd_trace_replay)
+
+    info_parser = trace_commands.add_parser(
+        "info", help="footprint and locality statistics for trace files"
+    )
+    info_parser.add_argument("trace", nargs="+", help="trace file(s)")
+    info_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    info_parser.set_defaults(handler=_cmd_trace_info)
+
+    diff_parser = trace_commands.add_parser(
+        "diff",
+        help="compare two traces op-for-op (exit 1 when they differ)",
+    )
+    diff_parser.add_argument("trace_a")
+    diff_parser.add_argument("trace_b")
+    diff_parser.add_argument(
+        "--expand",
+        action="store_true",
+        help="expand run-length batches before comparing",
+    )
+    diff_parser.add_argument(
+        "--include-faults",
+        action="store_true",
+        help="also compare fault annotations (stripped by default)",
+    )
+    diff_parser.set_defaults(handler=_cmd_trace_diff)
+
+    import_parser = trace_commands.add_parser(
+        "import", help="convert an external text trace to the binary format"
+    )
+    import_parser.add_argument("source", help="text trace file")
+    import_parser.add_argument(
+        "--out", required=True, help="binary trace file to write"
+    )
+    import_parser.add_argument(
+        "--name", default=None, help="process name (default: the source stem)"
+    )
+    import_parser.set_defaults(handler=_cmd_trace_import)
+
+    verify_parser = trace_commands.add_parser(
+        "verify",
+        help="check recorded op streams against the current compiler "
+        "(no simulation; exit 1 on mismatch)",
+    )
+    verify_parser.add_argument("trace", nargs="+", help="trace file(s)")
+    verify_parser.set_defaults(handler=_cmd_trace_verify)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (SpecError, FaultPlanError, TraceError, OSError) as exc:
+        # Bad input — missing spec file, corrupt trace, invalid plan —
+        # is an exit-2 one-liner, not a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

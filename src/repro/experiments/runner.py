@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
+from repro.ioutil import atomic_open
 from repro.machine import ExperimentResult, ExperimentSpec, run_experiment
 
 __all__ = [
@@ -164,13 +165,10 @@ def _store_cached(cache_dir: Path, key: str, result: object) -> None:
         # Failures (or a slot that never produced anything) must not be
         # persisted: a cached failure would satisfy every future lookup.
         return
-    cache_dir.mkdir(parents=True, exist_ok=True)
     path = _cache_path(cache_dir, key)
     # Write-then-rename so a parallel worker never reads a torn entry.
-    tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    with tmp.open("wb") as handle:
+    with atomic_open(path, "wb") as handle:
         pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp, path)
 
 
 @dataclass

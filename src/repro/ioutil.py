@@ -1,0 +1,80 @@
+"""Atomic file writes for every artifact the toolchain persists.
+
+Bench records, result-cache entries, and trace files are all written via
+write-to-temp + ``os.replace``: an interrupted run (SIGKILL, OOM, a full
+disk discovered at close) can never leave a truncated artifact under the
+final name, and a parallel reader never observes a half-written file.
+Parent directories are created on demand so callers can point output
+options at paths that do not exist yet.
+
+The temporary name embeds ``.tmp.`` — the same marker the result cache's
+``repro cache`` classifier treats as an orphan — so a temp file leaked by
+a crashed process is visible and prunable rather than silently immortal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "atomic_open",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+]
+
+
+@contextmanager
+def atomic_open(path: os.PathLike, mode: str = "wb", encoding=None):
+    """Open a temporary file that replaces ``path`` only on a clean exit.
+
+    The temp file lives in ``path``'s directory (created if missing) so the
+    final ``os.replace`` is a same-filesystem rename, which is atomic on
+    POSIX.  On any exception the temp file is removed and ``path`` is left
+    untouched.
+    """
+    if mode not in ("wb", "w"):
+        raise ValueError(f"atomic_open supports modes 'wb'/'w', got {mode!r}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=f"{target.name}.tmp."
+    )
+    tmp = Path(tmp_name)
+    try:
+        if mode == "w":
+            handle = os.fdopen(fd, "w", encoding=encoding or "utf-8")
+        else:
+            handle = os.fdopen(fd, "wb")
+        with handle:
+            yield handle
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: os.PathLike, data: bytes) -> Path:
+    with atomic_open(path, "wb") as handle:
+        handle.write(data)
+    return Path(path)
+
+
+def atomic_write_text(path: os.PathLike, text: str, encoding: str = "utf-8") -> Path:
+    with atomic_open(path, "w", encoding=encoding) as handle:
+        handle.write(text)
+    return Path(path)
+
+
+def atomic_write_json(
+    path: os.PathLike, payload, indent: int = 2, sort_keys: bool = True
+) -> Path:
+    """Write ``payload`` as pretty JSON with a trailing newline, atomically."""
+    with atomic_open(path, "w") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+        handle.write("\n")
+    return Path(path)

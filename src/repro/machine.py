@@ -43,6 +43,7 @@ from repro.workloads.suite import BENCHMARKS
 
 __all__ = [
     "INTERACTIVE",
+    "TRACE",
     "ExperimentResult",
     "ExperimentSpec",
     "Machine",
@@ -56,6 +57,10 @@ __all__ = [
 #: Workload name selecting the paper's interactive task (Section 1.1)
 #: instead of an out-of-core benchmark.
 INTERACTIVE = "INTERACTIVE"
+
+#: Workload name selecting trace replay: the process plays a recorded op
+#: stream (``trace_path``) instead of compiling a benchmark.
+TRACE = "TRACE"
 
 
 class SpecError(ValueError):
@@ -92,13 +97,20 @@ class StepBudgetExceeded(RuntimeError):
 class WorkloadProcessSpec:
     """One simulated process within an experiment.
 
-    ``workload`` is a benchmark name from :data:`repro.workloads.BENCHMARKS`
-    or :data:`INTERACTIVE`.  ``version`` (O/P/R/B) applies to out-of-core
-    benchmarks only; ``sleep_time_s`` and ``sweeps`` apply to the
-    interactive task only (``sleep_time_s=None`` means the scale's
+    ``workload`` is a benchmark name from :data:`repro.workloads.BENCHMARKS`,
+    :data:`INTERACTIVE`, or :data:`TRACE`.  ``version`` (O/P/R/B) applies to
+    out-of-core benchmarks only; ``sleep_time_s`` and ``sweeps`` apply to
+    the interactive task only (``sleep_time_s=None`` means the scale's
     intermediate sleep; ``sweeps=None`` means "run until the bounded
     processes finish").  ``start_offset_s`` delays the process's first
     activity.
+
+    A :data:`TRACE` process replays the file at ``trace_path`` (its hint
+    version, layout, and default name come from the trace header).
+    ``trace_digest`` is the file's SHA-256: the spec's identity — and
+    therefore the runner's cache key — is tied to the trace *content*,
+    while ``trace_path`` itself stays out of the repr so re-recording an
+    identical trace elsewhere still hits the cache.
     """
 
     workload: str
@@ -107,10 +119,16 @@ class WorkloadProcessSpec:
     sleep_time_s: Optional[float] = None
     sweeps: Optional[int] = None
     name: Optional[str] = None
+    trace_path: Optional[str] = field(default=None, repr=False)
+    trace_digest: Optional[str] = None
 
     @property
     def is_interactive(self) -> bool:
         return self.workload.upper() == INTERACTIVE
+
+    @property
+    def is_trace(self) -> bool:
+        return self.workload.upper() == TRACE
 
     @property
     def bounded(self) -> bool:
@@ -121,11 +139,19 @@ class WorkloadProcessSpec:
         if self.is_interactive:
             if self.sweeps is not None and self.sweeps <= 0:
                 raise SpecError(f"sweeps must be positive, got {self.sweeps}")
+        elif self.is_trace:
+            if not self.trace_path:
+                raise SpecError("a TRACE process needs a trace_path")
+            if not self.trace_digest:
+                raise SpecError(
+                    "a TRACE process needs its trace_digest (build the spec "
+                    "via repro.trace.trace_process_spec)"
+                )
         else:
             if self.workload.upper() not in BENCHMARKS:
                 raise SpecError(
                     f"unknown workload {self.workload!r}; choose from "
-                    f"{sorted(BENCHMARKS)} or {INTERACTIVE!r}"
+                    f"{sorted(BENCHMARKS)}, {INTERACTIVE!r}, or {TRACE!r}"
                 )
             if self.version not in VERSIONS:
                 raise SpecError(
@@ -276,6 +302,7 @@ class _Attached:
         "interactive",
         "process",
         "sleep_time_s",
+        "trace",
     )
 
     def __init__(self, wspec: WorkloadProcessSpec, name: str) -> None:
@@ -286,6 +313,7 @@ class _Attached:
         self.interactive: Optional[InteractiveTask] = None
         self.process = None  # the sim Process driving this workload
         self.sleep_time_s: Optional[float] = None
+        self.trace = None  # TraceHeader when this process replays a trace
 
 
 def _delayed(engine: Engine, generator, delay: float):
@@ -337,7 +365,10 @@ class Machine:
         # interactive tasks, then the application drivers.
         hogs = [w for w in spec.processes if not w.is_interactive]
         interactives = [w for w in spec.processes if w.is_interactive]
-        prepared = [machine._prepare_out_of_core(w) for w in hogs]
+        prepared = [
+            machine._prepare_trace(w) if w.is_trace else machine._prepare_out_of_core(w)
+            for w in hogs
+        ]
         for wspec in interactives:
             machine.add_interactive(wspec)
         for attached, driver in prepared:
@@ -367,9 +398,81 @@ class Machine:
         compiled = instance.compiled(scale)
         attached.kprocess = process
         attached.runtime = runtime
+        if self.bus is not None and self.bus.wants("trace.spawn"):
+            page_size = scale.machine.page_size
+            self.bus.emit(
+                "trace.spawn",
+                {
+                    "process": attached.name,
+                    "workload": workload.name,
+                    "version": wspec.version,
+                    "scale": scale.name,
+                    "page_size": page_size,
+                    "layout": tuple(
+                        (array.name, array.pages(instance.env, page_size))
+                        for array in instance.program.arrays
+                    ),
+                },
+            )
         driver = app_driver(
             process, runtime, compiled, instance, layout, version, scale
         )
+        self._attached.append(attached)
+        return attached, driver
+
+    def _prepare_trace(self, wspec: WorkloadProcessSpec):
+        """Like :meth:`_prepare_out_of_core`, but replaying a recorded
+        op stream: the trace header supplies the layout, hint version, and
+        default process name; no compiler or interpreter work happens."""
+        from repro.trace.workload import TraceWorkload, replay_driver
+
+        scale = self.scale
+        trace = TraceWorkload(wspec.trace_path)
+        if wspec.trace_digest and trace.digest != wspec.trace_digest:
+            raise SpecError(
+                f"trace {wspec.trace_path} changed on disk: content digest "
+                f"{trace.digest[:12]}… does not match the spec's "
+                f"{wspec.trace_digest[:12]}…"
+            )
+        ops = trace.ops()  # decode (and checksum-validate) before wiring
+        header = trace.header
+        if header.page_size and header.page_size != scale.machine.page_size:
+            raise SpecError(
+                f"trace {wspec.trace_path} was recorded with page_size="
+                f"{header.page_size}, but scale '{scale.name}' uses "
+                f"{scale.machine.page_size}"
+            )
+        if header.version not in VERSIONS:
+            raise SpecError(
+                f"trace {wspec.trace_path} names unknown version "
+                f"{header.version!r}"
+            )
+        version = VERSIONS[header.version]
+        attached = _Attached(wspec, self._unique_name(wspec.name or header.process))
+        process = self.kernel.create_process(attached.name)
+        for segment, pages in header.layout:
+            process.aspace.map_segment(segment, pages)
+        pm = self.kernel.attach_paging_directed(process)
+        hint_faults = (
+            self.faults.hint_model(attached.name) if self.faults is not None else None
+        )
+        runtime = RuntimeLayer(process, pm, scale.runtime, version, faults=hint_faults)
+        attached.kprocess = process
+        attached.runtime = runtime
+        attached.trace = header
+        if self.bus is not None and self.bus.wants("trace.spawn"):
+            self.bus.emit(
+                "trace.spawn",
+                {
+                    "process": attached.name,
+                    "workload": header.workload,
+                    "version": header.version,
+                    "scale": header.scale,
+                    "page_size": header.page_size,
+                    "layout": header.layout,
+                },
+            )
+        driver = replay_driver(process, runtime, ops, version, scale)
         self._attached.append(attached)
         return attached, driver
 
@@ -381,7 +484,10 @@ class Machine:
     def add_out_of_core(self, wspec: WorkloadProcessSpec) -> _Attached:
         """Attach one out-of-core benchmark process, ready to run."""
         wspec.validate()
-        attached, driver = self._prepare_out_of_core(wspec)
+        if wspec.is_trace:
+            attached, driver = self._prepare_trace(wspec)
+        else:
+            attached, driver = self._prepare_out_of_core(wspec)
         self._spawn(attached, driver)
         return attached
 
@@ -459,11 +565,19 @@ class Machine:
         for attached in self._attached:
             wspec = attached.wspec
             completed = attached.process.triggered and attached.process.ok
+            if attached.trace is not None:
+                # Replay processes report the recorded workload/version, so
+                # a replayed result serializes identically to the live one.
+                workload = attached.trace.workload
+                version = attached.trace.version
+            else:
+                workload = wspec.workload.upper()
+                version = "" if wspec.is_interactive else wspec.version
             processes.append(
                 ProcessResult(
                     name=attached.name,
-                    workload=wspec.workload.upper(),
-                    version="" if wspec.is_interactive else wspec.version,
+                    workload=workload,
+                    version=version,
                     interactive=wspec.is_interactive,
                     completed=completed,
                     buckets=attached.kprocess.task.buckets,

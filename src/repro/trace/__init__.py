@@ -1,0 +1,77 @@
+"""repro.trace — deterministic op-stream traces: capture, replay, import.
+
+The interpreter's op stream (page touches, run-length touch batches,
+compute charges, prefetch/release hints) is deterministic given a workload,
+version, and scale — and it is independent of machine state, which is what
+makes a recorded stream exactly replayable.  This package gives that
+stream a durable form:
+
+- :mod:`repro.trace.format` — the compact, versioned, checksummed binary
+  trace format with streaming :class:`TraceWriter`/:class:`TraceReader`;
+- :mod:`repro.trace.record` — :class:`TraceCaptureSink`, an obs-bus sink
+  that captures a process's full op stream during any run;
+- :mod:`repro.trace.workload` — :class:`TraceWorkload`, which replays a
+  trace file as a first-class process in an experiment mix;
+- :mod:`repro.trace.analyze` — op-for-op diff (the golden-equivalence
+  machinery generalized to files) and footprint/locality stats;
+- :mod:`repro.trace.importer` — a simple external text format so non-NAS
+  traces become runnable workloads.
+
+``repro trace record|replay|info|diff|import`` is the CLI front-end.
+"""
+
+from repro.trace.analyze import (
+    TraceDiff,
+    diff_traces,
+    format_diff,
+    format_info,
+    regenerate_ops,
+    trace_info,
+    verify_against_code,
+)
+from repro.trace.format import (
+    TRACE_FORMAT_VERSION,
+    TraceChecksumError,
+    TraceError,
+    TraceFormatError,
+    TraceHeader,
+    TraceReader,
+    TraceTruncatedError,
+    TraceWriter,
+    file_digest,
+    read_header,
+    read_trace,
+    write_trace,
+)
+from repro.trace.importer import TraceImportError, import_text
+from repro.trace.record import TraceCaptureSink, record_experiment
+from repro.trace.workload import TraceWorkload, replay_driver, trace_process_spec
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceCaptureSink",
+    "TraceChecksumError",
+    "TraceDiff",
+    "TraceError",
+    "TraceFormatError",
+    "TraceHeader",
+    "TraceImportError",
+    "TraceReader",
+    "TraceTruncatedError",
+    "TraceWorkload",
+    "TraceWriter",
+    "diff_traces",
+    "file_digest",
+    "format_diff",
+    "format_info",
+    "import_text",
+    "read_header",
+    "read_trace",
+    "record_experiment",
+    "regenerate_ops",
+    "replay_driver",
+    "trace_info",
+    "trace_process_spec",
+    "verify_against_code",
+    "write_trace",
+]

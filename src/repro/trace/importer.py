@@ -1,0 +1,224 @@
+"""Import external traces from a simple text format.
+
+Non-NAS workloads — an allocator trace, a database scan, a hand-written
+stress pattern — become replayable processes through a line-oriented text
+format::
+
+    # comments and blank lines are ignored
+    !name SCAN            # process/workload label (default: the file stem)
+    !version R            # hint policy O/P/R/B (default: B if any hints, else O)
+    !page-cost 2e-6       # compute seconds charged per touch (default 1e-6)
+    !segment data 4096    # declare segments in layout order (repeatable)
+    0 r                   # touch: <vpn> r|w
+    1 w prefetch=2,3,4    # hints ride on a touch line ...
+    2 r release=0,1@2     # ... release takes an optional @priority (default 1)
+
+Each touch line becomes a ``('w', page_cost)`` charge plus a
+``('t', vpn, write, 0.0)`` touch; ``prefetch=`` hints are emitted *before*
+the touch (as the compiler schedules them ahead of use) and ``release=``
+hints after it.  Hint tags are assigned sequentially per directive, giving
+each hint its own runtime-layer filter slot.  Without ``!segment``
+directives the layout is one segment covering the highest vpn mentioned.
+
+The importer validates as it parses — every error names its line — and
+writes a standard binary trace (``source="import"``, ``page_size=0`` since
+the page geometry is whatever the source system had), replayable at any
+scale via ``repro trace replay`` or a ``{"trace": …}`` spec entry.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.trace.format import TraceError, TraceHeader, write_trace
+
+__all__ = ["TraceImportError", "import_text"]
+
+_VERSIONS = ("O", "P", "R", "B")
+
+
+class TraceImportError(TraceError):
+    """A text trace that cannot be imported; the message names the line."""
+
+
+def _parse_vpn_list(text: str, line_no: int) -> Tuple[int, ...]:
+    vpns = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise TraceImportError(f"line {line_no}: empty vpn in hint list")
+        try:
+            vpn = int(part)
+        except ValueError:
+            raise TraceImportError(
+                f"line {line_no}: bad vpn {part!r} in hint list"
+            ) from None
+        if vpn < 0:
+            raise TraceImportError(f"line {line_no}: negative vpn {vpn} in hint list")
+        vpns.append(vpn)
+    return tuple(vpns)
+
+
+def parse_text(
+    lines: Iterable[str], default_name: str
+) -> Tuple[TraceHeader, List[Tuple]]:
+    """Parse the text format into a (header, ops) pair."""
+    name = default_name
+    version: Optional[str] = None
+    page_cost = 1e-6
+    segments: List[Tuple[str, int]] = []
+    segment_names: Dict[str, int] = {}
+    ops: List[Tuple] = []
+    next_tag = 0
+    max_vpn = -1
+    saw_hints = False
+    data_lines = 0
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("!"):
+            parts = line[1:].split()
+            directive = parts[0].lower() if parts else ""
+            if directive == "name" and len(parts) == 2:
+                name = parts[1]
+            elif directive == "version" and len(parts) == 2:
+                version = parts[1].upper()
+                if version not in _VERSIONS:
+                    raise TraceImportError(
+                        f"line {line_no}: unknown version {parts[1]!r} "
+                        f"(choose from {', '.join(_VERSIONS)})"
+                    )
+            elif directive == "page-cost" and len(parts) == 2:
+                try:
+                    page_cost = float(parts[1])
+                except ValueError:
+                    raise TraceImportError(
+                        f"line {line_no}: bad page cost {parts[1]!r}"
+                    ) from None
+                if page_cost < 0:
+                    raise TraceImportError(
+                        f"line {line_no}: negative page cost {page_cost}"
+                    )
+            elif directive == "segment" and len(parts) == 3:
+                segment = parts[1]
+                if segment in segment_names:
+                    raise TraceImportError(
+                        f"line {line_no}: duplicate segment {segment!r}"
+                    )
+                try:
+                    pages = int(parts[2])
+                except ValueError:
+                    raise TraceImportError(
+                        f"line {line_no}: bad segment size {parts[2]!r}"
+                    ) from None
+                if pages <= 0:
+                    raise TraceImportError(
+                        f"line {line_no}: segment {segment!r} needs positive pages"
+                    )
+                segment_names[segment] = pages
+                segments.append((segment, pages))
+            else:
+                raise TraceImportError(
+                    f"line {line_no}: unknown directive {line!r} (expected "
+                    "!name, !version, !page-cost, or !segment)"
+                )
+            continue
+        parts = line.split()
+        try:
+            vpn = int(parts[0])
+        except ValueError:
+            raise TraceImportError(
+                f"line {line_no}: expected a vpn, got {parts[0]!r}"
+            ) from None
+        if vpn < 0:
+            raise TraceImportError(f"line {line_no}: negative vpn {vpn}")
+        if len(parts) < 2 or parts[1] not in ("r", "w"):
+            raise TraceImportError(
+                f"line {line_no}: expected 'r' or 'w' after the vpn"
+            )
+        write = parts[1] == "w"
+        prefetches: List[Tuple] = []
+        releases: List[Tuple] = []
+        for extra in parts[2:]:
+            if extra.startswith("prefetch="):
+                vpns = _parse_vpn_list(extra[len("prefetch="):], line_no)
+                prefetches.append(("p", next_tag, vpns))
+                next_tag += 1
+                max_vpn = max(max_vpn, *vpns)
+            elif extra.startswith("release="):
+                body = extra[len("release="):]
+                priority = 1
+                if "@" in body:
+                    body, _at, priority_text = body.rpartition("@")
+                    try:
+                        priority = int(priority_text)
+                    except ValueError:
+                        raise TraceImportError(
+                            f"line {line_no}: bad release priority "
+                            f"{priority_text!r}"
+                        ) from None
+                    if priority < 1:
+                        raise TraceImportError(
+                            f"line {line_no}: release priority must be >= 1"
+                        )
+                vpns = _parse_vpn_list(body, line_no)
+                releases.append(("r", next_tag, vpns, priority))
+                next_tag += 1
+                max_vpn = max(max_vpn, *vpns)
+            else:
+                raise TraceImportError(
+                    f"line {line_no}: unknown field {extra!r} (expected "
+                    "prefetch=... or release=...)"
+                )
+        saw_hints = saw_hints or bool(prefetches or releases)
+        ops.extend(prefetches)
+        ops.append(("w", page_cost))
+        ops.append(("t", vpn, write, 0.0))
+        ops.extend(releases)
+        max_vpn = max(max_vpn, vpn)
+        data_lines += 1
+    if data_lines == 0:
+        raise TraceImportError("no touch lines found — nothing to import")
+    if not segments:
+        segments = [("data", max_vpn + 1)]
+    else:
+        declared = sum(pages for _name, pages in segments)
+        if max_vpn >= declared:
+            raise TraceImportError(
+                f"vpn {max_vpn} is outside the declared layout "
+                f"({declared} pages across {len(segments)} segments)"
+            )
+    if version is None:
+        version = "B" if saw_hints else "O"
+    header = TraceHeader(
+        process=name,
+        workload=name,
+        version=version,
+        scale="imported",
+        page_size=0,
+        layout=tuple(segments),
+        source="import",
+    )
+    return header, ops
+
+
+def import_text(
+    source: os.PathLike, out: os.PathLike, name: Optional[str] = None
+) -> Tuple[TraceHeader, Path, int]:
+    """Convert a text trace file into a binary trace at ``out``.
+
+    Returns ``(header, path, op_count)``.
+    """
+    source_path = Path(source)
+    try:
+        text = source_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceImportError(f"cannot read {source_path}: {exc}") from exc
+    header, ops = parse_text(
+        text.splitlines(), name if name is not None else source_path.stem
+    )
+    count = write_trace(out, header, ops)
+    return header, Path(out), count

@@ -1,0 +1,152 @@
+"""Capture a process's op stream through the obs bus, into trace files.
+
+The driver layer emits two event kinds when (and only when) a sink
+subscribes to them — the ``Bus.wants`` gate keeps the hot loop free of
+any per-op cost otherwise:
+
+- ``trace.spawn`` — one per out-of-core process, as the machine wires it:
+  carries everything the trace header needs (name, workload, version,
+  scale, page size, the ordered segment layout);
+- ``trace.op`` — one per interpreter op as the driver plays it.
+
+:class:`TraceCaptureSink` turns those events into
+:class:`~repro.trace.format.TraceWriter` streams, one per captured
+process.  Writers stream during the run and land atomically at
+:meth:`close`, so an aborted experiment leaves no torn trace behind.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Set
+
+from repro.obs.bus import Sink
+from repro.trace.format import TraceError, TraceHeader, TraceWriter
+
+__all__ = ["TraceCaptureSink", "record_experiment"]
+
+
+class TraceCaptureSink(Sink):
+    """Obs-bus sink that writes one trace file per captured process.
+
+    ``out`` is a directory — each captured process lands at
+    ``<out>/<process>.trace`` — unless it ends in ``.trace``, which selects
+    single-file mode and requires exactly one captured process.
+    ``processes`` optionally restricts capture to the named processes;
+    ``include_faults`` additionally records the process's resolved page
+    faults (``vm.fault`` events) as ``('f', vpn, kind)`` annotations.
+    """
+
+    def __init__(
+        self,
+        out: os.PathLike,
+        processes: Optional[Iterable[str]] = None,
+        include_faults: bool = False,
+    ) -> None:
+        self.out = Path(out)
+        self.processes: Optional[Set[str]] = (
+            set(processes) if processes is not None else None
+        )
+        self.include_faults = include_faults
+        self.kinds = {"trace.spawn", "trace.op"}
+        if include_faults:
+            self.kinds.add("vm.fault")
+        self._single_file = self.out.suffix == ".trace"
+        self._writers: Dict[str, TraceWriter] = {}
+        self._paths: Dict[str, Path] = {}
+        self._closed = False
+
+    def _wanted(self, name: str) -> bool:
+        return self.processes is None or name in self.processes
+
+    def on_event(self, time: float, kind: str, payload) -> None:
+        if kind == "trace.op":
+            writer = self._writers.get(payload["process"])
+            if writer is not None:
+                writer.write_op(payload["op"])
+        elif kind == "trace.spawn":
+            name = payload["process"]
+            if not self._wanted(name):
+                return
+            if name in self._writers:
+                raise TraceError(
+                    f"duplicate trace.spawn for process {name!r}"
+                )
+            if self._single_file:
+                if self._writers:
+                    raise TraceError(
+                        f"single-file output {self.out} cannot capture a second "
+                        f"process ({name!r}); give a directory or --process"
+                    )
+                path = self.out
+            else:
+                path = self.out / f"{name}.trace"
+            header = TraceHeader(
+                process=name,
+                workload=payload["workload"],
+                version=payload["version"],
+                scale=payload["scale"],
+                page_size=payload["page_size"],
+                layout=tuple(payload["layout"]),
+                source="record",
+            )
+            self._writers[name] = TraceWriter(path, header)
+        elif kind == "vm.fault":
+            writer = self._writers.get(payload["aspace"])
+            if writer is not None:
+                writer.write_op(("f", payload["vpn"], payload["kind"]))
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> Dict[str, Path]:
+        """Finalize every trace file; returns {process: path}."""
+        if not self._closed:
+            self._closed = True
+            for name, writer in self._writers.items():
+                self._paths[name] = writer.close()
+        return dict(self._paths)
+
+    def abort(self) -> None:
+        """Discard all partial files (the run failed mid-capture)."""
+        if self._closed:
+            return
+        self._closed = True
+        for writer in self._writers.values():
+            writer.abort()
+
+    @property
+    def paths(self) -> Dict[str, Path]:
+        return dict(self._paths)
+
+
+def record_experiment(
+    spec,
+    out: os.PathLike,
+    processes: Optional[Iterable[str]] = None,
+    include_faults: bool = False,
+    extra_sinks: Iterable[Sink] = (),
+):
+    """Run ``spec`` while capturing its out-of-core op streams.
+
+    Returns ``(ExperimentResult, {process: trace path})``.  The result is a
+    normal live result — capture is passive and does not perturb the
+    simulation — so one recording run yields both the golden metrics and
+    the trace that replays them.
+    """
+    from repro.machine import run_experiment
+
+    sink = TraceCaptureSink(out, processes=processes, include_faults=include_faults)
+    try:
+        result = run_experiment(spec, sinks=(sink, *extra_sinks))
+    except BaseException:
+        sink.abort()
+        raise
+    paths = sink.close()
+    if not paths:
+        wanted = sorted(sink.processes) if sink.processes is not None else None
+        raise TraceError(
+            "recording captured no process"
+            + (f" (no out-of-core process named one of {wanted})" if wanted else
+               " (the spec has no out-of-core process)")
+        )
+    return result, paths

@@ -1,0 +1,162 @@
+"""Replay a trace file as a first-class simulated process.
+
+:class:`TraceWorkload` wraps one trace file; ``trace_process_spec`` (or
+``TraceWorkload.process_spec``) turns it into a
+:class:`~repro.machine.WorkloadProcessSpec` that schedules in an
+:class:`~repro.machine.ExperimentSpec` mix exactly like a compiled
+benchmark — the machine maps the recorded segment layout, attaches the
+recorded hint policy's runtime layer, and drives :func:`replay_driver`
+over the decoded ops.
+
+Because the op stream is independent of machine state, replaying a trace
+alongside the same co-processes reproduces the live run's results
+byte-for-byte while skipping the compiler pass and the interpreter.
+Decoded op lists are memoized process-wide under the trace's content
+digest, so a mix replaying one trace many times (or a bench repeat loop)
+decodes it once.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.trace.format import TraceHeader, file_digest, read_header, read_trace
+
+__all__ = ["TraceWorkload", "replay_driver", "trace_process_spec"]
+
+#: Decoded-op cache: trace content digest -> ops list.  Bounded so a long
+#: session over many traces cannot hold every stream alive.
+_OPS_CACHE: "OrderedDict[str, List[Tuple]]" = OrderedDict()
+_OPS_CACHE_LIMIT = 8
+
+
+class TraceWorkload:
+    """One trace file, ready to replay.
+
+    Construction reads only the header (cheap); the op body is decoded,
+    checksum-validated, and cached on first :meth:`ops` call.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self.header: TraceHeader = read_header(self.path)
+        self._digest: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.header.process
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 of the file — the content hash specs and caches key on."""
+        if self._digest is None:
+            self._digest = file_digest(self.path)
+        return self._digest
+
+    def ops(self) -> List[Tuple]:
+        """The decoded op stream (memoized by content digest)."""
+        digest = self.digest
+        cached = _OPS_CACHE.get(digest)
+        if cached is not None:
+            _OPS_CACHE.move_to_end(digest)
+            return cached
+        header, ops = read_trace(self.path)
+        self.header = header
+        _OPS_CACHE[digest] = ops
+        while len(_OPS_CACHE) > _OPS_CACHE_LIMIT:
+            _OPS_CACHE.popitem(last=False)
+        return ops
+
+    def process_spec(self, start_offset_s: float = 0.0, name: Optional[str] = None):
+        """A :class:`~repro.machine.WorkloadProcessSpec` replaying this trace."""
+        from repro.machine import TRACE, WorkloadProcessSpec
+
+        return WorkloadProcessSpec(
+            workload=TRACE,
+            start_offset_s=start_offset_s,
+            name=name,
+            trace_path=str(self.path),
+            trace_digest=self.digest,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceWorkload({self.path}, {self.header.workload}/{self.header.version})"
+
+
+def trace_process_spec(
+    path: os.PathLike, start_offset_s: float = 0.0, name: Optional[str] = None
+):
+    """Shorthand: a process spec replaying the trace at ``path``."""
+    return TraceWorkload(path).process_spec(start_offset_s=start_offset_s, name=name)
+
+
+def replay_driver(process, runtime, ops, version, scale):
+    """Process generator: play a recorded op stream against the kernel.
+
+    This mirrors ``app_driver``'s dispatch exactly — same touch calls, same
+    quantum-flush boundaries, same batched-run resume logic — which is what
+    makes replayed metrics byte-identical to the live run's.  Fault
+    annotations (``'f'`` ops) are documentation, not commands: faults
+    re-emerge from the simulation itself, so they are skipped here.
+    """
+    machine = scale.machine
+    quantum = scale.time_quantum_s
+    touch = process.touch
+    charge = process.charge
+    handle_prefetch = runtime.handle_prefetch
+    handle_release = runtime.handle_release
+    touch_fast = process.kernel.vm.touch_fast
+    aspace = process.aspace
+    resident_touch_s = machine.resident_touch_s
+    obs = process.kernel.obs
+    if obs is not None and obs.wants("trace.op"):
+        from repro.workloads.base import observed_ops
+
+        ops = observed_ops(obs, process.name, ops)
+    for op in ops:
+        kind = op[0]
+        if kind == "t":
+            fault = touch(op[1], op[2])
+            if fault is not None:
+                yield from fault
+            elif process.pending_user >= quantum:
+                yield from process.flush()
+        elif kind == "w":
+            charge(op[1])
+            if process.pending_user >= quantum:
+                yield from process.flush()
+        elif kind == "T":
+            vpn = op[1]
+            end = vpn + op[2]
+            write = op[3]
+            secs_per_page = op[4]
+            pending = process.pending_user
+            while vpn < end:
+                pending += secs_per_page
+                if pending >= quantum:
+                    process.pending_user = pending
+                    yield from process.flush()
+                    pending = 0.0
+                if touch_fast(aspace, vpn, write):
+                    pending += resident_touch_s
+                    if pending >= quantum:
+                        process.pending_user = pending
+                        yield from process.flush()
+                        pending = 0.0
+                else:
+                    process.pending_user = pending
+                    yield from process._fault(vpn, write)
+                    pending = process.pending_user
+                vpn += 1
+            process.pending_user = pending
+        elif kind == "p":
+            handle_prefetch(op[1], op[2])
+        elif kind == "r":
+            handle_release(op[1], op[2], op[3])
+        # 'f': fault annotation, replay ignores it.
+    if version.release:
+        runtime.flush_tag_filters()
+    yield from process.flush()

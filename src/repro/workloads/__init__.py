@@ -16,6 +16,7 @@ from repro.workloads.base import (
     WorkloadInstance,
     app_driver,
     build_layout,
+    observed_ops,
 )
 from repro.workloads.buk import BukWorkload
 from repro.workloads.cgm import CgmWorkload
@@ -25,6 +26,10 @@ from repro.workloads.interactive import InteractiveTask, SweepSample
 from repro.workloads.matvec import MatvecWorkload
 from repro.workloads.mgrid import MgridWorkload
 from repro.workloads.suite import BENCHMARKS, benchmark, table2_rows
+
+# Imported last: repro.trace.workload imports back into the machine and
+# workload layers at call time, so it must see this package fully formed.
+from repro.trace.workload import TraceWorkload, trace_process_spec  # noqa: E402
 
 __all__ = [
     "BENCHMARKS",
@@ -37,9 +42,12 @@ __all__ = [
     "MgridWorkload",
     "OutOfCoreWorkload",
     "SweepSample",
+    "TraceWorkload",
     "WorkloadInstance",
     "app_driver",
     "benchmark",
     "build_layout",
+    "observed_ops",
     "table2_rows",
+    "trace_process_spec",
 ]

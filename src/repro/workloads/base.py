@@ -32,6 +32,7 @@ __all__ = [
     "WorkloadInstance",
     "app_driver",
     "build_layout",
+    "observed_ops",
 ]
 
 Invocation = Tuple[str, Dict[str, int]]
@@ -89,6 +90,22 @@ def build_layout(
     return layout
 
 
+def observed_ops(obs, process_name: str, ops):
+    """Mirror an op stream onto the bus as ``trace.op`` events.
+
+    The payload dict is reused across emissions (the bus contract lets
+    payloads be interned; sinks copy what they keep), so capture costs one
+    dict store and one emit per op — and nothing at all when no sink
+    subscribes, because callers gate on ``Bus.wants("trace.op")``.
+    """
+    emit = obs.emit
+    payload = {"process": process_name, "op": None}
+    for op in ops:
+        payload["op"] = op
+        emit("trace.op", payload)
+        yield op
+
+
 def app_driver(
     process: KernelProcess,
     runtime: RuntimeLayer,
@@ -108,6 +125,8 @@ def app_driver(
     quantum = scale.time_quantum_s
     emit_prefetch = version.prefetch
     emit_release = version.release
+    obs = process.kernel.obs
+    trace_obs = obs if obs is not None and obs.wants("trace.op") else None
     touch = process.touch
     charge = process.charge
     handle_prefetch = runtime.handle_prefetch
@@ -155,6 +174,8 @@ def app_driver(
                     emit_prefetch=emit_prefetch,
                     emit_release=emit_release,
                 )
+            if trace_obs is not None:
+                ops = observed_ops(trace_obs, process.name, ops)
             for op in ops:
                 kind = op[0]
                 if kind == "t":

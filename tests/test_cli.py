@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -96,3 +98,182 @@ class TestCommands:
     def test_table_3(self, capsys):
         assert main(["table", "3", "--scale", "tiny"]) == 0
         assert "stolen_O" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    @pytest.fixture()
+    def recorded(self, tmp_path, capsys):
+        """One tiny MATVEC/B recording; returns the trace path."""
+        rc = main(
+            [
+                "trace",
+                "record",
+                "--benchmark",
+                "MATVEC",
+                "--version",
+                "B",
+                "--scale",
+                "tiny",
+                "--out",
+                str(tmp_path / "traces"),
+            ]
+        )
+        assert rc == 0
+        assert "recorded MATVEC" in capsys.readouterr().out
+        return tmp_path / "traces" / "MATVEC.trace"
+
+    def test_record_replay_diff_round_trip(self, recorded, tmp_path, capsys):
+        rc = main(
+            [
+                "trace",
+                "replay",
+                str(recorded),
+                "--interactive",
+                "--scale",
+                "tiny",
+                "--record-to",
+                str(tmp_path / "replayed"),
+            ]
+        )
+        assert rc == 0
+        assert "trace replay" in capsys.readouterr().out
+        rc = main(
+            [
+                "trace",
+                "diff",
+                str(recorded),
+                str(tmp_path / "replayed" / "MATVEC.trace"),
+            ]
+        )
+        assert rc == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_exit_1_on_difference(self, recorded, tmp_path, capsys):
+        from repro.trace import read_trace, write_trace
+
+        header, ops = read_trace(recorded)
+        index = next(i for i, op in enumerate(ops) if op[0] == "t")
+        ops[index] = ("t", ops[index][1] + 1, ops[index][2], 0.0)
+        other = tmp_path / "tampered.trace"
+        write_trace(other, header, ops)
+        assert main(["trace", "diff", str(recorded), str(other)]) == 1
+        assert "differ at index" in capsys.readouterr().out
+
+    def test_info_text_and_json(self, recorded, capsys):
+        assert main(["trace", "info", str(recorded)]) == 0
+        assert "MATVEC" in capsys.readouterr().out
+        assert main(["trace", "info", "--json", str(recorded)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workload"] == "MATVEC"
+        assert data["ops"] > 0
+
+    def test_verify(self, recorded, capsys):
+        assert main(["trace", "verify", str(recorded)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_import(self, tmp_path, capsys):
+        source = tmp_path / "scan.txt"
+        source.write_text("0 r\n1 w prefetch=2\n2 r\n")
+        out = tmp_path / "scan.trace"
+        assert main(["trace", "import", str(source), "--out", str(out)]) == 0
+        assert "imported" in capsys.readouterr().out
+        assert main(["trace", "info", str(out)]) == 0
+        assert "source=import" in capsys.readouterr().out
+
+    def test_run_spec_with_trace_entry(self, recorded, capsys):
+        spec = json.dumps(
+            {
+                "scale": "tiny",
+                "processes": [
+                    {"trace": str(recorded)},
+                    {"workload": "interactive"},
+                ],
+            }
+        )
+        assert main(["run", "--spec", spec]) == 0
+        output = capsys.readouterr().out
+        assert "MATVEC" in output
+
+
+class TestStructuredErrors:
+    """Bad input exits 2 with a one-line message, never a traceback."""
+
+    def assert_error(self, argv, capsys, needle):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro: error:")
+        assert needle in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_spec_file(self, capsys):
+        self.assert_error(
+            ["run", "--spec", "/nonexistent/mix.json"], capsys, "no such file"
+        )
+
+    def test_bad_inline_spec_json(self, capsys):
+        self.assert_error(["run", "--spec", "{broken"], capsys, "invalid")
+
+    def test_spec_entry_without_workload_or_trace(self, capsys):
+        self.assert_error(
+            ["run", "--spec", '{"processes": [{"version": "B"}]}'],
+            capsys,
+            "'workload' or 'trace'",
+        )
+
+    def test_missing_trace_file(self, capsys):
+        self.assert_error(
+            ["trace", "info", "/nonexistent.trace"], capsys, "cannot read"
+        )
+
+    def test_corrupt_trace_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_bytes(b"RPROTRC1" + b"\xff" * 64)
+        self.assert_error(["trace", "info", str(bad)], capsys, "corrupt")
+
+    def test_truncated_trace_file(self, tmp_path, capsys):
+        from repro.trace import TraceHeader, write_trace
+
+        path = tmp_path / "full.trace"
+        header = TraceHeader(
+            process="x",
+            workload="x",
+            version="O",
+            scale="tiny",
+            page_size=0,
+            layout=(("data", 4),),
+        )
+        write_trace(path, header, [("t", 1, False, 0.0)])
+        cut = tmp_path / "cut.trace"
+        cut.write_bytes(path.read_bytes()[:-6])
+        assert main(["trace", "replay", str(cut), "--scale", "tiny"]) == 2
+
+    def test_bad_import_source(self, tmp_path, capsys):
+        source = tmp_path / "bad.txt"
+        source.write_text("not-a-vpn r\n")
+        self.assert_error(
+            ["trace", "import", str(source), "--out", str(tmp_path / "o.trace")],
+            capsys,
+            "line 1",
+        )
+
+    def test_record_without_target(self, capsys):
+        self.assert_error(
+            ["trace", "record", "--out", "/tmp/x"],
+            capsys,
+            "give --benchmark or --spec",
+        )
+
+    def test_bad_fault_plan_file(self, capsys):
+        self.assert_error(
+            [
+                "run",
+                "--benchmark",
+                "MATVEC",
+                "--scale",
+                "tiny",
+                "--faults",
+                "/nonexistent/faults.json",
+            ],
+            capsys,
+            "no such file",
+        )

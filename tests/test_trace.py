@@ -1,0 +1,546 @@
+"""Tests for the repro.trace subsystem: format, record/replay, import, diff.
+
+The load-bearing property is round-trip fidelity: a recorded trace must
+(1) decode to exactly the op stream the driver played (floats bit-exact),
+(2) replay through a Machine to byte-identical experiment results, and
+(3) reject any truncation or bit flip with a clear, typed error.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.bench import serialize_result
+from repro.config import tiny
+from repro.ioutil import atomic_open, atomic_write_json, atomic_write_text
+from repro.machine import (
+    INTERACTIVE,
+    ExperimentSpec,
+    SpecError,
+    WorkloadProcessSpec,
+    run_experiment,
+)
+from repro.trace import (
+    TraceCaptureSink,
+    TraceChecksumError,
+    TraceError,
+    TraceFormatError,
+    TraceHeader,
+    TraceImportError,
+    TraceReader,
+    TraceTruncatedError,
+    TraceWorkload,
+    diff_traces,
+    import_text,
+    read_header,
+    read_trace,
+    record_experiment,
+    trace_process_spec,
+    verify_against_code,
+    write_trace,
+)
+from repro.trace.analyze import regenerate_ops, trace_info
+from repro.trace.importer import parse_text
+from repro.workloads import BENCHMARKS
+
+HEADER = TraceHeader(
+    process="synthetic",
+    workload="SYNTH",
+    version="B",
+    scale="tiny",
+    page_size=16384,
+    layout=(("a", 4096), ("b", 512)),
+)
+
+
+def synthetic_ops(seed=0, count=2000):
+    """A stream exercising every record type, including negative deltas,
+    large jumps, repeated and one-off floats, and fault annotations."""
+    rng = random.Random(seed)
+    ops = []
+    vpn = 0
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.35:
+            vpn = rng.randrange(0, 4600)
+            ops.append(("t", vpn, rng.random() < 0.3, 0.0))
+        elif roll < 0.55:
+            ops.append(("w", rng.choice([1e-6, 2e-6, rng.random() * 1e-3])))
+        elif roll < 0.7:
+            start = rng.randrange(0, 4000)
+            ops.append(("T", start, rng.randrange(1, 64), rng.random() < 0.5, 1e-6))
+        elif roll < 0.8:
+            vpns = tuple(rng.randrange(0, 4600) for _ in range(rng.randrange(1, 5)))
+            ops.append(("p", rng.randrange(0, 32), vpns))
+        elif roll < 0.9:
+            vpns = tuple(rng.randrange(0, 4600) for _ in range(rng.randrange(1, 5)))
+            ops.append(("r", rng.randrange(0, 32), vpns, rng.randrange(1, 4)))
+        else:
+            ops.append(("f", rng.randrange(0, 4600), rng.choice(["hard", "soft"])))
+    return ops
+
+
+# -- codec ------------------------------------------------------------------
+def test_codec_round_trip_synthetic(tmp_path):
+    ops = synthetic_ops()
+    path = tmp_path / "synth.trace"
+    count = write_trace(path, HEADER, ops)
+    assert count == len(ops)
+    header, decoded = read_trace(path)
+    assert header == HEADER
+    assert decoded == ops
+    # Bit-exactness, not almost-equality: the types must survive too.
+    for original, round_tripped in zip(ops, decoded):
+        assert type(original) is type(round_tripped)
+        for a, b in zip(original, round_tripped):
+            assert type(a) is type(b)
+
+
+def test_reader_and_header_only_read(tmp_path):
+    ops = synthetic_ops(seed=3, count=50)
+    path = tmp_path / "r.trace"
+    write_trace(path, HEADER, ops)
+    reader = TraceReader(path)
+    assert len(reader) == 50
+    assert list(reader) == ops
+    assert read_header(path) == HEADER
+
+
+def test_empty_trace_round_trips(tmp_path):
+    path = tmp_path / "empty.trace"
+    assert write_trace(path, HEADER, []) == 0
+    header, ops = read_trace(path)
+    assert header == HEADER
+    assert ops == []
+
+
+def test_truncation_rejected_at_every_boundary(tmp_path):
+    path = tmp_path / "t.trace"
+    write_trace(path, HEADER, synthetic_ops(seed=1, count=200))
+    data = path.read_bytes()
+    # Cut at a spread of points: inside the magic, the header, the body,
+    # and the footer.  All must fail loudly with a TraceError subclass.
+    for cut in [4, 10, len(data) // 4, len(data) // 2, len(data) - 5, len(data) - 1]:
+        (tmp_path / "cut.trace").write_bytes(data[:cut])
+        with pytest.raises((TraceTruncatedError, TraceChecksumError)):
+            read_trace(tmp_path / "cut.trace")
+
+
+def test_bit_flips_rejected_by_checksum(tmp_path):
+    path = tmp_path / "b.trace"
+    write_trace(path, HEADER, synthetic_ops(seed=2, count=200))
+    data = bytearray(path.read_bytes())
+    # Flip one byte in the header, early body, late body, and the CRC.
+    for offset in [15, len(data) // 3, 2 * len(data) // 3, len(data) - 2]:
+        damaged = bytearray(data)
+        damaged[offset] ^= 0xFF
+        (tmp_path / "flip.trace").write_bytes(bytes(damaged))
+        with pytest.raises(TraceChecksumError):
+            read_trace(tmp_path / "flip.trace")
+
+
+def test_not_a_trace_file_rejected(tmp_path):
+    path = tmp_path / "nope.trace"
+    path.write_bytes(b"definitely not a trace, long enough to have a crc")
+    with pytest.raises(TraceFormatError, match="bad magic"):
+        read_trace(path)
+    path.write_bytes(b"RPRO")  # shorter than the magic itself
+    with pytest.raises(TraceTruncatedError):
+        read_trace(path)
+
+
+def test_missing_file_is_trace_error(tmp_path):
+    with pytest.raises(TraceError, match="cannot read"):
+        read_trace(tmp_path / "missing.trace")
+
+
+def test_writer_abort_leaves_nothing(tmp_path):
+    path = tmp_path / "aborted.trace"
+    with pytest.raises(RuntimeError):
+        from repro.trace import TraceWriter
+
+        with TraceWriter(path, HEADER) as writer:
+            writer.write_op(("t", 1, False, 0.0))
+            raise RuntimeError("boom")
+    assert not path.exists()
+    assert list(tmp_path.iterdir()) == []  # no temp file leaked either
+
+
+# -- record -> replay round trip -------------------------------------------
+@pytest.mark.parametrize("workload", sorted(BENCHMARKS))
+def test_recorded_stream_matches_interpreter(tmp_path, workload):
+    """Property: for every benchmark, the recorded op stream equals the
+    interpreter's regenerated stream op-for-op, floats bit-exact."""
+    spec = ExperimentSpec.multiprogram(tiny(), workload, version="B")
+    _result, paths = record_experiment(spec, tmp_path / "traces")
+    header, recorded = read_trace(paths[workload])
+    assert recorded == list(regenerate_ops(header))
+    summary = verify_against_code(paths[workload])
+    assert summary["equal"]
+
+
+@pytest.mark.parametrize("version", ["O", "P", "R", "B"])
+def test_replay_is_byte_identical(tmp_path, version):
+    """Replaying a recorded trace alongside the same interactive task must
+    reproduce the live run's serialized result exactly."""
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version=version)
+    live, paths = record_experiment(spec, tmp_path / "traces")
+    replay_spec = ExperimentSpec(
+        scale=tiny(),
+        processes=(
+            trace_process_spec(paths["MATVEC"]),
+            WorkloadProcessSpec(workload=INTERACTIVE),
+        ),
+    )
+    replayed = run_experiment(replay_spec)
+    assert serialize_result(replayed) == serialize_result(live)
+    hog = replayed.primary
+    assert hog.workload == "MATVEC"
+    assert hog.version == version
+
+
+def test_recording_does_not_perturb_the_run(tmp_path):
+    spec = ExperimentSpec.multiprogram(tiny(), "EMBAR", version="R")
+    plain = run_experiment(spec)
+    recorded, _paths = record_experiment(spec, tmp_path / "traces")
+    assert serialize_result(recorded) == serialize_result(plain)
+
+
+def test_fault_annotations_recorded_and_ignored_on_replay(tmp_path):
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="B")
+    live, paths = record_experiment(
+        spec, tmp_path / "traces", include_faults=True
+    )
+    header, ops = read_trace(paths["MATVEC"])
+    fault_ops = [op for op in ops if op[0] == "f"]
+    assert fault_ops, "a tiny MATVEC run must fault at least once"
+    allowed = {"hard", "soft", "prefetch_validate", "release_revalidate", "rescue"}
+    assert all(op[2] in allowed for op in fault_ops)
+    replay_spec = ExperimentSpec(
+        scale=tiny(),
+        processes=(
+            trace_process_spec(paths["MATVEC"]),
+            WorkloadProcessSpec(workload=INTERACTIVE),
+        ),
+    )
+    assert serialize_result(run_experiment(replay_spec)) == serialize_result(live)
+
+
+def test_single_file_capture_and_process_filter(tmp_path):
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="B")
+    _result, paths = record_experiment(spec, tmp_path / "one.trace")
+    assert set(paths) == {"MATVEC"}
+    assert paths["MATVEC"] == tmp_path / "one.trace"
+    with pytest.raises(TraceError, match="captured no process"):
+        record_experiment(
+            spec, tmp_path / "none", processes=["NOT-THERE"]
+        )
+
+
+def test_capture_sink_refuses_two_processes_in_single_file_mode(tmp_path):
+    sink = TraceCaptureSink(tmp_path / "one.trace")
+    payload = {
+        "process": "A",
+        "workload": "MATVEC",
+        "version": "B",
+        "scale": "tiny",
+        "page_size": 4096,
+        "layout": (("a", 8),),
+    }
+    sink.on_event(0.0, "trace.spawn", payload)
+    with pytest.raises(TraceError, match="second"):
+        sink.on_event(0.0, "trace.spawn", {**payload, "process": "B"})
+    sink.abort()
+
+
+# -- replay spec handling ---------------------------------------------------
+def test_trace_spec_validates(tmp_path):
+    with pytest.raises(SpecError, match="trace_path"):
+        WorkloadProcessSpec(workload="TRACE").validate()
+    with pytest.raises(SpecError, match="trace_digest"):
+        WorkloadProcessSpec(workload="TRACE", trace_path="x.trace").validate()
+
+
+def test_replay_refuses_changed_trace(tmp_path):
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="O")
+    _result, paths = record_experiment(spec, tmp_path / "traces")
+    wspec = trace_process_spec(paths["MATVEC"])
+    # Re-record under a different version to change the file contents.
+    spec2 = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="B")
+    record_experiment(spec2, tmp_path / "traces")
+    replay = ExperimentSpec(scale=tiny(), processes=(wspec,))
+    with pytest.raises(SpecError, match="changed on disk"):
+        run_experiment(replay)
+
+
+def test_replay_refuses_page_size_mismatch(tmp_path):
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="O")
+    _result, paths = record_experiment(spec, tmp_path / "traces")
+    import dataclasses
+
+    scale = tiny()
+    shrunk = scale.with_overrides(
+        machine=dataclasses.replace(
+            scale.machine, page_size=scale.machine.page_size // 2
+        )
+    )
+    replay = ExperimentSpec(
+        scale=shrunk, processes=(trace_process_spec(paths["MATVEC"]),)
+    )
+    with pytest.raises(SpecError, match="page_size"):
+        run_experiment(replay)
+
+
+def test_spec_key_is_trace_content_addressed(tmp_path):
+    from repro.experiments.runner import spec_key
+
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="O")
+    _result, paths = record_experiment(spec, tmp_path / "a")
+    source = paths["MATVEC"]
+    copy = tmp_path / "elsewhere" / "copy.trace"
+    copy.parent.mkdir()
+    copy.write_bytes(source.read_bytes())
+    spec_a = ExperimentSpec(scale=tiny(), processes=(trace_process_spec(source),))
+    spec_b = ExperimentSpec(scale=tiny(), processes=(trace_process_spec(copy),))
+    # Same content at a different path -> same cache identity.
+    assert spec_key(spec_a) == spec_key(spec_b)
+    assert spec_a.processes[0].trace_path != spec_b.processes[0].trace_path
+
+
+def test_runner_caches_trace_replays(tmp_path):
+    from repro.experiments.runner import run_specs
+
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="O")
+    _result, paths = record_experiment(spec, tmp_path / "traces")
+    replay = ExperimentSpec(
+        scale=tiny(),
+        processes=(
+            trace_process_spec(paths["MATVEC"]),
+            WorkloadProcessSpec(workload=INTERACTIVE),
+        ),
+    )
+    cache = tmp_path / "cache"
+    first = run_specs([replay], cache_dir=cache)[0]
+    assert not first.from_cache
+    second = run_specs([replay], cache_dir=cache)[0]
+    assert second.from_cache
+    assert serialize_result(second) == serialize_result(first)
+
+
+def test_trace_workload_accessors(tmp_path):
+    spec = ExperimentSpec.multiprogram(tiny(), "CGM", version="B")
+    _result, paths = record_experiment(spec, tmp_path / "traces")
+    workload = TraceWorkload(paths["CGM"])
+    assert workload.name == "CGM"
+    assert workload.header.workload == "CGM"
+    assert workload.header.version == "B"
+    assert workload.header.footprint_pages > 0
+    ops = workload.ops()
+    assert ops and ops is workload.ops()  # memoized
+
+
+# -- diff -------------------------------------------------------------------
+def test_diff_equal_and_tampered(tmp_path):
+    ops = synthetic_ops(seed=5, count=300)
+    a = tmp_path / "a.trace"
+    b = tmp_path / "b.trace"
+    write_trace(a, HEADER, ops)
+    write_trace(b, HEADER, ops)
+    diff = diff_traces(a, b)
+    assert diff.equal and diff.ops_equal and diff.first_mismatch is None
+
+    tampered = list(ops)
+    index = next(i for i, op in enumerate(tampered) if op[0] == "t")
+    tampered[index] = ("t", tampered[index][1] + 1, tampered[index][2], 0.0)
+    write_trace(b, HEADER, tampered)
+    diff = diff_traces(a, b)
+    assert not diff.equal
+    # Fault annotations are stripped by default, so the reported index is
+    # in the stripped stream; it must still point at the tampered touch.
+    mismatch_index, op_a, op_b = diff.first_mismatch
+    assert op_a[1] + 1 == op_b[1]
+
+
+def test_diff_expand_normalizes_batches(tmp_path):
+    batched = [("w", 1e-6), ("T", 10, 3, False, 2e-6), ("t", 13, True, 0.0)]
+    expanded = [
+        ("w", 1e-6),
+        ("w", 2e-6),
+        ("t", 10, False, 0.0),
+        ("w", 2e-6),
+        ("t", 11, False, 0.0),
+        ("w", 2e-6),
+        ("t", 12, False, 0.0),
+        ("t", 13, True, 0.0),
+    ]
+    a = tmp_path / "a.trace"
+    b = tmp_path / "b.trace"
+    write_trace(a, HEADER, batched)
+    write_trace(b, HEADER, expanded)
+    assert not diff_traces(a, b).ops_equal
+    assert diff_traces(a, b, expand=True).ops_equal
+
+
+def test_diff_reports_header_mismatch(tmp_path):
+    ops = [("t", 1, False, 0.0)]
+    a = tmp_path / "a.trace"
+    b = tmp_path / "b.trace"
+    write_trace(a, HEADER, ops)
+    import dataclasses
+
+    write_trace(b, dataclasses.replace(HEADER, version="O"), ops)
+    diff = diff_traces(a, b)
+    assert diff.ops_equal
+    assert not diff.equal
+    assert any("version" in m for m in diff.header_mismatches)
+
+
+def test_diff_include_faults(tmp_path):
+    with_faults = [("t", 1, False, 0.0), ("f", 1, "hard"), ("t", 2, False, 0.0)]
+    without = [("t", 1, False, 0.0), ("t", 2, False, 0.0)]
+    a = tmp_path / "a.trace"
+    b = tmp_path / "b.trace"
+    write_trace(a, HEADER, with_faults)
+    write_trace(b, HEADER, without)
+    assert diff_traces(a, b).ops_equal
+    assert not diff_traces(a, b, include_faults=True).ops_equal
+
+
+# -- info -------------------------------------------------------------------
+def test_trace_info_counts(tmp_path):
+    ops = [
+        ("w", 1e-6),
+        ("t", 0, False, 0.0),
+        ("w", 1e-6),
+        ("t", 1, True, 0.0),
+        ("T", 2, 4, False, 2e-6),
+        ("p", 0, (6, 7)),
+        ("r", 1, (0, 1, 2), 2),
+        ("f", 3, "hard"),
+    ]
+    path = tmp_path / "info.trace"
+    write_trace(path, HEADER, ops)
+    info = trace_info(path)
+    assert info["ops"] == len(ops)
+    assert info["touches"] == 6  # 2 singles + the 4-page run
+    assert info["write_fraction"] == pytest.approx(1 / 6, abs=1e-4)
+    assert info["distinct_pages"] == 6
+    assert info["user_s"] == pytest.approx(2e-6 + 4 * 2e-6)
+    assert info["prefetch_pages"] == 2
+    assert info["release_pages"] == 3
+    assert info["fault_annotations"] == 1
+    assert info["sequential_fraction"] == 1.0  # 0->1->2, then the run's strides
+    assert info["footprint_pages"] == HEADER.footprint_pages
+
+
+# -- import -----------------------------------------------------------------
+def test_import_text_happy_path(tmp_path):
+    source = tmp_path / "scan.txt"
+    source.write_text(
+        "# comment\n"
+        "!name SCAN\n"
+        "!page-cost 2e-6\n"
+        "!segment data 64\n"
+        "0 r\n"
+        "1 w prefetch=2,3\n"
+        "2 r release=0,1@2\n"
+    )
+    header, path, count = import_text(source, tmp_path / "scan.trace")
+    assert header.process == "SCAN"
+    assert header.version == "B"  # hints present -> B
+    assert header.source == "import"
+    assert header.page_size == 0
+    assert header.layout == (("data", 64),)
+    _header, ops = read_trace(path)
+    assert count == len(ops)
+    assert ops == [
+        ("w", 2e-6),
+        ("t", 0, False, 0.0),
+        ("p", 0, (2, 3)),
+        ("w", 2e-6),
+        ("t", 1, True, 0.0),
+        ("w", 2e-6),
+        ("t", 2, False, 0.0),
+        ("r", 1, (0, 1), 2),
+    ]
+
+
+def test_import_defaults(tmp_path):
+    header, ops = parse_text(["0 r", "5 w"], "stem")
+    assert header.process == "stem"
+    assert header.version == "O"  # no hints -> O
+    assert header.layout == (("data", 6),)  # max vpn + 1
+
+
+@pytest.mark.parametrize(
+    "lines, match",
+    [
+        (["x r"], "expected a vpn"),
+        (["0 z"], "expected 'r' or 'w'"),
+        (["0 r bogus=1"], "unknown field"),
+        (["!nonsense 1", "0 r"], "unknown directive"),
+        (["!version Q", "0 r"], "unknown version"),
+        (["!segment data 4", "10 r"], "outside the declared layout"),
+        (["0 r release=1@zero"], "bad release priority"),
+        (["0 r prefetch="], "empty vpn"),
+        (["# only a comment"], "no touch lines"),
+        (["!page-cost -1", "0 r"], "negative page cost"),
+        (["!segment a 4", "!segment a 4", "0 r"], "duplicate segment"),
+    ],
+)
+def test_import_errors_name_the_line(lines, match):
+    with pytest.raises(TraceImportError, match=match):
+        parse_text(lines, "x")
+
+
+def test_imported_trace_replays(tmp_path):
+    source = tmp_path / "scan.txt"
+    source.write_text("!segment data 8\n" + "\n".join(f"{i} r" for i in range(8)))
+    _header, path, _count = import_text(source, tmp_path / "scan.trace")
+    spec = ExperimentSpec(scale=tiny(), processes=(trace_process_spec(path),))
+    result = run_experiment(spec)
+    assert result.primary.completed
+    assert result.primary.workload == "scan"
+    assert result.primary.stats.hard_faults > 0
+
+
+def test_import_missing_source(tmp_path):
+    with pytest.raises(TraceImportError, match="cannot read"):
+        import_text(tmp_path / "missing.txt", tmp_path / "out.trace")
+
+
+def test_verify_refuses_imported_traces(tmp_path):
+    source = tmp_path / "scan.txt"
+    source.write_text("0 r\n")
+    _header, path, _count = import_text(source, tmp_path / "scan.trace")
+    with pytest.raises(TraceError, match="imported"):
+        verify_against_code(path)
+
+
+# -- atomic writes ----------------------------------------------------------
+def test_atomic_write_creates_parents_and_trailing_newline(tmp_path):
+    path = tmp_path / "deep" / "nested" / "out.json"
+    atomic_write_json(path, {"b": 2, "a": 1})
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == {"a": 1, "b": 2}
+    assert list(json.loads(text)) == ["a", "b"]  # sorted keys
+
+
+def test_atomic_open_failure_leaves_target_untouched(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "original")
+    with pytest.raises(RuntimeError):
+        with atomic_open(path, "w") as handle:
+            handle.write("partial garbage")
+            raise RuntimeError("interrupted")
+    assert path.read_text() == "original"
+    # And no temp file survives the failure.
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_atomic_open_rejects_read_modes(tmp_path):
+    with pytest.raises(ValueError, match="atomic_open"):
+        with atomic_open(tmp_path / "x", "rb"):
+            pass
