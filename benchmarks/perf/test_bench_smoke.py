@@ -51,6 +51,12 @@ def test_run_case_produces_complete_record(tmp_path):
     )
     assert record.peak_rss_mb > 0
     assert record.meta["python"]
+    # Per-case memory sampling: the record says how it was measured and
+    # carries the allocator/GC counters alongside.
+    assert record.meta["rss_sampler"] in ("vmhwm", "ru_maxrss")
+    assert record.meta["rss_base_mb"] > 0
+    assert isinstance(record.meta["allocated_blocks_delta"], int)
+    assert isinstance(record.meta["gc_collections"], list)
 
     ok, message = bench.compare_to_baseline(
         record, bench.load_baseline(BASELINE), tolerance=1e9
@@ -84,6 +90,44 @@ def test_regression_gate_fires():
     )
     assert not ok
     assert "REGRESSION" in message
+
+
+def test_speedup_floor_gate_fires():
+    """A case can clear the wide wall band yet lose its committed speedup;
+    the floor catches that."""
+    baseline = {"standard_mix": {"wall_s": 10.0}}
+    record = bench.BenchRecord(
+        name="standard_mix",
+        wall_s=15.0,  # 0.67x the baseline: inside tolerance 2.0
+        engine_steps=1,
+        sim_s=1.0,
+        specs=4,
+        events_per_s=1.0,
+        sim_s_per_wall_s=1.0,
+        peak_rss_mb=1.0,
+        repeats=1,
+    )
+    ok, _ = bench.compare_to_baseline(record, baseline, tolerance=2.0)
+    assert ok
+    ok, message = bench.compare_to_baseline(
+        record, baseline, tolerance=2.0, min_speedup=0.8
+    )
+    assert not ok
+    assert "below the floor" in message
+
+
+def test_engine_churn_record_is_deterministic():
+    record, profile_text = bench.run_case("engine_churn", repeats=1)
+    assert profile_text is None
+    assert record.name == "engine_churn"
+    assert record.engine_steps > 0
+    assert record.sim_s > 0
+    assert record.meta["processes"] > 0
+    assert record.meta["engine_backend"] in ("calendar", "heap")
+    # Same workload, same step count: the case is a pure LCG-driven stress.
+    again, _ = bench.run_case("engine_churn", repeats=1)
+    assert again.engine_steps == record.engine_steps
+    assert again.sim_s == record.sim_s
 
 
 def test_missing_baseline_entry_skips_gate():
@@ -121,6 +165,27 @@ def test_cli_bench_runs_one_case(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "interactive_sweep_tiny" in out
     assert (tmp_path / "BENCH_interactive_sweep_tiny.json").exists()
+
+
+def test_cli_bench_writes_profile_artifact(tmp_path, capsys):
+    rc = main(
+        [
+            "bench",
+            "--case",
+            "interactive_sweep_tiny",
+            "--repeats",
+            "1",
+            "--profile",
+            "--baseline",
+            str(BASELINE),
+            "--out-dir",
+            str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    profile_path = tmp_path / "PROFILE_interactive_sweep_tiny.txt"
+    assert profile_path.exists()
+    assert "cumulative" in profile_path.read_text()
 
 
 def test_cli_bench_rejects_unknown_case(tmp_path):

@@ -22,12 +22,15 @@ committed baseline and a smoke test.
 from __future__ import annotations
 
 import cProfile
+import gc
 import io
 import json
+import os
 import platform
 import pstats
 import resource
 import subprocess
+import sys
 import tempfile
 import time
 from dataclasses import asdict, dataclass, field
@@ -47,6 +50,7 @@ from repro.machine import (
 
 __all__ = [
     "BENCH_CASES",
+    "MICRO_CASES",
     "TRACE_CASES",
     "BenchRecord",
     "all_case_names",
@@ -90,17 +94,37 @@ def _interactive_sweep_tiny() -> List[ExperimentSpec]:
     ]
 
 
+def _grid_wide() -> List[ExperimentSpec]:
+    """A 48-spec sweep: the full grid × two interactive sleep settings.
+
+    Twice the surface of ``grid_tiny`` — every workload/version pair is run
+    with the scale's default interactive sleep and again with the shortest
+    Figure 10 sleep (the most fault-heavy interactive behaviour).  This is
+    the widest committed case and the closest proxy for a full figure
+    regeneration pass.
+    """
+    scale = tiny()
+    sleeps = (None, scale.figure_sleep_times_s[0])
+    return [
+        multiprogram_spec(scale, w, v, sleep_time_s=t)
+        for w in WORKLOAD_ORDER
+        for v in "OPRB"
+        for t in sleeps
+    ]
+
+
 BENCH_CASES: Dict[str, Callable[[], List[ExperimentSpec]]] = {
     "standard_mix": _standard_mix,
     "grid_tiny": _grid_tiny,
+    "grid_wide": _grid_wide,
     "indirect_tiny": _indirect_tiny,
     "interactive_sweep_tiny": _interactive_sweep_tiny,
 }
 
 
 def all_case_names() -> List[str]:
-    """Every runnable case: spec-list cases plus the trace cases."""
-    return list(BENCH_CASES) + list(TRACE_CASES)
+    """Every runnable case: spec lists, trace cases, and micro cases."""
+    return list(BENCH_CASES) + list(TRACE_CASES) + list(MICRO_CASES)
 
 
 @dataclass
@@ -139,6 +163,79 @@ def machine_metadata() -> Dict[str, object]:
         "machine": platform.machine(),
         "commit": commit or None,
     }
+
+
+# -- per-case memory sampling ----------------------------------------------
+def _reset_peak_rss() -> bool:
+    """Reset the kernel's RSS high-water mark (``VmHWM``) for this process.
+
+    Writing ``"5"`` to ``/proc/self/clear_refs`` makes VmHWM restart from
+    the *current* RSS, which is what makes a per-case peak measurable at
+    all.  Returns False where the knob does not exist (non-Linux)."""
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Current ``VmHWM`` in KiB from ``/proc/self/status``, or None."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+class _RssMeter:
+    """Per-case peak-RSS and allocator sampling.
+
+    ``resource.getrusage(...).ru_maxrss`` is a process-lifetime high-water
+    mark: in a multi-case run every case after the hungriest one reports
+    the same number, so the old per-record ``peak_rss_mb`` was one
+    process-wide figure, not a per-case sample.  Here each case collects
+    garbage, resets ``VmHWM``, and reports its own growth over its own
+    start RSS — the footprint attributable to the case rather than the
+    interpreter baseline underneath it.  Where ``/proc`` is unavailable
+    the meter falls back to ``ru_maxrss`` deltas (which can only register
+    new process-wide highs; ``rss_sampler`` in the record says which mode
+    produced the number).
+    """
+
+    def __init__(self) -> None:
+        gc.collect()
+        self._gc_before = [s["collections"] for s in gc.get_stats()]
+        self._blocks_before = sys.getallocatedblocks()
+        self._hwm = _reset_peak_rss()
+        base_kb = _peak_rss_kb() if self._hwm else None
+        if base_kb is None:
+            self._hwm = False
+            base_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        self._base_kb = base_kb
+
+    def finish(self) -> tuple:
+        """Returns ``(peak_rss_mb, alloc_meta)`` for the case window."""
+        peak_kb = _peak_rss_kb() if self._hwm else None
+        if peak_kb is None:
+            peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        gc_after = [s["collections"] for s in gc.get_stats()]
+        alloc = {
+            "rss_sampler": "vmhwm" if self._hwm else "ru_maxrss",
+            "rss_base_mb": round(self._base_kb / 1024.0, 2),
+            "allocated_blocks_delta": (
+                sys.getallocatedblocks() - self._blocks_before
+            ),
+            "gc_collections": [
+                after - before
+                for after, before in zip(gc_after, self._gc_before)
+            ],
+        }
+        return max(0.0, (peak_kb - self._base_kb) / 1024.0), alloc
 
 
 def _profile_call(fn: Callable[[], object], profile_top: int) -> str:
@@ -181,6 +278,7 @@ def _replay_standard_mix(
 
     specs = _standard_mix()
     repeats = max(1, repeats)
+    meter = _RssMeter()
     with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
         paths = []
         for index, spec in enumerate(specs):
@@ -237,7 +335,7 @@ def _replay_standard_mix(
             )
     engine_steps = sum(r.engine_steps for r in replay_results)
     sim_s = sum(r.elapsed_s for r in replay_results)
-    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    peak_rss_mb, alloc_meta = meter.finish()
     record = BenchRecord(
         name="replay_standard_mix",
         wall_s=round(check_wall, 4),
@@ -248,10 +346,11 @@ def _replay_standard_mix(
         # headline wall_s does no simulation at all).
         events_per_s=round(engine_steps / replay_wall, 1),
         sim_s_per_wall_s=round(sim_s / replay_wall, 3),
-        peak_rss_mb=round(peak_rss_mb, 1),
+        peak_rss_mb=round(peak_rss_mb, 2),
         repeats=repeats,
         meta={
             **machine_metadata(),
+            **alloc_meta,
             "reexec_wall_s": round(reexec_wall, 4),
             "sim_replay_wall_s": round(replay_wall, 4),
             "trace_check_wall_s": round(check_wall, 4),
@@ -270,6 +369,89 @@ TRACE_CASES: Dict[str, Callable[..., tuple]] = {
 }
 
 
+_CHURN_PROCS = 512
+_CHURN_ROUNDS = 200
+
+
+def _churn_engine():
+    """Build and drain the ``engine_churn`` workload; returns the Engine.
+
+    A deliberately scheduler-bound stress: ``_CHURN_PROCS`` concurrent
+    processes each race a short timeout against a ~3x-longer "deadline"
+    timer, round after round.  The losing deadline stays queued until its
+    time comes (lazy cancellation, exactly like the kernel's orphaned SCSI
+    commands), so the pending-event population holds at a few thousand
+    entries — two orders of magnitude above ``standard_mix``'s typical ~13
+    — with over half the queue being dead timers.  Experiment specs never
+    reach this regime, which is exactly why the case exists: it is the
+    canary for scheduler costs that scale with queue *population* rather
+    than dispatch count (a fixed-cadence calendar rebuild, for example, is
+    invisible to ``standard_mix`` and an order of magnitude here).
+
+    Delays come from a per-process LCG so the case is deterministic and
+    needs no RNG import.
+    """
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+
+    def churn(seed: int):
+        state = seed
+        for _ in range(_CHURN_ROUNDS):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            deadline = engine.timeout(0.15 + (state % 1000) / 1000 * 0.15)
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            short = engine.timeout((1 + state % 997) / 9970.0)
+            yield engine.any_of([short, deadline])
+
+    for i in range(_CHURN_PROCS):
+        engine.process(churn((i * 2654435761 + 1) % (1 << 31)), name="churn")
+    engine.run()
+    return engine
+
+
+def _engine_churn(
+    repeats: int = 2, profile: bool = False, profile_top: int = 25
+) -> tuple:
+    """Scheduler micro-stress: dense timeout cancel/reschedule."""
+    repeats = max(1, repeats)
+    meter = _RssMeter()
+    best = float("inf")
+    engine = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        engine = _churn_engine()
+        best = min(best, time.perf_counter() - started)
+    peak_rss_mb, alloc_meta = meter.finish()
+    profile_text = _profile_call(_churn_engine, profile_top) if profile else None
+    record = BenchRecord(
+        name="engine_churn",
+        wall_s=round(best, 4),
+        engine_steps=engine.steps,
+        sim_s=round(engine.now, 4),
+        specs=1,
+        events_per_s=round(engine.steps / best, 1),
+        sim_s_per_wall_s=round(engine.now / best, 3),
+        peak_rss_mb=round(peak_rss_mb, 2),
+        repeats=repeats,
+        meta={
+            **machine_metadata(),
+            **alloc_meta,
+            "engine_backend": os.environ.get("REPRO_ENGINE") or "calendar",
+            "processes": _CHURN_PROCS,
+            "rounds": _CHURN_ROUNDS,
+        },
+    )
+    return record, profile_text
+
+
+#: Bespoke micro-benchmarks that exercise one subsystem directly rather
+#: than running experiment specs.
+MICRO_CASES: Dict[str, Callable[..., tuple]] = {
+    "engine_churn": _engine_churn,
+}
+
+
 def run_case(
     name: str,
     repeats: int = 2,
@@ -282,10 +464,9 @@ def run_case(
     simulated seconds are identical across repeats (the simulator is
     deterministic), so they are taken from the last pass.
     """
-    if name in TRACE_CASES:
-        return TRACE_CASES[name](
-            repeats=repeats, profile=profile, profile_top=profile_top
-        )
+    bespoke = TRACE_CASES.get(name) or MICRO_CASES.get(name)
+    if bespoke is not None:
+        return bespoke(repeats=repeats, profile=profile, profile_top=profile_top)
     try:
         make_specs = BENCH_CASES[name]
     except KeyError:
@@ -293,12 +474,25 @@ def run_case(
             f"unknown bench case {name!r}; known: {sorted(all_case_names())}"
         ) from None
     specs = make_specs()
+    meter = _RssMeter()
     best = float("inf")
-    results: List[ExperimentResult] = []
+    engine_steps = 0
+    sim_s = 0.0
     for _ in range(max(1, repeats)):
+        # Results are reduced spec-by-spec instead of held in a list: a
+        # wide case's peak RSS is then one spec's footprint, not the sum
+        # of every result's latency buckets (65 MB for grid_wide).  Steps
+        # and simulated seconds are deterministic, so last-pass sums are
+        # as good as any.
+        engine_steps = 0
+        sim_s = 0.0
         started = time.perf_counter()
-        results = [run_experiment(spec) for spec in specs]
+        for spec in specs:
+            result = run_experiment(spec)
+            engine_steps += result.engine_steps
+            sim_s += result.elapsed_s
         best = min(best, time.perf_counter() - started)
+    peak_rss_mb, alloc_meta = meter.finish()
     profile_text = None
     if profile:
         profiler = cProfile.Profile()
@@ -310,9 +504,6 @@ def run_case(
         stats = pstats.Stats(profiler, stream=buffer)
         stats.sort_stats("cumulative").print_stats(profile_top)
         profile_text = buffer.getvalue()
-    engine_steps = sum(r.engine_steps for r in results)
-    sim_s = sum(r.elapsed_s for r in results)
-    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
     record = BenchRecord(
         name=name,
         wall_s=round(best, 4),
@@ -321,9 +512,9 @@ def run_case(
         specs=len(specs),
         events_per_s=round(engine_steps / best, 1),
         sim_s_per_wall_s=round(sim_s / best, 3),
-        peak_rss_mb=round(peak_rss_mb, 1),
+        peak_rss_mb=round(peak_rss_mb, 2),
         repeats=max(1, repeats),
-        meta=machine_metadata(),
+        meta={**machine_metadata(), **alloc_meta},
     )
     return record, profile_text
 
@@ -340,12 +531,19 @@ def compare_to_baseline(
     record: BenchRecord,
     baseline_cases: Dict[str, Dict[str, float]],
     tolerance: float = 2.0,
+    min_speedup: Optional[float] = None,
 ) -> tuple:
-    """Annotate ``record`` with the baseline and judge the regression gate.
+    """Annotate ``record`` with the baseline and judge the regression gates.
 
-    Returns ``(ok, message)``.  The gate fails when the measured wall time
-    exceeds ``tolerance`` × the committed baseline — a deliberately wide
-    band, since the baseline was captured on one particular machine.
+    Returns ``(ok, message)``.  Two gates:
+
+    - the wall gate fails when the measured wall time exceeds ``tolerance``
+      × the committed baseline — a deliberately wide band, since the
+      baseline was captured on one particular machine;
+    - the speedup floor (when ``min_speedup`` is given) fails when
+      ``speedup_vs_baseline`` drops below it.  CI runs with a floor so a
+      case that quietly loses its advantage fails the job even while it
+      still clears the wide wall band.
     """
     entry = baseline_cases.get(record.name)
     if entry is None:
@@ -357,6 +555,13 @@ def compare_to_baseline(
         return False, (
             f"{record.name}: REGRESSION — wall {record.wall_s:.3f}s exceeds "
             f"{tolerance:g}x the baseline {baseline_wall:.3f}s"
+        )
+    if min_speedup is not None and record.speedup_vs_baseline < min_speedup:
+        return False, (
+            f"{record.name}: REGRESSION — speedup_vs_baseline "
+            f"{record.speedup_vs_baseline:.3f} is below the floor "
+            f"{min_speedup:g} (wall {record.wall_s:.3f}s vs baseline "
+            f"{baseline_wall:.3f}s)"
         )
     return True, (
         f"{record.name}: wall {record.wall_s:.3f}s vs baseline "

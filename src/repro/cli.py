@@ -525,7 +525,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             name, repeats=args.repeats, profile=args.profile
         )
         ok, message = bench.compare_to_baseline(
-            record, baseline_cases, tolerance=args.tolerance
+            record,
+            baseline_cases,
+            tolerance=args.tolerance,
+            min_speedup=args.min_speedup,
         )
         if not ok:
             failures.append(message)
@@ -533,6 +536,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"{message}  -> {path}")
         if profile_text:
             print(profile_text)
+            # Keep a copy next to the records so CI can archive profiles.
+            profile_path = Path(args.out_dir) / f"PROFILE_{name}.txt"
+            profile_path.write_text(profile_text, encoding="utf-8")
+            print(f"profile written: {profile_path}")
         rows.append(
             (
                 record.name,
@@ -540,7 +547,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 record.engine_steps,
                 f"{record.events_per_s:,.0f}",
                 f"{record.sim_s_per_wall_s:.2f}",
-                f"{record.peak_rss_mb:.0f}",
+                f"{record.peak_rss_mb:.1f}",
                 "-"
                 if record.speedup_vs_baseline is None
                 else f"{record.speedup_vs_baseline:.2f}x",
@@ -820,6 +827,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="allowed wall-time ratio vs the committed baseline (default 2.0)",
+    )
+    bench_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="with --check, also fail if any case's speedup_vs_baseline "
+        "drops below this floor (default: no floor)",
     )
     bench_parser.add_argument(
         "--baseline",

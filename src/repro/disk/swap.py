@@ -30,6 +30,7 @@ from repro.disk.device import DiskDevice
 __all__ = ["StripedSwap", "SwapStats"]
 
 _PURPOSES = ("demand", "prefetch", "writeback")
+_PROC_NAMES = {purpose: f"swap-{purpose}" for purpose in _PURPOSES}
 
 
 @dataclass
@@ -169,7 +170,9 @@ class StripedSwap:
             run = self._run_direct(pid, vpn, is_write, purpose)
         else:
             run = self._run_faulted(pid, vpn, is_write, purpose)
-        return self.engine.process(run, name=f"swap-{purpose}-{pid}:{vpn}")
+        # Constant per-purpose names: this path runs ~10^5 times per
+        # experiment and a per-request f-string shows up in profiles.
+        return self.engine.process(run, name=_PROC_NAMES[purpose])
 
     def _emit_issue(self, disk_index: int, purpose: str, is_write: bool) -> None:
         if self.obs is not None:

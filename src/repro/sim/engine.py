@@ -3,17 +3,38 @@
 The design mirrors SimPy's process-interaction style (which cannot be
 installed in this offline environment): simulated activities are Python
 generators that ``yield`` :class:`Event` objects and are resumed when those
-events trigger.  The engine keeps a single priority queue of scheduled events
-ordered by ``(time, sequence)`` so that simultaneous events fire in FIFO
-order, which keeps daemon/process interleavings deterministic.
+events trigger.  Scheduled events fire in ``(time, sequence)`` order so that
+simultaneous events run FIFO, which keeps daemon/process interleavings
+deterministic.
 
 Determinism matters here: the experiments in :mod:`repro.experiments` compare
 runs of the same workload under four different hint policies, and any
 nondeterminism in the engine would show up as noise in the reproduced tables.
+
+Two scheduler backends implement that contract (select with the
+``REPRO_ENGINE`` environment variable or ``Engine(backend=...)``):
+
+``calendar`` (default)
+    A calendar queue (Brown 1988) specialised for this simulator's event mix.
+    Events triggered *at the current time* — every lock grant, store put, and
+    zero-delay timeout, roughly half of all events — skip the calendar
+    entirely and go on a plain FIFO *now-lane* deque: no tuple allocation, no
+    sequence number, O(1) push and pop.  Future events go into time-bucketed
+    days; bucket count resizes by occupancy and bucket width is resampled
+    from observed inter-event gaps.  Section 7 of DESIGN.md proves the
+    dispatch order (calendar entries due now, then the now-lane, then the
+    next calendar day) is exactly the heap's ``(time, sequence)`` order.
+
+``heap``
+    The previous ``heapq`` scheduler, kept selectable for one release so CI
+    can A/B byte-identity of serialized experiment results across backends.
 """
 
 from __future__ import annotations
 
+import os
+from bisect import insort
+from collections import deque
 from heapq import heappop, heappush
 from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
@@ -100,13 +121,21 @@ class Event:
         self._state = _TRIGGERED
         self._value = value
         self._ok = True
-        # Inlined _push: succeed() runs for every lock hand-off and resource
-        # grant, so the extra call costs at ~10^5 events per run.
-        if delay < 0:
-            raise SimulationError(f"negative delay: {delay}")
+        # Inlined scheduling: succeed() runs for every lock hand-off and
+        # resource grant, so an extra call costs at ~10^5 events per run.
         engine = self.engine
-        engine._sequence += 1
-        heappush(engine._queue, (engine._now + delay, engine._sequence, self))
+        queue = engine._queue
+        if queue is not None:
+            if delay < 0:
+                raise SimulationError(f"negative delay: {delay}")
+            engine._sequence += 1
+            heappush(queue, (engine._now + delay, engine._sequence, self))
+        elif delay == 0.0:
+            engine._lane.append(self)
+        else:
+            if delay < 0:
+                raise SimulationError(f"negative delay: {delay}")
+            engine._cal_insert(engine._now + delay, self)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -121,8 +150,14 @@ class Event:
         self._value = exception
         self._ok = False
         engine = self.engine
-        engine._sequence += 1
-        heappush(engine._queue, (engine._now + delay, engine._sequence, self))
+        queue = engine._queue
+        if queue is not None:
+            engine._sequence += 1
+            heappush(queue, (engine._now + delay, engine._sequence, self))
+        elif delay == 0.0:
+            engine._lane.append(self)
+        else:
+            engine._cal_insert(engine._now + delay, self)
         return self
 
     # -- engine internals --------------------------------------------------
@@ -241,6 +276,8 @@ class Process(Event):
 
     __slots__ = (
         "_generator",
+        "_send",
+        "_throw",
         "_waiting_on",
         "name",
         "_switch_payload",
@@ -257,6 +294,10 @@ class Process(Event):
         if not hasattr(generator, "send"):
             raise SimulationError(f"Process requires a generator, got {generator!r}")
         self._generator = generator
+        # Bound once: _resume runs for every context switch, and the
+        # attribute walk generator -> send costs there.
+        self._send = generator.send
+        self._throw = generator.throw
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Interned `engine.switch` payload: one dict per process for its whole
@@ -299,19 +340,18 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         engine = self.engine
-        obs = engine.obs
-        if obs is not None and obs.wants("engine.switch"):
+        if engine._want_switch:
             payload = self._switch_payload
             if payload is None:
                 payload = self._switch_payload = {"process": self.name}
-            obs.emit("engine.switch", payload)
+            engine._obs.emit("engine.switch", payload)
         previous = engine.active_process
         engine.active_process = self
         try:
             if event._ok:
-                target = self._generator.send(event._value)
+                target = self._send(event._value)
             else:
-                target = self._generator.throw(event._value)
+                target = self._throw(event._value)
         except StopIteration as stop:
             engine.active_process = previous
             self.succeed(stop.value)
@@ -345,29 +385,99 @@ class Process(Event):
 #: engine doesn't pin memory.
 _TIMEOUT_POOL_LIMIT = 128
 
+#: Calendar-queue shape bounds: bucket counts are powers of two in
+#: [_CAL_MIN_BUCKETS, _CAL_MAX_BUCKETS]; bucket widths never drop below
+#: _CAL_MIN_WIDTH seconds (guards against zero/denormal gap samples).
+_CAL_MIN_BUCKETS = 16
+_CAL_MAX_BUCKETS = 1 << 15
+_CAL_MIN_WIDTH = 1e-9
+
+#: Width resampling cadence, counted in calendar pops (deterministic, so
+#: runs stay bit-reproducible): once shortly after startup, then periodically.
+_CAL_WARMUP_POPS = 64
+_CAL_RESAMPLE_POPS = 1024
+
 
 class Engine:
-    """The event loop: a virtual clock plus a priority queue of events."""
+    """The event loop: a virtual clock plus a scheduler of pending events.
 
-    def __init__(self) -> None:
+    ``backend`` selects the scheduler: ``"calendar"`` (default) or ``"heap"``
+    (the pre-calendar ``heapq`` scheduler, kept for one release for A/B
+    byte-identity checks).  When ``backend`` is None the ``REPRO_ENGINE``
+    environment variable decides, defaulting to the calendar queue.
+    """
+
+    def __init__(self, backend: Optional[str] = None) -> None:
+        if backend is None:
+            backend = os.environ.get("REPRO_ENGINE") or "calendar"
+        if backend not in ("calendar", "heap"):
+            raise SimulationError(
+                f"unknown engine backend {backend!r} (expected 'calendar' or "
+                "'heap'; check REPRO_ENGINE)"
+            )
+        self.backend = backend
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Event]] = []
         self._sequence = 0
         self.active_process: Optional[Process] = None
         #: Total events dispatched; drives the experiment step budget.
         self.steps = 0
         #: Instrumentation bus (:mod:`repro.obs`), or None when disabled.
-        self.obs = None
+        self._obs = None
+        self._want_switch = False
+        self._want_dispatch = False
         #: Free pools of processed, unreferenced events (see :meth:`timeout`
         #: and :meth:`event`); refilled by the run loops' refcount guard.
         self._timeout_pool: List[Timeout] = []
         self._event_pool: List[Event] = []
+        if backend == "heap":
+            self._queue: Optional[List[Tuple[float, int, Event]]] = []
+        else:
+            self._queue = None
+            # Events already due at the current time, in (time, sequence)
+            # order; drained before anything else.
+            self._due: deque = deque()
+            # Events triggered *at* the current time, FIFO.  Dispatched after
+            # _due (their sequence numbers are necessarily larger) and before
+            # advancing the clock.
+            self._lane: deque = deque()
+            # The calendar proper: only events strictly in the future.
+            width = 1e-3
+            self._width = width
+            self._inv_width = 1.0 / width
+            self._buckets: List[list] = [[] for _ in range(_CAL_MIN_BUCKETS)]
+            self._mask = _CAL_MIN_BUCKETS - 1
+            self._cal_count = 0
+            self._day = 0  # absolute day number int(time * _inv_width)
+            self._grow_at = 2 * _CAL_MIN_BUCKETS
+            # Deterministic width resampling: pop-count thresholds, so the
+            # bucket width tracks the workload's inter-event gap through
+            # phase changes even when the entry count never crosses a
+            # grow/shrink threshold.
+            self._pops = 0
+            self._resample_at = _CAL_WARMUP_POPS
+            # Cached minimum entry so peek + pop after a scan are O(1);
+            # consumed by pop, maintained by inserts and resizes.
+            self._cache: Optional[tuple] = None
 
     # -- clock -----------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulated time, in seconds."""
         return self._now
+
+    # -- instrumentation ---------------------------------------------------
+    @property
+    def obs(self):
+        return self._obs
+
+    @obs.setter
+    def obs(self, bus) -> None:
+        # Subscription interest is fixed when the bus is constructed (see
+        # Bus.wants), so precompute the two hot-path gates once here instead
+        # of calling wants() per context switch / per dispatch.
+        self._obs = bus
+        self._want_switch = bus is not None and bus.wants("engine.switch")
+        self._want_dispatch = bus is not None and bus.wants("engine.dispatch")
 
     # -- event construction ------------------------------------------------
     def event(self) -> Event:
@@ -395,8 +505,14 @@ class Engine:
             timeout = pool.pop()
             timeout.callbacks = []
             timeout._state = _TRIGGERED
-            self._sequence += 1
-            heappush(self._queue, (self._now + delay, self._sequence, timeout))
+            queue = self._queue
+            if queue is not None:
+                self._sequence += 1
+                heappush(queue, (self._now + delay, self._sequence, timeout))
+            elif delay == 0.0:
+                self._lane.append(timeout)
+            else:
+                self._cal_insert(self._now + delay, timeout)
             return timeout
         return Timeout(self, delay, value)
 
@@ -413,52 +529,285 @@ class Engine:
     def _push(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._sequence += 1
-        heappush(self._queue, (self._now + delay, self._sequence, event))
+        queue = self._queue
+        if queue is not None:
+            self._sequence += 1
+            heappush(queue, (self._now + delay, self._sequence, event))
+        elif delay == 0.0:
+            self._lane.append(event)
+        else:
+            self._cal_insert(self._now + delay, event)
 
+    # -- calendar internals ------------------------------------------------
+    def _cal_insert(self, time: float, event: Event) -> None:
+        """Insert a strictly-future event into the calendar.
+
+        Entries are ``(time, sequence, day, event)`` tuples; ``day`` is the
+        absolute day number ``int(time * inv_width)``, fixed at insert so
+        float boundary rounding can never disagree between insert and scan.
+        Buckets stay sorted by (time, sequence) — sequence numbers are
+        unique, so ``insort`` never compares two Event objects — which makes
+        the pop path O(1): a day's minimum is always ``bucket[0]``, because
+        any other entry sharing the bucket belongs to a later year and
+        therefore a later time.
+        """
+        if time <= self._now:
+            # Float-dust delays (now + delay == now) degrade to the now-lane,
+            # which is exactly the heap's ordering for an event at `now`.
+            self._lane.append(event)
+            return
+        self._sequence += 1
+        day = int(time * self._inv_width)
+        entry = (time, self._sequence, day, event)
+        bucket = self._buckets[day & self._mask]
+        insort(bucket, entry)
+        count = self._cal_count + 1
+        self._cal_count = count
+        cache = self._cache
+        if cache is not None and time < cache[0]:
+            self._cache = entry
+        if count > self._grow_at:
+            self._cal_resize()
+
+    def _cal_scan(self) -> tuple:
+        """Find (and cache) the minimum calendar entry; count must be > 0.
+
+        Walks day windows from the current day cursor.  A day's entries are
+        the sorted prefix of its bucket (anything else in the bucket belongs
+        to a later year), so each day costs one list check.  If a whole year
+        passes with no hit the queue is sparse relative to its width:
+        resample the width (when there are enough entries to sample) or fall
+        back to a direct minimum over the bucket heads.
+        """
+        buckets = self._buckets
+        mask = self._mask
+        day = self._day
+        for _ in range(mask + 1):
+            bucket = buckets[day & mask]
+            if bucket and bucket[0][2] == day:
+                self._day = day
+                best = bucket[0]
+                self._cache = best
+                return best
+            day += 1
+        if self._cal_count >= 8:
+            # Sparse: the width is stale.  Resize resamples the width from
+            # the actual gaps and leaves the minimum cached.
+            self._cal_resize()
+            return self._cache
+        best = min(bucket[0] for bucket in buckets if bucket)
+        self._day = best[2]
+        self._cache = best
+        return best
+
+    def _cal_pop(self) -> Event:
+        """Remove and return the minimum calendar event; count must be > 0.
+
+        Advances the clock to the popped event's time.  Ties — other entries
+        at exactly the same time — are moved onto ``_due`` in sequence order.
+        That preserves the heap's (time, sequence) order: once the clock
+        reaches time T no *new* calendar entry at T can appear (zero-delay
+        triggers at T land on the now-lane), so the tie group's sequence
+        numbers are all smaller than any event its callbacks will trigger.
+        """
+        pops = self._pops + 1
+        self._pops = pops
+        if pops >= self._resample_at and self._cal_count >= 2:
+            self._cal_resize()
+        buckets = self._buckets
+        mask = self._mask
+        cache = self._cache
+        if cache is not None:
+            # Inserts keep the cache at its bucket's head, so no walk needed.
+            self._cache = None
+            day = cache[2]
+            bucket = buckets[day & mask]
+        else:
+            day = self._day
+            end = day + mask + 1
+            while day < end:
+                bucket = buckets[day & mask]
+                if bucket and bucket[0][2] == day:
+                    break
+                day += 1
+            else:
+                # Sparse: nothing within a year of the cursor.
+                if self._cal_count >= 8:
+                    self._cal_resize()
+                    best = self._cache
+                    self._cache = None
+                    day = best[2]
+                    # The resize rebuilt the bucket array in place of the
+                    # locals bound above.
+                    bucket = self._buckets[day & self._mask]
+                else:
+                    best = min(b[0] for b in buckets if b)
+                    day = best[2]
+                    bucket = buckets[day & mask]
+        self._day = day
+        best = bucket[0]
+        time = best[0]
+        self._now = time
+        if len(bucket) == 1 or bucket[1][0] != time:
+            del bucket[0]
+            self._cal_count -= 1
+            return best[3]
+        # Tie group: the leading same-time run of the sorted bucket.
+        run = 2
+        blen = len(bucket)
+        while run < blen and bucket[run][0] == time:
+            run += 1
+        group = bucket[:run]
+        del bucket[:run]
+        self._cal_count -= run
+        due = self._due
+        for entry in group[1:]:
+            due.append(entry[3])
+        return best[3]
+
+    def _cal_resize(self) -> None:
+        """Rebuild the calendar: occupancy-sized bucket count, resampled width.
+
+        Bucket count is the power of two nearest count/2 (clamped); width is
+        twice the mean inter-event gap over the first ≤25 entries, so a day
+        holds a couple of events near the head of the queue.  Degenerate
+        samples (all ties) keep the previous width.
+        """
+        entries = [e for b in self._buckets for e in b]
+        entries.sort()
+        count = len(entries)
+        # A rebuild costs O(count), so the next periodic resample is at
+        # least a multiple of the occupancy away: amortised O(1) per pop
+        # no matter how large the queue grows.  (A fixed cadence made the
+        # rebuild cost per pop *linear* in occupancy — the high-population
+        # regime the calendar exists for was exactly where it lost.)
+        self._resample_at = self._pops + max(_CAL_RESAMPLE_POPS, 4 * count)
+        nbuckets = _CAL_MIN_BUCKETS
+        while nbuckets * 2 < count and nbuckets < _CAL_MAX_BUCKETS:
+            nbuckets <<= 1
+        width = self._width
+        if count >= 2:
+            # Robust width: twice the *median* non-zero gap over the head of
+            # the queue.  The event mix is heavy-tailed (microsecond compute
+            # quanta next to ~100 ms daemon wakeups), so a mean-based width
+            # balloons until every near-future event shares one day and each
+            # pop degenerates to a linear bucket scan.
+            sample = entries[: min(count, 25)]
+            gaps = sorted(
+                b[0] - a[0]
+                for a, b in zip(sample, sample[1:])
+                if b[0] > a[0]
+            )
+            if gaps:
+                width = max(2.0 * gaps[len(gaps) // 2], _CAL_MIN_WIDTH)
+        self._width = width
+        inv_width = self._inv_width = 1.0 / width
+        mask = self._mask = nbuckets - 1
+        self._grow_at = 2 * nbuckets
+        buckets = self._buckets = [[] for _ in range(nbuckets)]
+        first = None
+        # `entries` is globally sorted, so per-bucket appends stay sorted.
+        for time, seq, _old_day, event in entries:
+            day = int(time * inv_width)
+            bucket = buckets[day & mask]
+            bucket.append((time, seq, day, event))
+            if first is None:
+                first = bucket[-1]
+        if first is not None:
+            self._day = first[2]
+            self._cache = first
+        else:
+            self._day = int(self._now * inv_width)
+            self._cache = None
+
+    # -- stepping ----------------------------------------------------------
     def step(self) -> None:
         """Process the single next event; raises IndexError if none remain."""
-        time, _seq, event = heappop(self._queue)
-        if time < self._now:
-            raise SimulationError("time went backwards")
-        self._now = time
+        queue = self._queue
+        if queue is not None:
+            time, _seq, event = heappop(queue)
+            if time < self._now:
+                raise SimulationError("time went backwards")
+            self._now = time
+        else:
+            due = self._due
+            if due:
+                event = due.popleft()
+            elif self._lane:
+                event = self._lane.popleft()
+            elif self._cal_count:
+                event = self._cal_pop()
+            else:
+                raise IndexError("step from an empty event queue")
         self.steps += 1
-        obs = self.obs
-        if obs is not None and obs.wants("engine.dispatch"):
-            obs.emit("engine.dispatch", {"event": type(event).__name__})
+        if self._want_dispatch:
+            self._obs.emit("engine.dispatch", {"event": type(event).__name__})
         event._run_callbacks()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        if queue is not None:
+            return queue[0][0] if queue else float("inf")
+        if self._due or self._lane:
+            return self._now
+        if self._cal_count:
+            entry = self._cache
+            if entry is None:
+                entry = self._cal_scan()
+            return entry[0]
+        return float("inf")
 
+    # -- run loops ---------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock passes ``until``.
 
         When ``until`` is given the clock is advanced exactly to it on exit,
         so back-to-back ``run(until=...)`` calls compose cleanly.
-
-        The dispatch body is inlined here (rather than calling :meth:`step`)
-        with the queue, pool, and obs gate bound to locals: at ~10^5 events
-        per simulated experiment the attribute lookups and the per-event
-        ``engine.dispatch`` dict were a measurable share of wall time.
         """
-        queue = self._queue
-        pool = self._timeout_pool
-        event_pool = self._event_pool
-        obs = self.obs
-        emit_dispatch = obs is not None and obs.wants("engine.dispatch")
-        steps = self.steps
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
+        if self._queue is not None:
+            self._run_heap(until)
+        else:
+            self._run_calendar(until)
+        if until is not None:
+            self._now = until
+
+    def _run_calendar(self, until: Optional[float]) -> None:
+        """Calendar-backend drain loop.
+
+        The dispatch body is inlined (rather than calling :meth:`step`) with
+        the lanes, pools, and obs gate bound to locals: at ~10^5 events per
+        simulated experiment the attribute lookups were a measurable share
+        of wall time.
+        """
+        due = self._due
+        lane = self._lane
+        due_popleft = due.popleft
+        lane_popleft = lane.popleft
+        cal_pop = self._cal_pop
+        pool = self._timeout_pool
+        event_pool = self._event_pool
+        obs = self._obs
+        emit_dispatch = self._want_dispatch
+        steps = self.steps
         try:
-            while queue:
-                if until is not None and queue[0][0] > until:
+            while True:
+                if due:
+                    event = due_popleft()
+                elif lane:
+                    event = lane_popleft()
+                elif self._cal_count:
+                    if until is not None:
+                        entry = self._cache
+                        if entry is None:
+                            entry = self._cal_scan()
+                        if entry[0] > until:
+                            break
+                    event = cal_pop()
+                else:
                     break
-                time, _seq, event = heappop(queue)
-                if time < self._now:
-                    raise SimulationError("time went backwards")
-                self._now = time
                 steps += 1
                 if emit_dispatch:
                     obs.emit("engine.dispatch", {"event": type(event).__name__})
@@ -482,8 +831,42 @@ class Engine:
                             event_pool.append(event)
         finally:
             self.steps = steps
-        if until is not None:
-            self._now = until
+
+    def _run_heap(self, until: Optional[float]) -> None:
+        """Heap-backend drain loop (inlined dispatch, see _run_calendar)."""
+        queue = self._queue
+        pool = self._timeout_pool
+        event_pool = self._event_pool
+        obs = self._obs
+        emit_dispatch = self._want_dispatch
+        steps = self.steps
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    break
+                time, _seq, event = heappop(queue)
+                if time < self._now:
+                    raise SimulationError("time went backwards")
+                self._now = time
+                steps += 1
+                if emit_dispatch:
+                    obs.emit("engine.dispatch", {"event": type(event).__name__})
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = _PROCESSED
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._value is None and getrefcount(event) == 2:
+                    cls = type(event)
+                    if cls is Timeout:
+                        if len(pool) < _TIMEOUT_POOL_LIMIT:
+                            pool.append(event)
+                    elif cls is Event and event._ok:
+                        if len(event_pool) < _TIMEOUT_POOL_LIMIT:
+                            event_pool.append(event)
+        finally:
+            self.steps = steps
 
     def run_until_triggered(
         self, event: Event, max_steps: Optional[float] = None
@@ -497,11 +880,68 @@ class Engine:
         This is the experiment harness's main loop, so the dispatch body is
         inlined with local bindings exactly like :meth:`run`.
         """
+        if self._queue is not None:
+            return self._run_until_triggered_heap(event, max_steps)
+        return self._run_until_triggered_calendar(event, max_steps)
+
+    def _run_until_triggered_calendar(
+        self, event: Event, max_steps: Optional[float]
+    ) -> bool:
+        due = self._due
+        lane = self._lane
+        due_popleft = due.popleft
+        lane_popleft = lane.popleft
+        cal_pop = self._cal_pop
+        pool = self._timeout_pool
+        event_pool = self._event_pool
+        obs = self._obs
+        emit_dispatch = self._want_dispatch
+        budget = float("inf") if max_steps is None else max_steps
+        steps = self.steps
+        try:
+            while event._state == _PENDING:
+                if steps >= budget:
+                    return False
+                if due:
+                    popped = due_popleft()
+                elif lane:
+                    popped = lane_popleft()
+                elif self._cal_count:
+                    popped = cal_pop()
+                else:
+                    raise SimulationError(
+                        "event queue drained before the awaited event "
+                        "triggered (deadlock)"
+                    )
+                steps += 1
+                if emit_dispatch:
+                    obs.emit("engine.dispatch", {"event": type(popped).__name__})
+                callbacks = popped.callbacks
+                popped.callbacks = None
+                popped._state = _PROCESSED
+                if callbacks:
+                    for callback in callbacks:
+                        callback(popped)
+                if popped._value is None and getrefcount(popped) == 2:
+                    cls = type(popped)
+                    if cls is Timeout:
+                        if len(pool) < _TIMEOUT_POOL_LIMIT:
+                            pool.append(popped)
+                    elif cls is Event and popped._ok:
+                        if len(event_pool) < _TIMEOUT_POOL_LIMIT:
+                            event_pool.append(popped)
+        finally:
+            self.steps = steps
+        return True
+
+    def _run_until_triggered_heap(
+        self, event: Event, max_steps: Optional[float]
+    ) -> bool:
         queue = self._queue
         pool = self._timeout_pool
         event_pool = self._event_pool
-        obs = self.obs
-        emit_dispatch = obs is not None and obs.wants("engine.dispatch")
+        obs = self._obs
+        emit_dispatch = self._want_dispatch
         budget = float("inf") if max_steps is None else max_steps
         steps = self.steps
         try:

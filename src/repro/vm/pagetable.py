@@ -8,15 +8,21 @@ contention accounting.
 
 The address space also provides a simple segment allocator so workloads can
 lay out their arrays at stable virtual page numbers.
+
+The page table itself is a flat list, ``pt``, indexed by virtual page
+number: ``pt[vpn]`` is the backing frame index or ``-1`` when the page is
+not resident.  ``map_segment`` pre-sizes the list, so the fault handler's
+lookup is a single list index instead of a dict probe, and residency is a
+maintained counter instead of ``len(dict)``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.sync import Lock
-from repro.vm.frames import Frame
+from repro.vm.frames import F_PRESENT, Frame, FrameTable
 from repro.vm.stats import AddressSpaceStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -28,11 +34,16 @@ __all__ = ["AddressSpace"]
 class AddressSpace:
     """One process's virtual address space, at page granularity."""
 
-    def __init__(self, engine: Engine, asid: int, name: str) -> None:
+    def __init__(
+        self, engine: Engine, asid: int, name: str, frame_table: FrameTable
+    ) -> None:
         self.engine = engine
         self.asid = asid
         self.name = name
-        self.pages: Dict[int, Frame] = {}
+        self.frame_table = frame_table
+        # Flat page table: pt[vpn] is a frame index, -1 means not resident.
+        self.pt: List[int] = []
+        self._resident = 0
         self.lock = Lock(engine, name=f"aslock:{name}")
         self.stats = AddressSpaceStats()
         self.shared_page: Optional["SharedPage"] = None
@@ -49,6 +60,8 @@ class AddressSpace:
         segment = range(self._next_vpn, self._next_vpn + pages)
         self._segments[label] = segment
         self._next_vpn += pages
+        if len(self.pt) < self._next_vpn:
+            self.pt.extend([-1] * (self._next_vpn - len(self.pt)))
         return segment
 
     def segment(self, label: str) -> range:
@@ -61,31 +74,62 @@ class AddressSpace:
     # -- residency --------------------------------------------------------
     @property
     def resident(self) -> int:
-        return len(self.pages)
+        return self._resident
+
+    def frame_index(self, vpn: int) -> int:
+        """Backing frame index for a vpn, or -1 when not resident."""
+        pt = self.pt
+        return pt[vpn] if 0 <= vpn < len(pt) else -1
 
     def frame_for(self, vpn: int) -> Optional[Frame]:
-        return self.pages.get(vpn)
+        """View of the backing frame, or None (tests / cold paths)."""
+        index = self.frame_index(vpn)
+        return Frame(self.frame_table, index) if index >= 0 else None
 
-    def attach(self, vpn: int, frame: Frame) -> None:
+    def resident_vpns(self) -> List[int]:
+        """All resident vpns, ascending (tests / reporting only)."""
+        return [vpn for vpn, index in enumerate(self.pt) if index >= 0]
+
+    def attach(self, vpn: int, index: int) -> None:
         """Install a frame for a virtual page."""
-        if vpn in self.pages:
+        pt = self.pt
+        if vpn >= len(pt):
+            pt.extend([-1] * (vpn + 1 - len(pt)))
+        elif pt[vpn] >= 0:
             raise ValueError(f"{self.name}: vpn {vpn} already mapped")
-        frame.owner = self
-        frame.vpn = vpn
-        frame.present = True
-        self.pages[vpn] = frame
+        table = self.frame_table
+        table.owner[index] = self
+        table.vpn[index] = vpn
+        table.flags[index] |= F_PRESENT
+        pt[vpn] = index
+        self._resident += 1
         if self.shared_page is not None:
             self.shared_page.set_bit(vpn)
 
-    def detach(self, vpn: int) -> Frame:
+    def reattach(self, vpn: int, index: int) -> None:
+        """Re-install a rescued frame whose identity columns are intact."""
+        pt = self.pt
+        if pt[vpn] >= 0:  # pragma: no cover - defensive
+            raise ValueError(f"{self.name}: vpn {vpn} already mapped")
+        pt[vpn] = index
+        self._resident += 1
+        if self.shared_page is not None:
+            self.shared_page.set_bit(vpn)
+
+    def detach(self, vpn: int) -> int:
         """Remove the mapping for a virtual page (page being freed)."""
-        frame = self.pages.pop(vpn)
+        pt = self.pt
+        index = pt[vpn]
+        if index < 0:
+            raise KeyError(vpn)
+        pt[vpn] = -1
+        self._resident -= 1
         if self.shared_page is not None:
             self.shared_page.clear_bit(vpn)
-        return frame
+        return index
 
     def is_present(self, vpn: int) -> bool:
-        return vpn in self.pages
+        return self.frame_index(vpn) >= 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AddressSpace({self.name}, resident={self.resident})"

@@ -16,20 +16,35 @@ Two properties of this design drive the paper's results:
    at maximum speed — which is why prefetching-without-releasing evicts an
    idle interactive task's pages within a second or two, while plain demand
    paging takes many times longer (Figure 1).
+
+Both hands sweep integer frame indices over the :class:`FrameTable`
+columns: each candidate test is one flags-word mask compare, not a chain of
+attribute loads.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Optional
 
 from repro.config import OsTunables
 from repro.sim.engine import Engine, Event
 from repro.sim.task import SimTask
-from repro.vm.frames import FREED_BY_DAEMON, Frame
+from repro.vm.frames import (
+    F_INVALIDATED,
+    F_PRESENT,
+    F_REFERENCED,
+    F_SW_VALID,
+    F_WIRED,
+    FREED_BY_DAEMON,
+)
 from repro.vm.pagetable import AddressSpace
 
 __all__ = ["PagingDaemon"]
+
+# Clock-hand candidate masks over the packed frame flags.
+_ACTIVE_MASK = F_PRESENT | F_WIRED  # active: present and not wired
+_STEAL_MASK = F_PRESENT | F_WIRED | F_INVALIDATED | F_REFERENCED | F_SW_VALID
+_STEAL_WANT = F_PRESENT | F_INVALIDATED
 
 
 class PagingDaemon:
@@ -127,40 +142,49 @@ class PagingDaemon:
         return stolen_total
 
     def _collect_batch(self, batch: int):
-        """Gather the frames the two hands will pass over this batch."""
-        frames = self.vm.frame_table.frames
+        """Gather the frame indices the two hands will pass over this batch."""
+        table = self.vm.frame_table
+        flags = table.flags
+        in_transit = table.in_transit
         nframes = self._nframes
         hand = self._hand
-        lead_frames: List[Frame] = []
-        steal_candidates: List[Frame] = []
+        spread = self._spread
+        lead_frames: List[int] = []
+        steal_candidates: List[int] = []
         for offset in range(batch):
             trail_index = (hand + offset) % nframes
-            lead_index = (trail_index + self._spread) % nframes
-            lead = frames[lead_index]
-            if lead.active and lead.in_transit is None:
-                lead_frames.append(lead)
-            trail = frames[trail_index]
+            lead_index = (trail_index + spread) % nframes
             if (
-                trail.active
-                and trail.in_transit is None
-                and trail.invalidated
-                and not trail.referenced
-                and not trail.sw_valid
+                flags[lead_index] & _ACTIVE_MASK == F_PRESENT
+                and in_transit[lead_index] is None
             ):
-                steal_candidates.append(trail)
+                lead_frames.append(lead_index)
+            if (
+                flags[trail_index] & _STEAL_MASK == _STEAL_WANT
+                and in_transit[trail_index] is None
+            ):
+                steal_candidates.append(trail_index)
         self._hand = (hand + batch) % nframes
         return lead_frames, steal_candidates
 
-    def _process_batch(self, lead_frames: List[Frame], steal_candidates: List[Frame]):
+    def _process_batch(self, lead_frames: List[int], steal_candidates: List[int]):
         """Invalidate and steal, holding each owner's lock once per batch."""
         vm = self.vm
         tunables = self.tunables
-        by_owner: Dict[AddressSpace, List[Frame]] = defaultdict(list)
-        for frame in lead_frames:
-            by_owner[frame.owner].append(frame)
-        steals_by_owner: Dict[AddressSpace, List[Frame]] = defaultdict(list)
-        for frame in steal_candidates:
-            steals_by_owner[frame.owner].append(frame)
+        table = vm.frame_table
+        flags = table.flags
+        in_transit = table.in_transit
+        owner_col = table.owner
+        by_owner: Dict[AddressSpace, List[int]] = {}
+        for index in lead_frames:
+            owner = owner_col[index]
+            if owner is not None:
+                by_owner.setdefault(owner, []).append(index)
+        steals_by_owner: Dict[AddressSpace, List[int]] = {}
+        for index in steal_candidates:
+            owner = owner_col[index]
+            if owner is not None:
+                steals_by_owner.setdefault(owner, []).append(index)
         owners = sorted(
             set(by_owner) | set(steals_by_owner), key=lambda a: a.asid
         )
@@ -174,27 +198,25 @@ class PagingDaemon:
                     len(invalidate) * tunables.daemon_per_page_scan_s
                     + len(steals) * tunables.daemon_per_page_steal_s
                 )
-                for frame in invalidate:
-                    if frame.owner is not owner or frame.in_transit is not None:
+                for index in invalidate:
+                    if owner_col[index] is not owner or in_transit[index] is not None:
                         continue  # reallocated while we waited for the lock
                     # Simulate the reference bit: clear validity; a live
                     # page will come back via a soft fault.
-                    if frame.sw_valid or not frame.invalidated:
+                    fl = flags[index]
+                    if fl & F_SW_VALID or not fl & F_INVALIDATED:
                         vm.stats.daemon_invalidations += 1
-                    frame.sw_valid = False
-                    frame.invalidated = True
-                    frame.referenced = False
-                for frame in steals:
+                    flags[index] = (fl | F_INVALIDATED) & ~(
+                        F_SW_VALID | F_REFERENCED
+                    )
+                for index in steals:
                     if (
-                        frame.owner is not owner
-                        or not frame.active
-                        or frame.in_transit is not None
-                        or not frame.invalidated
-                        or frame.referenced
-                        or frame.sw_valid
+                        owner_col[index] is not owner
+                        or flags[index] & _STEAL_MASK != _STEAL_WANT
+                        or in_transit[index] is not None
                     ):
                         continue  # revalidated/reallocated while we waited
-                    vm.free_frame(owner, frame, FREED_BY_DAEMON)
+                    vm.free_frame(owner, index, FREED_BY_DAEMON)
                     vm.stats.daemon_pages_stolen += 1
                     stolen_total += 1
                 vm.stats.daemon_pages_scanned += len(invalidate) + len(steals)

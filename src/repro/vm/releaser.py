@@ -22,7 +22,13 @@ from repro.config import OsTunables
 from repro.sim.engine import Engine
 from repro.sim.sync import Store
 from repro.sim.task import SimTask
-from repro.vm.frames import FREED_BY_RELEASE
+from repro.vm.frames import (
+    F_PRESENT,
+    F_REFERENCED,
+    F_RELEASE_PENDING,
+    F_SW_VALID,
+    FREED_BY_RELEASE,
+)
 from repro.vm.pagetable import AddressSpace
 
 __all__ = ["ReleaseWorkItem", "Releaser"]
@@ -63,33 +69,39 @@ class Releaser:
         batch_size = self.tunables.releaser_lock_batch_pages
         per_page = self.tunables.releaser_per_page_free_s
         vm = self.vm
+        table = vm.frame_table
+        flags = table.flags
+        in_transit = table.in_transit
+        # Freeable iff release still pending and neither referenced nor
+        # revalidated since the request was queued.
+        check_mask = F_RELEASE_PENDING | F_REFERENCED | F_SW_VALID
         while True:
             item: ReleaseWorkItem = yield self.queue.get()
             started = self.engine.now
             freed_before = vm.stats.releaser_pages_freed
             aspace = item.aspace
             vpns = item.vpns
+            pt = aspace.pt
+            npt = len(pt)
             for start in range(0, len(vpns), batch_size):
                 batch = vpns[start : start + batch_size]
                 yield from self.task.lock_acquire(aspace.lock)
                 freed = 0
                 try:
                     for vpn in batch:
-                        frame = aspace.pages.get(vpn)
-                        if frame is None or not frame.present:
+                        index = pt[vpn] if vpn < npt else -1
+                        if index < 0 or not flags[index] & F_PRESENT:
                             vm.stats.releaser_skipped_absent += 1
                             continue
                         if (
-                            not frame.release_pending
-                            or frame.referenced
-                            or frame.sw_valid
-                            or frame.in_transit is not None
+                            flags[index] & check_mask != F_RELEASE_PENDING
+                            or in_transit[index] is not None
                         ):
                             # Referenced again (the in-memory bit is set
                             # once more) since the request: leave it alone.
                             vm.stats.releaser_skipped_referenced += 1
                             continue
-                        vm.free_frame(aspace, frame, FREED_BY_RELEASE)
+                        vm.free_frame(aspace, index, FREED_BY_RELEASE)
                         freed += 1
                     if freed:
                         yield from self.task.system(freed * per_page)

@@ -15,6 +15,10 @@ can be reported:
   the touch sets the in-memory bit again so the releaser will skip it;
 - **rescue** — page found on the free list with its identity intact; pulled
   back without I/O.
+
+Frames are addressed by integer index into the :class:`FrameTable` columns
+throughout (see ``vm/frames.py`` for the layout); the fast path is a flat
+page-table lookup plus one flags-word test.
 """
 
 from __future__ import annotations
@@ -27,10 +31,16 @@ from repro.faults import DiskIOError
 from repro.sim.engine import Engine
 from repro.sim.task import SimTask
 from repro.vm.frames import (
+    F_DIRTY,
+    F_FROM_PREFETCH,
+    F_INVALIDATED,
+    F_PRESENT,
+    F_REFERENCED,
+    F_RELEASE_PENDING,
+    F_SW_VALID,
     FREED_BY_DAEMON,
     FREED_BY_EXIT,
     FREED_BY_RELEASE,
-    Frame,
     FrameTable,
     FreeList,
 )
@@ -64,6 +74,10 @@ class VmSystem:
         self.stats = VmStats()
         self.address_spaces: List[AddressSpace] = []
         self._next_asid = 1
+        # Column aliases for the hot paths (the table never grows).
+        self._flags = self.frame_table.flags
+        self._vpns = self.frame_table.vpn
+        self._in_transit = self.frame_table.in_transit
         # Instrumentation bus (:mod:`repro.obs`), or None when disabled.
         self.obs = None
         # Wired in by the kernel after construction.
@@ -72,7 +86,7 @@ class VmSystem:
 
     # -- address spaces -----------------------------------------------------
     def create_address_space(self, name: str) -> AddressSpace:
-        aspace = AddressSpace(self.engine, self._next_asid, name)
+        aspace = AddressSpace(self.engine, self._next_asid, name, self.frame_table)
         self._next_asid += 1
         self.address_spaces.append(aspace)
         return aspace
@@ -102,13 +116,21 @@ class VmSystem:
         caller must take the slow path (``fault``).
 
         This is deliberately not a generator: resident touches are the
-        common case and must cost nothing but a dict lookup.
+        common case and must cost nothing but a list index and one
+        flags-word test.
         """
-        frame = aspace.pages.get(vpn)
-        if frame is not None and frame.sw_valid and frame.in_transit is None:
-            frame.referenced = True
-            if write:
-                frame.dirty = True
+        try:
+            index = aspace.pt[vpn]
+        except IndexError:
+            return False
+        if index < 0:
+            return False
+        flags = self._flags
+        fl = flags[index]
+        if fl & F_SW_VALID and self._in_transit[index] is None:
+            flags[index] = (
+                fl | (F_REFERENCED | F_DIRTY) if write else fl | F_REFERENCED
+            )
             return True
         return False
 
@@ -127,39 +149,44 @@ class VmSystem:
         machine = self.machine
         engine = self.engine
         buckets = task.buckets
+        flags = self._flags
+        in_transit = self._in_transit
+        pt = aspace.pt
         while True:
-            frame = aspace.pages.get(vpn)
-            if frame is None:
+            index = pt[vpn] if vpn < len(pt) else -1
+            if index < 0:
                 break
-            if frame.in_transit is not None:
+            inflight = in_transit[index]
+            if inflight is not None:
                 # A prefetch for this page is in flight; wait for the I/O
                 # rather than starting a duplicate read.
                 io_started = engine.now
-                yield frame.in_transit
+                yield inflight
                 buckets.stall_io += engine.now - io_started
                 continue  # re-examine: the world may have moved
-            if frame.sw_valid:
+            fl = flags[index]
+            if fl & F_SW_VALID:
                 # Raced to validity (e.g. the in-flight prefetch finished
                 # and another touch validated it first).
-                frame.referenced = True
-                if write:
-                    frame.dirty = True
+                flags[index] = (
+                    fl | (F_REFERENCED | F_DIRTY) if write else fl | F_REFERENCED
+                )
                 self._emit_fault(aspace, vpn, FaultKind.PREFETCH_VALIDATE)
                 return FaultKind.PREFETCH_VALIDATE
-            if frame.release_pending:
+            if fl & F_RELEASE_PENDING:
                 kind = FaultKind.RELEASE_REVALIDATE
                 cost = machine.soft_fault_cpu_s
-            elif frame.invalidated:
+            elif fl & F_INVALIDATED:
                 kind = FaultKind.SOFT
                 cost = machine.soft_fault_cpu_s
             else:
                 kind = FaultKind.PREFETCH_VALIDATE
                 cost = machine.prefetch_validate_s
-            started = self.engine.now
+            started = engine.now
             yield aspace.lock.acquire(task)
-            buckets.stall_memory += self.engine.now - started
+            buckets.stall_memory += engine.now - started
             try:
-                if aspace.pages.get(vpn) is not frame:
+                if pt[vpn] != index:
                     # The releaser or the paging daemon freed the page while
                     # we queued for the lock; retry from the top (it may now
                     # be rescuable from the free list).
@@ -181,18 +208,19 @@ class VmSystem:
                 wait = engine.now - started - cost
                 if wait > 0.0:
                     aspace.stats.fault_wait_time += wait
-                frame.sw_valid = True
-                frame.referenced = True
-                frame.invalidated = False
-                frame.from_prefetch = False
-                if frame.release_pending:
+                fl = flags[index]
+                fl = (fl | F_SW_VALID | F_REFERENCED) & ~(
+                    F_INVALIDATED | F_FROM_PREFETCH
+                )
+                if fl & F_RELEASE_PENDING:
                     # The re-reference sets the in-memory bit again, which
                     # is exactly what the releaser checks before freeing.
-                    frame.release_pending = False
+                    fl &= ~F_RELEASE_PENDING
                     if aspace.shared_page is not None:
                         aspace.shared_page.set_bit(vpn)
                 if write:
-                    frame.dirty = True
+                    fl |= F_DIRTY
+                flags[index] = fl
             finally:
                 aspace.lock.release()
             self._refresh_shared(aspace)
@@ -200,18 +228,14 @@ class VmSystem:
             return kind
 
         # Not mapped: try to rescue it from the free list.
-        frame = self.freelist.rescue(aspace, vpn)
-        if frame is not None:
+        index = self.freelist.rescue(aspace, vpn)
+        if index is not None:
             # Re-map immediately — before any yield — so no concurrent
             # prefetch can allocate a second frame for this vpn.
-            frame.present = True
-            frame.sw_valid = False
-            frame.invalidated = False
-            frame.from_prefetch = False
-            frame.release_pending = False
-            aspace.pages[vpn] = frame
-            if aspace.shared_page is not None:
-                aspace.shared_page.set_bit(vpn)
+            flags[index] = (flags[index] | F_PRESENT) & ~(
+                F_SW_VALID | F_INVALIDATED | F_FROM_PREFETCH | F_RELEASE_PENDING
+            )
+            aspace.reattach(vpn, index)
             aspace.stats.rescues += 1
             lock_started = engine.now
             yield aspace.lock.acquire(task)
@@ -223,21 +247,21 @@ class VmSystem:
                     buckets.system += cost
             finally:
                 aspace.lock.release()
-            frame.sw_valid = True
-            frame.referenced = True
+            fl = flags[index] | F_SW_VALID | F_REFERENCED
             if write:
-                frame.dirty = True
+                fl |= F_DIRTY
+            flags[index] = fl
             self._refresh_shared(aspace)
             self._emit_fault(aspace, vpn, FaultKind.RESCUE)
             return FaultKind.RESCUE
 
         # Hard fault: allocate and read from swap.
         aspace.stats.hard_faults += 1
-        frame = yield from self.allocate_blocking(task)
-        aspace.attach(vpn, frame)
+        index = yield from self.allocate_blocking(task)
+        aspace.attach(vpn, index)
         aspace.stats.allocations += 1
         inflight = engine.event()
-        frame.in_transit = inflight
+        in_transit[index] = inflight
         lock_started = engine.now
         yield aspace.lock.acquire(task)
         buckets.stall_memory += engine.now - lock_started
@@ -252,42 +276,42 @@ class VmSystem:
         io_started = engine.now
         yield io
         buckets.stall_io += engine.now - io_started
-        frame.in_transit = None
+        in_transit[index] = None
         inflight.succeed()
-        frame.sw_valid = True
-        frame.referenced = True
+        fl = flags[index] | F_SW_VALID | F_REFERENCED
         if write:
-            frame.dirty = True
+            fl |= F_DIRTY
+        flags[index] = fl
         self._refresh_shared(aspace)
         self._emit_fault(aspace, vpn, FaultKind.HARD)
         return FaultKind.HARD
 
     # -- allocation ---------------------------------------------------------
     def allocate_blocking(self, task: SimTask):
-        """Process generator: pop a free frame, blocking while memory is
-        exhausted (the "stalled for unavailable resources" component)."""
+        """Process generator: pop a free frame index, blocking while memory
+        is exhausted (the "stalled for unavailable resources" component)."""
         first = True
         while True:
-            frame = self.freelist.pop()
-            if frame is not None:
+            index = self.freelist.pop()
+            if index is not None:
                 self.stats.total_allocations += 1
                 if self.freelist.free_count < self.tunables.min_freemem_pages:
                     self._notify_daemon()
-                return frame
+                return index
             if first:
                 self.stats.low_memory_stalls += 1
                 first = False
             self._notify_daemon()
             yield from task.wait_memory(self.freelist.wait_for_free())
 
-    def allocate_nowait(self) -> Optional[Frame]:
-        """Pop a free frame or return None (prefetch path: never blocks)."""
-        frame = self.freelist.pop()
-        if frame is not None:
+    def allocate_nowait(self) -> Optional[int]:
+        """Pop a free frame index or None (prefetch path: never blocks)."""
+        index = self.freelist.pop()
+        if index is not None:
             self.stats.total_allocations += 1
             if self.freelist.free_count < self.tunables.min_freemem_pages:
                 self._notify_daemon()
-        return frame
+        return index
 
     # -- prefetch (Section 3.1.2) --------------------------------------------
     def prefetch_page(self, task: SimTask, aspace: AddressSpace, vpn: int):
@@ -299,6 +323,7 @@ class VmSystem:
         entry.  Returns True if a page was brought in.
         """
         obs = self.obs
+        flags = self._flags
         if aspace.is_present(vpn):
             # Already in memory (possibly with the I/O still in flight).
             aspace.stats.prefetches_duplicate += 1
@@ -308,26 +333,22 @@ class VmSystem:
                     {"aspace": aspace.name, "vpn": vpn, "outcome": "duplicate"},
                 )
             return False
-        rescued = self.freelist.rescue(aspace, vpn)
-        if rescued is not None:
+        index = self.freelist.rescue(aspace, vpn)
+        if index is not None:
             # Recoverable from the free list without any I/O.
-            rescued.present = True
-            rescued.sw_valid = False
-            rescued.from_prefetch = True
-            rescued.invalidated = False
-            rescued.release_pending = False
-            aspace.pages[vpn] = rescued
+            flags[index] = (
+                flags[index] | F_PRESENT | F_FROM_PREFETCH
+            ) & ~(F_SW_VALID | F_INVALIDATED | F_RELEASE_PENDING)
+            aspace.reattach(vpn, index)
             aspace.stats.rescues += 1
-            if aspace.shared_page is not None:
-                aspace.shared_page.set_bit(vpn)
             if obs is not None:
                 obs.emit(
                     "vm.prefetch",
                     {"aspace": aspace.name, "vpn": vpn, "outcome": "rescued"},
                 )
             return True
-        frame = self.allocate_nowait()
-        if frame is None:
+        index = self.allocate_nowait()
+        if index is None:
             aspace.stats.prefetches_discarded += 1
             self._notify_daemon()
             if obs is not None:
@@ -336,7 +357,7 @@ class VmSystem:
                     {"aspace": aspace.name, "vpn": vpn, "outcome": "discarded"},
                 )
             return False
-        aspace.attach(vpn, frame)
+        aspace.attach(vpn, index)
         aspace.stats.allocations += 1
         aspace.stats.prefetches_issued += 1
         if obs is not None:
@@ -344,9 +365,9 @@ class VmSystem:
                 "vm.prefetch",
                 {"aspace": aspace.name, "vpn": vpn, "outcome": "issued"},
             )
-        frame.from_prefetch = True
+        flags[index] |= F_FROM_PREFETCH
         inflight = self.engine.event()
-        frame.in_transit = inflight
+        self._in_transit[index] = inflight
         io = self.swap.read_page(aspace.asid, vpn, purpose="prefetch")
         try:
             yield from task.wait_io(io)
@@ -356,12 +377,12 @@ class VmSystem:
             # prefetch is advisory: drop it and recycle the frame instead
             # of crashing the worker — if the page is really needed a
             # demand fault will surface the problem on the application.
-            frame.in_transit = None
+            self._in_transit[index] = None
             inflight.succeed()
             aspace.detach(vpn)
-            frame.present = False
-            frame.reset_identity()
-            self.freelist.push(frame, FREED_BY_EXIT)
+            flags[index] &= ~F_PRESENT
+            self.frame_table.reset_identity(index)
+            self.freelist.push(index, FREED_BY_EXIT)
             aspace.stats.prefetches_failed += 1
             if obs is not None:
                 obs.emit(
@@ -370,7 +391,7 @@ class VmSystem:
                 )
             self._refresh_shared(aspace)
             return False
-        frame.in_transit = None
+        self._in_transit[index] = None
         inflight.succeed()
         # Deliberately NOT validated: sw_valid stays False so the first real
         # touch pays the cheap prefetch_validate cost instead of displacing
@@ -387,18 +408,24 @@ class VmSystem:
         touch takes a cheap revalidation fault that sets the bit again, and
         the releaser skips the page.
         """
+        flags = self._flags
+        in_transit = self._in_transit
+        pt = aspace.pt
+        npt = len(pt)
+        shared = aspace.shared_page
         accepted: List[int] = []
         for vpn in vpns:
-            frame = aspace.pages.get(vpn)
-            if frame is None or frame.in_transit is not None:
+            index = pt[vpn] if vpn < npt else -1
+            if index < 0 or in_transit[index] is not None:
                 continue
-            if frame.release_pending:
+            fl = flags[index]
+            if fl & F_RELEASE_PENDING:
                 continue
-            frame.release_pending = True
-            frame.sw_valid = False
-            frame.referenced = False
-            if aspace.shared_page is not None:
-                aspace.shared_page.clear_bit(vpn)
+            flags[index] = (fl | F_RELEASE_PENDING) & ~(
+                F_SW_VALID | F_REFERENCED
+            )
+            if shared is not None:
+                shared.clear_bit(vpn)
             accepted.append(vpn)
         if accepted and self.releaser is not None:
             self.releaser.enqueue(aspace, accepted)
@@ -411,33 +438,38 @@ class VmSystem:
         return len(accepted)
 
     # -- freeing ------------------------------------------------------------
-    def free_frame(self, aspace: AddressSpace, frame: Frame, freed_by: str) -> None:
+    def free_frame(self, aspace: AddressSpace, index: int, freed_by: int) -> None:
         """Detach a page and free its frame (writing back first if dirty).
 
         Called by the daemons with the address-space lock held; the dirty
         writeback itself happens off-lock in a spawned process, and the
         frame only reaches the free list once the write completes.
         """
-        aspace.detach(frame.vpn)
-        frame.present = False
-        frame.sw_valid = False
+        flags = self._flags
+        aspace.detach(self._vpns[index])
+        fl = flags[index] & ~(F_PRESENT | F_SW_VALID)
+        flags[index] = fl
         if freed_by == FREED_BY_DAEMON:
             aspace.stats.pages_stolen += 1
         elif freed_by == FREED_BY_RELEASE:
             aspace.stats.pages_released += 1
-        if frame.dirty:
+        if fl & F_DIRTY:
             aspace.stats.writebacks += 1
             if freed_by == FREED_BY_DAEMON:
                 self.stats.daemon_writebacks += 1
             else:
                 self.stats.releaser_writebacks += 1
-            self._writeback_then_free(aspace.asid, frame, freed_by)
+            self._writeback_then_free(aspace.asid, index, freed_by)
         else:
-            self.freelist.push(frame, freed_by)
+            self.freelist.push(index, freed_by)
 
-    def _writeback_then_free(self, asid: int, frame: Frame, freed_by: str) -> None:
+    def _writeback_then_free(self, asid: int, index: int, freed_by: int) -> None:
+        # The vpn column stays valid for the whole writeback: the frame is
+        # not on the free list yet, so nothing can reallocate or rescue it.
+        vpn = self._vpns[index]
+
         def run():
-            io = self.swap.write_page(asid, frame.vpn)
+            io = self.swap.write_page(asid, vpn)
             try:
                 yield io
             except DiskIOError:
@@ -447,11 +479,11 @@ class VmSystem:
                 # loudly on the application path) instead of silently
                 # rescuing data that was never written.
                 self.stats.writeback_failures += 1
-                frame.reset_identity()
-            frame.dirty = False
-            self.freelist.push(frame, freed_by)
+                self.frame_table.reset_identity(index)
+            self._flags[index] &= ~F_DIRTY
+            self.freelist.push(index, freed_by)
 
-        self.engine.process(run(), name=f"writeback-{asid}:{frame.vpn}")
+        self.engine.process(run(), name="writeback")
 
     # -- reporting ------------------------------------------------------------
     def finalize_stats(self) -> VmStats:

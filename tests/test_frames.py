@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.sim.engine import Engine
 from repro.vm.frames import (
+    F_ON_FREE_LIST,
     FREED_BY_DAEMON,
     FREED_BY_RELEASE,
     Frame,
@@ -19,29 +20,43 @@ def make_freelist(n=8):
     engine = Engine()
     table = FrameTable(n)
     freelist = FreeList(engine, table)
-    aspace = AddressSpace(engine, asid=1, name="proc")
+    aspace = AddressSpace(engine, asid=1, name="proc", frame_table=table)
+    aspace.map_segment("data", 64)
     return engine, table, freelist, aspace
 
 
 class TestFrame:
     def test_initial_state(self):
-        frame = Frame(3)
+        table = FrameTable(4)
+        frame = table[3]
         assert frame.index == 3
         assert not frame.present
         assert not frame.active
 
     def test_active_requires_owner_and_presence(self):
         engine = Engine()
-        frame = Frame(0)
+        table = FrameTable(1)
+        frame = table[0]
         frame.present = True
         assert not frame.active  # no owner
-        frame.owner = AddressSpace(engine, 1, "p")
+        frame.owner = AddressSpace(engine, 1, "p", table)
         assert frame.active
         frame.wired = True
         assert not frame.active
 
+    def test_view_writes_hit_the_columns(self):
+        table = FrameTable(2)
+        view = table[1]
+        view.dirty = True
+        view.vpn = 9
+        assert table.flags[1] & 0b1000  # F_DIRTY
+        assert table.vpn[1] == 9
+        assert Frame(table, 1).dirty
+        assert Frame(table, 1) == view
+
     def test_reset_identity_clears_bits(self):
-        frame = Frame(0)
+        table = FrameTable(1)
+        frame = table[0]
         frame.dirty = True
         frame.referenced = True
         frame.vpn = 7
@@ -59,11 +74,13 @@ class TestFrameTable:
         table = FrameTable(4)
         assert len(table) == 4
         assert table[2].index == 2
+        with pytest.raises(IndexError):
+            table[4]
 
     def test_active_count(self):
         engine = Engine()
         table = FrameTable(4)
-        aspace = AddressSpace(engine, 1, "p")
+        aspace = AddressSpace(engine, 1, "p", table)
         table[0].owner = aspace
         table[0].present = True
         assert table.active_count() == 1
@@ -73,32 +90,33 @@ class TestFreeList:
     def test_all_frames_initially_free(self):
         _engine, table, freelist, _aspace = make_freelist(5)
         assert freelist.free_count == 5
+        assert all(table[i].on_free_list for i in range(5))
 
     def test_pop_returns_frames_until_empty(self):
         _engine, _table, freelist, _aspace = make_freelist(3)
-        frames = [freelist.pop() for _ in range(3)]
-        assert all(frame is not None for frame in frames)
+        indices = [freelist.pop() for _ in range(3)]
+        assert sorted(indices) == [0, 1, 2]
         assert freelist.pop() is None
         assert freelist.free_count == 0
 
     def test_double_push_rejected(self):
         _engine, _table, freelist, aspace = make_freelist()
-        frame = freelist.pop()
-        frame.owner = aspace
-        frame.vpn = 1
-        freelist.push(frame, FREED_BY_DAEMON)
+        index = freelist.pop()
+        aspace.attach(1, index)
+        aspace.detach(1)
+        freelist.push(index, FREED_BY_DAEMON)
         with pytest.raises(ValueError):
-            freelist.push(frame, FREED_BY_DAEMON)
+            freelist.push(index, FREED_BY_DAEMON)
 
     def test_push_retains_identity_for_rescue(self):
         _engine, _table, freelist, aspace = make_freelist()
-        frame = freelist.pop()
-        frame.owner = aspace
-        frame.vpn = 42
-        freelist.push(frame, FREED_BY_RELEASE)
+        index = freelist.pop()
+        aspace.attach(42, index)
+        aspace.detach(42)
+        freelist.push(index, FREED_BY_RELEASE)
         assert freelist.rescuable(aspace, 42)
         rescued = freelist.rescue(aspace, 42)
-        assert rescued is frame
+        assert rescued == index
         assert not freelist.rescuable(aspace, 42)
 
     def test_rescue_unknown_returns_none(self):
@@ -106,26 +124,26 @@ class TestFreeList:
         assert freelist.rescue(aspace, 999) is None
 
     def test_pop_destroys_identity(self):
-        _engine, _table, freelist, aspace = make_freelist(1)
-        frame = freelist.pop()
-        frame.owner = aspace
-        frame.vpn = 7
-        freelist.push(frame, FREED_BY_RELEASE)
+        _engine, table, freelist, aspace = make_freelist(1)
+        index = freelist.pop()
+        aspace.attach(7, index)
+        aspace.detach(7)
+        freelist.push(index, FREED_BY_RELEASE)
         popped = freelist.pop()
-        assert popped is frame
-        assert popped.vpn == -1
+        assert popped == index
+        assert table.vpn[popped] == -1
         assert not freelist.rescuable(aspace, 7)
         assert freelist.identity_destroyed == 1
 
     def test_fifo_order_gives_rescue_window(self):
         _engine, _table, freelist, aspace = make_freelist(4)
-        frames = [freelist.pop() for _ in range(4)]
-        for vpn, frame in enumerate(frames):
-            frame.owner = aspace
-            frame.vpn = vpn
-            freelist.push(frame, FREED_BY_RELEASE)
+        indices = [freelist.pop() for _ in range(4)]
+        for vpn, index in enumerate(indices):
+            aspace.attach(vpn, index)
+            aspace.detach(vpn)
+            freelist.push(index, FREED_BY_RELEASE)
         # Oldest pushed is allocated first.
-        assert freelist.pop() is frames[0]
+        assert freelist.pop() == indices[0]
         # The rest remain rescuable.
         assert freelist.rescuable(aspace, 3)
 
@@ -133,38 +151,38 @@ class TestFreeList:
         _engine, _table, freelist, aspace = make_freelist(2)
         first = freelist.pop()
         second = freelist.pop()
-        for vpn, frame in ((0, first), (1, second)):
-            frame.owner = aspace
-            frame.vpn = vpn
-            freelist.push(frame, FREED_BY_DAEMON)
+        for vpn, index in ((0, first), (1, second)):
+            aspace.attach(vpn, index)
+            aspace.detach(vpn)
+            freelist.push(index, FREED_BY_DAEMON)
         rescued = freelist.rescue(aspace, 0)
-        assert rescued is first
+        assert rescued == first
         # Pop must skip the rescued frame and return the second.
-        assert freelist.pop() is second
+        assert freelist.pop() == second
         assert freelist.free_count == 0
 
     def test_stale_identity_not_registered(self):
         """A page re-faulted into a new frame must not leave a rescuable
         stale copy when the old frame's writeback completes."""
-        _engine, _table, freelist, aspace = make_freelist(3)
+        _engine, table, freelist, aspace = make_freelist(3)
         old = freelist.pop()
-        old.owner = aspace
-        old.vpn = 5
+        aspace.attach(5, old)
+        aspace.detach(5)
         # Meanwhile the vpn was re-faulted into another frame.
         fresh = freelist.pop()
         aspace.attach(5, fresh)
         freelist.push(old, FREED_BY_DAEMON)
         assert not freelist.rescuable(aspace, 5)
-        assert old.vpn == -1  # anonymised
+        assert table.vpn[old] == -1  # anonymised
 
     def test_rescue_source_statistics(self):
         _engine, _table, freelist, aspace = make_freelist(4)
         a = freelist.pop()
         b = freelist.pop()
-        a.owner = aspace
-        a.vpn = 0
-        b.owner = aspace
-        b.vpn = 1
+        aspace.attach(0, a)
+        aspace.attach(1, b)
+        aspace.detach(0)
+        aspace.detach(1)
         freelist.push(a, FREED_BY_DAEMON)
         freelist.push(b, FREED_BY_RELEASE)
         freelist.rescue(aspace, 0)
@@ -181,9 +199,9 @@ class TestFreeList:
 
     def test_wait_for_free_wakes_on_push(self):
         engine, _table, freelist, aspace = make_freelist(1)
-        frame = freelist.pop()
-        frame.owner = aspace
-        frame.vpn = 0
+        index = freelist.pop()
+        aspace.attach(0, index)
+        aspace.detach(0)
         woken = []
 
         def waiter():
@@ -194,11 +212,73 @@ class TestFreeList:
 
         def pusher():
             yield engine.timeout(2.0)
-            freelist.push(frame, FREED_BY_RELEASE)
+            freelist.push(index, FREED_BY_RELEASE)
 
         engine.process(pusher())
         engine.run()
         assert woken == [2.0]
+
+    def test_waiters_wake_in_arrival_order(self):
+        """Blocked allocators must be woken FIFO: the first process to
+        block is the first to observe the freed frame."""
+        engine, _table, freelist, aspace = make_freelist(1)
+        index = freelist.pop()
+        aspace.attach(0, index)
+        aspace.detach(0)
+        order = []
+
+        def waiter(label, delay):
+            yield engine.timeout(delay)
+            yield freelist.wait_for_free()
+            order.append(label)
+
+        engine.process(waiter("first", 0.1))
+        engine.process(waiter("second", 0.2))
+        engine.process(waiter("third", 0.3))
+
+        def pusher():
+            yield engine.timeout(1.0)
+            freelist.push(index, FREED_BY_RELEASE)
+
+        engine.process(pusher())
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_wake_is_edge_triggered_per_push(self):
+        """Every push wakes all currently-blocked waiters exactly once;
+        waiters that block after the push wait for the next one."""
+        engine, _table, freelist, aspace = make_freelist(2)
+        a = freelist.pop()
+        b = freelist.pop()
+        aspace.attach(0, a)
+        aspace.attach(1, b)
+        aspace.detach(0)
+        aspace.detach(1)
+        wakes = []
+
+        def early():
+            yield freelist.wait_for_free()
+            wakes.append(("early", engine.now))
+
+        def late():
+            yield engine.timeout(5.0)
+            yield freelist.wait_for_free()
+            wakes.append(("late", engine.now))
+
+        engine.process(early())
+        engine.process(late())
+
+        def pusher():
+            yield engine.timeout(1.0)
+            freelist.push(a, FREED_BY_RELEASE)
+            yield engine.timeout(9.0)
+            freelist.push(b, FREED_BY_RELEASE)
+
+        engine.process(pusher())
+        engine.run()
+        # "late" blocked at t=5 (after the t=1 push emptied nothing — the
+        # freed frame is still free, so wait_for_free fires immediately).
+        assert wakes == [("early", 1.0), ("late", 5.0)]
 
 
 class TestFreeListProperties:
@@ -215,32 +295,36 @@ class TestFreeListProperties:
         engine = Engine()
         table = FrameTable(8)
         freelist = FreeList(engine, table)
-        aspace = AddressSpace(engine, 1, "p")
-        held = []  # frames currently allocated (owned by the process)
+        aspace = AddressSpace(engine, 1, "p", table)
+        aspace.map_segment("data", 16)
+        held = []  # frame indices currently allocated (owned by the process)
         for op, vpn in operations:
             if op == "pop":
-                frame = freelist.pop()
-                if frame is not None:
-                    frame.owner = aspace
-                    frame.vpn = vpn
-                    if vpn in aspace.pages:
+                index = freelist.pop()
+                if index is not None:
+                    if aspace.frame_index(vpn) >= 0:
                         aspace.detach(vpn)
-                        # put the displaced frame back in held bookkeeping
-                    aspace.pages[vpn] = frame
-                    held.append(frame)
+                        # the displaced frame stays in held bookkeeping
+                    aspace.attach(vpn, index)
+                    held.append(index)
             elif op == "push":
                 if held:
-                    frame = held.pop()
-                    if aspace.pages.get(frame.vpn) is frame:
-                        del aspace.pages[frame.vpn]
-                    freelist.push(frame, FREED_BY_RELEASE)
+                    index = held.pop()
+                    vpn = table.vpn[index]
+                    if vpn >= 0 and aspace.frame_index(vpn) == index:
+                        aspace.detach(vpn)
+                    freelist.push(index, FREED_BY_RELEASE)
             else:  # rescue
-                frame = freelist.rescue(aspace, vpn)
-                if frame is not None:
-                    aspace.pages[frame.vpn] = frame
-                    held.append(frame)
+                index = freelist.rescue(aspace, vpn)
+                if index is not None:
+                    if aspace.frame_index(vpn) >= 0:
+                        aspace.detach(vpn)
+                    aspace.reattach(vpn, index)
+                    held.append(index)
             # Invariant: every frame is either on the free list or held.
-            on_list = sum(1 for f in table if f.on_free_list)
+            on_list = sum(
+                1 for fl in table.flags if fl & F_ON_FREE_LIST
+            )
             assert on_list == freelist.free_count
             assert freelist.free_count + len(held) == len(table)
 
@@ -250,13 +334,14 @@ class TestFreeListProperties:
         engine = Engine()
         table = FrameTable(len(vpns))
         freelist = FreeList(engine, table)
-        aspace = AddressSpace(engine, 1, "p")
-        frames = [freelist.pop() for _ in vpns]
-        for vpn, frame in zip(vpns, frames):
-            frame.owner = aspace
-            frame.vpn = vpn
-            freelist.push(frame, FREED_BY_RELEASE)
+        aspace = AddressSpace(engine, 1, "p", table)
+        aspace.map_segment("data", 32)
+        indices = [freelist.pop() for _ in vpns]
+        for vpn, index in zip(vpns, indices):
+            aspace.attach(vpn, index)
+            aspace.detach(vpn)
+            freelist.push(index, FREED_BY_RELEASE)
         for vpn in vpns:
             assert freelist.rescuable(aspace, vpn)
         rescued = freelist.rescue(aspace, vpns[0])
-        assert rescued.vpn == vpns[0]
+        assert table.vpn[rescued] == vpns[0]

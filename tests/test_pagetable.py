@@ -2,56 +2,87 @@
 
 import pytest
 
-from repro.vm.frames import Frame
+from repro.vm.frames import FrameTable
 from repro.vm.pagetable import AddressSpace
+
+
+def make_aspace(engine, nframes=8):
+    table = FrameTable(nframes)
+    return AddressSpace(engine, 1, "p", table), table
 
 
 class TestAddressSpace:
     def test_map_segment_contiguous(self, engine):
-        aspace = AddressSpace(engine, 1, "p")
+        aspace, _table = make_aspace(engine)
         a = aspace.map_segment("a", 10)
         b = aspace.map_segment("b", 5)
         assert a == range(0, 10)
         assert b == range(10, 15)
         assert aspace.mapped_pages == 15
+        # The flat page table is pre-sized to the mapped span.
+        assert len(aspace.pt) == 15
+        assert all(entry == -1 for entry in aspace.pt)
 
     def test_segment_lookup(self, engine):
-        aspace = AddressSpace(engine, 1, "p")
+        aspace, _table = make_aspace(engine)
         aspace.map_segment("data", 3)
         assert aspace.segment("data") == range(0, 3)
 
     def test_duplicate_segment_rejected(self, engine):
-        aspace = AddressSpace(engine, 1, "p")
+        aspace, _table = make_aspace(engine)
         aspace.map_segment("a", 1)
         with pytest.raises(ValueError):
             aspace.map_segment("a", 1)
 
     def test_empty_segment_rejected(self, engine):
-        aspace = AddressSpace(engine, 1, "p")
+        aspace, _table = make_aspace(engine)
         with pytest.raises(ValueError):
             aspace.map_segment("a", 0)
 
     def test_attach_detach_cycle(self, engine):
-        aspace = AddressSpace(engine, 1, "p")
-        frame = Frame(0)
-        aspace.attach(5, frame)
+        aspace, table = make_aspace(engine)
+        aspace.attach(5, 0)
         assert aspace.resident == 1
         assert aspace.is_present(5)
-        assert frame.owner is aspace
-        assert frame.vpn == 5
+        assert aspace.frame_index(5) == 0
+        assert table.owner[0] is aspace
+        assert table.vpn[0] == 5
         detached = aspace.detach(5)
-        assert detached is frame
+        assert detached == 0
         assert aspace.resident == 0
+        assert aspace.frame_index(5) == -1
 
     def test_double_attach_rejected(self, engine):
-        aspace = AddressSpace(engine, 1, "p")
-        aspace.attach(1, Frame(0))
+        aspace, _table = make_aspace(engine)
+        aspace.attach(1, 0)
         with pytest.raises(ValueError):
-            aspace.attach(1, Frame(1))
+            aspace.attach(1, 1)
+
+    def test_detach_missing_raises(self, engine):
+        aspace, _table = make_aspace(engine)
+        aspace.map_segment("a", 4)
+        with pytest.raises(KeyError):
+            aspace.detach(2)
 
     def test_frame_for_missing_is_none(self, engine):
-        aspace = AddressSpace(engine, 1, "p")
+        aspace, _table = make_aspace(engine)
         assert aspace.frame_for(3) is None
+        assert aspace.frame_index(3) == -1
+
+    def test_frame_for_returns_view(self, engine):
+        aspace, table = make_aspace(engine)
+        aspace.attach(2, 4)
+        view = aspace.frame_for(2)
+        assert view is not None
+        assert view.index == 4
+        assert view.owner is aspace
+
+    def test_resident_vpns_sorted(self, engine):
+        aspace, _table = make_aspace(engine)
+        aspace.attach(9, 0)
+        aspace.attach(2, 1)
+        aspace.attach(5, 2)
+        assert aspace.resident_vpns() == [2, 5, 9]
 
 
 class TestSharedPage:

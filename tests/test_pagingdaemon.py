@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.vm.frames import F_INVALIDATED, F_PRESENT, FrameTable
+from repro.vm.pagingdaemon import PagingDaemon
 from repro.vm.system import FaultKind
 
 from tests.helpers import drive
@@ -160,3 +162,80 @@ class TestClock:
 
         drive(engine, engine.process(churn()))
         assert proc.aspace.lock.acquisitions > 0
+
+
+class TestHandWraparound:
+    """Both hands sweep integer indices over the flat frame columns; a
+    batch that crosses the end of the table must continue from frame 0
+    exactly as a circular sweep would, and pages stolen across the
+    boundary must stay rescuable."""
+
+    def _daemon(self, engine, scale, nframes):
+        table = FrameTable(nframes)
+
+        class _Vm:
+            frame_table = table
+
+        return PagingDaemon(engine, _Vm(), scale.tunables), table
+
+    def test_collect_batch_wraps_at_boundary(self, engine, scale):
+        daemon, table = self._daemon(engine, scale, 8)
+        for i in range(8):
+            table.flags[i] = F_PRESENT
+        table.flags[7] |= F_INVALIDATED
+        table.flags[0] |= F_INVALIDATED
+        daemon._hand = 6
+        spread = daemon._spread
+        lead, steal = daemon._collect_batch(4)
+        # Trailing hand passes 6, 7, then wraps to 0, 1; only the two
+        # invalidated-and-unreferenced frames are steal candidates, in
+        # sweep order across the boundary.
+        assert steal == [7, 0]
+        assert lead == [(6 + off + spread) % 8 for off in range(4)]
+        assert daemon._hand == 2
+        assert all(0 <= i < 8 for i in lead + steal)
+
+    def test_two_batches_complete_a_revolution(self, engine, scale):
+        daemon, table = self._daemon(engine, scale, 6)
+        for i in range(6):
+            table.flags[i] = F_PRESENT | F_INVALIDATED
+        daemon._hand = 4
+        _, first = daemon._collect_batch(3)
+        _, second = daemon._collect_batch(3)
+        assert first == [4, 5, 0]
+        assert second == [1, 2, 3]
+        # One full revolution: every frame visited exactly once, hand back
+        # where it started.
+        assert sorted(first + second) == list(range(6))
+        assert daemon._hand == 4
+
+    def test_in_transit_frames_skipped_across_wrap(self, engine, scale):
+        daemon, table = self._daemon(engine, scale, 4)
+        for i in range(4):
+            table.flags[i] = F_PRESENT | F_INVALIDATED
+        table.in_transit[3] = object()  # page mid-I/O at the boundary
+        table.in_transit[0] = object()
+        daemon._hand = 2
+        _lead, steal = daemon._collect_batch(4)
+        assert steal == [2, 1]
+
+    def test_wrapped_steal_keeps_rescue_path(self, kernel, proc, scale):
+        frames = scale.machine.total_frames
+        # Park the trailing hand on the last frame so the very first
+        # batch of the first clock pass crosses the table boundary.
+        kernel.paging_daemon._hand = frames - 1
+        fill_memory(kernel, proc, frames)
+        kernel.engine.run(until=kernel.engine.now + 3.0)
+        assert kernel.vm.stats.daemon_pages_stolen > 0
+        stolen = [
+            vpn for vpn in range(frames) if not proc.aspace.is_present(vpn)
+        ]
+        rescuable = [
+            vpn
+            for vpn in stolen
+            if kernel.vm.freelist.rescuable(proc.aspace, vpn)
+        ]
+        assert rescuable, "pages stolen across the wrap should be rescuable"
+        kind = touch(kernel, proc, rescuable[0])
+        assert kind == FaultKind.RESCUE
+        assert proc.aspace.is_present(rescuable[0])

@@ -159,7 +159,7 @@ class TestPrefetch:
     def test_prefetch_rescues_from_free_list(self, kernel, proc):
         touch(kernel, proc, 0)
         frame = proc.aspace.frame_for(0)
-        kernel.vm.free_frame(proc.aspace, frame, FREED_BY_RELEASE)
+        kernel.vm.free_frame(proc.aspace, frame.index, FREED_BY_RELEASE)
         reads_before = kernel.swap.total_reads
         assert self.run_prefetch(kernel, proc, 0) is True
         assert kernel.swap.total_reads == reads_before  # no I/O
@@ -170,7 +170,7 @@ class TestRescue:
     def test_fault_rescues_freed_page(self, kernel, proc):
         touch(kernel, proc, 0)
         frame = proc.aspace.frame_for(0)
-        kernel.vm.free_frame(proc.aspace, frame, FREED_BY_DAEMON)
+        kernel.vm.free_frame(proc.aspace, frame.index, FREED_BY_DAEMON)
         kind = touch(kernel, proc, 0)
         assert kind == FaultKind.RESCUE
         assert proc.aspace.stats.rescues == 1
@@ -179,7 +179,7 @@ class TestRescue:
     def test_reallocated_page_hard_faults(self, kernel, proc, scale):
         touch(kernel, proc, 0)
         frame = proc.aspace.frame_for(0)
-        kernel.vm.free_frame(proc.aspace, frame, FREED_BY_RELEASE)
+        kernel.vm.free_frame(proc.aspace, frame.index, FREED_BY_RELEASE)
         # Cycle the entire free list so the identity is destroyed, then
         # return the frames so memory is not leaked.
         popped = []
