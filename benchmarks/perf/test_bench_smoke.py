@@ -123,7 +123,7 @@ def test_engine_churn_record_is_deterministic():
     assert record.engine_steps > 0
     assert record.sim_s > 0
     assert record.meta["processes"] > 0
-    assert record.meta["engine_backend"] in ("calendar", "heap")
+    assert record.meta["engine_backend"] == "calendar"
     # Same workload, same step count: the case is a pure LCG-driven stress.
     again, _ = bench.run_case("engine_churn", repeats=1)
     assert again.engine_steps == record.engine_steps

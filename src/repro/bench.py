@@ -25,7 +25,6 @@ import cProfile
 import gc
 import io
 import json
-import os
 import platform
 import pstats
 import resource
@@ -69,6 +68,16 @@ WORKLOAD_ORDER = ["EMBAR", "MATVEC", "BUK", "CGM", "MGRID", "FFTPDE"]
 def _standard_mix() -> List[ExperimentSpec]:
     """The paper's standard mix: MATVEC O/P/R/B + interactive, small scale."""
     return [multiprogram_spec(small(), "MATVEC", v) for v in "OPRB"]
+
+
+def _standard_mix_global_clock() -> List[ExperimentSpec]:
+    """The standard mix rerun under the global-clock policy.
+
+    Same four specs, but the kernel discards release hints and reclaims
+    with the plain clock daemon — the no-hint baseline the figures compare
+    against, and a bench guard that the competitor policy path stays fast.
+    """
+    return [spec.with_policy("global-clock") for spec in _standard_mix()]
 
 
 def _grid_tiny() -> List[ExperimentSpec]:
@@ -115,6 +124,7 @@ def _grid_wide() -> List[ExperimentSpec]:
 
 BENCH_CASES: Dict[str, Callable[[], List[ExperimentSpec]]] = {
     "standard_mix": _standard_mix,
+    "standard_mix_global_clock": _standard_mix_global_clock,
     "grid_tiny": _grid_tiny,
     "grid_wide": _grid_wide,
     "indirect_tiny": _indirect_tiny,
@@ -437,7 +447,7 @@ def _engine_churn(
         meta={
             **machine_metadata(),
             **alloc_meta,
-            "engine_backend": os.environ.get("REPRO_ENGINE") or "calendar",
+            "engine_backend": "calendar",
             "processes": _CHURN_PROCS,
             "rounds": _CHURN_ROUNDS,
         },

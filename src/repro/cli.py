@@ -47,10 +47,12 @@ from repro.experiments import (
     run_table3,
     run_version_suite,
 )
+from repro.experiments.compare import compare_policies, format_policy_table
 from repro.experiments.harness import multiprogram_spec, to_multiprogram
 from repro.experiments.report import format_table
 from repro.experiments.runner import cache_entries, prune_cache
 from repro.faults import EMPTY_PLAN, FaultPlan, FaultPlanError
+from repro.policies import PolicyError, policy_names
 from repro.machine import (
     INTERACTIVE,
     ExperimentSpec,
@@ -241,7 +243,10 @@ def _spec_from_argument(text: str, default_scale: str) -> ExperimentSpec:
                 f"process entry needs a 'workload' or 'trace' key: {entry!r}"
             )
     faults = FaultPlan.from_dict(data["faults"]) if "faults" in data else EMPTY_PLAN
-    return ExperimentSpec(scale=scale, processes=tuple(processes), faults=faults)
+    spec = ExperimentSpec(scale=scale, processes=tuple(processes), faults=faults)
+    if "policy" in data:
+        spec = spec.with_policy(str(data["policy"]))
+    return spec
 
 
 def _print_process_table(result, label: str) -> None:
@@ -295,6 +300,8 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
         spec = spec.with_faults(_faults_from_args(args))
     elif args.fault_seed is not None:
         spec = spec.with_faults(spec.faults.with_seed(args.fault_seed))
+    if args.policy is not None:
+        spec = spec.with_policy(args.policy)
     recorder = TraceRecorder() if args.trace else None
     result = run_experiment(spec, sinks=(recorder,) if recorder else ())
     _print_process_table(result, "custom mix")
@@ -327,6 +334,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     plan = _faults_from_args(args)
     if plan.enabled:
         spec = spec.with_faults(plan)
+    if args.policy is not None:
+        spec = spec.with_policy(args.policy)
     recorder = TraceRecorder() if args.trace else None
     experiment = run_experiment(spec, sinks=(recorder,) if recorder else ())
     result = to_multiprogram(experiment)
@@ -370,6 +379,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if recorder is not None:
         print()
         print(recorder.format(last=args.trace_last))
+    return 0
+
+
+def _cmd_compare_policies(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    spec = multiprogram_spec(
+        scale,
+        benchmark(args.benchmark),
+        VERSIONS[args.version],
+        sleep_time_s=args.sleep,
+    )
+    policies = args.policy or list(policy_names())
+    rows = compare_policies(
+        spec,
+        policies=policies,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    print(
+        f"{args.benchmark} version {args.version} at scale '{scale.name}' "
+        "across memory policies:"
+    )
+    print(format_policy_table(rows))
     return 0
 
 
@@ -740,6 +774,14 @@ def build_parser() -> argparse.ArgumentParser:
         "intermediate sleep)",
     )
     run_parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="NAME[:K=V,...]",
+        help="memory policy to run under, e.g. 'global-clock' or "
+        "'paging-directed:frag_extent=32' "
+        f"(registered: {', '.join(policy_names())})",
+    )
+    run_parser.add_argument(
         "--faults",
         default=None,
         help="fault plan as JSON (a file path or an inline literal), e.g. "
@@ -764,6 +806,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
+
+    compare_parser = commands.add_parser(
+        "compare-policies",
+        help="run one mix under each registered memory policy and print a "
+        "comparison table (faults, releases, fragmentation)",
+    )
+    _add_benchmark(compare_parser)
+    compare_parser.add_argument(
+        "--version",
+        default="R",
+        type=str.upper,
+        choices=sorted(VERSIONS),
+        help="program version (default R, the release-hinted build)",
+    )
+    compare_parser.add_argument(
+        "--sleep",
+        type=float,
+        default=None,
+        help="interactive task sleep time in seconds (default: the scale's)",
+    )
+    compare_parser.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME[:K=V,...]",
+        help="policy to include (repeatable; default: every registered "
+        f"policy: {', '.join(policy_names())})",
+    )
+    _add_scale(compare_parser)
+    _add_runner(compare_parser)
+    compare_parser.set_defaults(handler=_cmd_compare_policies)
 
     suite_parser = commands.add_parser(
         "suite", help="run all four versions of one benchmark"
@@ -995,7 +1068,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (SpecError, FaultPlanError, TraceError, OSError) as exc:
+    except (SpecError, FaultPlanError, PolicyError, TraceError, OSError) as exc:
         # Bad input — missing spec file, corrupt trace, invalid plan —
         # is an exit-2 one-liner, not a traceback.
         print(f"repro: error: {exc}", file=sys.stderr)

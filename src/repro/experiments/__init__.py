@@ -6,6 +6,11 @@ exposes a ``run_*(scale)`` function returning plain data structures plus a
 benchmarks under ``benchmarks/`` are thin wrappers over these.
 """
 
+from repro.experiments.compare import (
+    PolicyRow,
+    compare_policies,
+    format_policy_table,
+)
 from repro.experiments.figure1 import Figure1Result, format_figure1, run_figure1
 from repro.experiments.figure7 import Figure7Result, format_figure7, run_figure7
 from repro.experiments.figure8 import Figure8Result, format_figure8, run_figure8
@@ -46,9 +51,12 @@ __all__ = [
     "Figure10aResult",
     "Figure10bcResult",
     "MultiprogramResult",
+    "PolicyRow",
     "Table3Result",
     "WorkloadProcessSpec",
     "code_version",
+    "compare_policies",
+    "format_policy_table",
     "format_figure1",
     "format_figure7",
     "format_figure8",

@@ -1,0 +1,148 @@
+"""Policy comparison: one spec swept across registered memory policies.
+
+The tentpole question the policy seam exists to answer: for the *same*
+workload mix, how do the paper's compiler-directed releases fare against a
+plain global clock and against user-mode hint processing — on response
+time, fault mix, *and* the shape they leave physical memory in
+(:mod:`repro.vm.fragmentation`)?  ``repro compare-policies`` prints the
+table this module builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.machine import ExperimentResult, ExperimentSpec
+from repro.experiments.runner import run_specs
+from repro.policies import PolicySpec, policy_names
+
+__all__ = ["PolicyRow", "compare_policies", "format_policy_table"]
+
+
+@dataclass
+class PolicyRow:
+    """One policy's results for the compared spec."""
+
+    policy: str
+    elapsed_s: float
+    hard_faults: int
+    soft_faults: int
+    pages_released: int
+    pages_stolen: int
+    daemon_runs: int
+    interactive_response_ms: float
+    frag_samples: int
+    mean_unusable_free: float
+    peak_unusable_free: float
+    min_largest_extent: int
+
+    def snapshot(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+def _row(policy: PolicySpec, result: ExperimentResult) -> PolicyRow:
+    vm = result.vm
+    hard = sum(p.stats.hard_faults for p in result.processes)
+    soft = sum(p.stats.soft_faults for p in result.processes)
+    interactive = result.interactives[0] if result.interactives else None
+    if interactive is not None and interactive.sweeps:
+        samples = interactive.sweeps[1:] or interactive.sweeps
+        response_ms = (
+            sum(s.response_time for s in samples) / len(samples) * 1e3
+        )
+    else:
+        response_ms = float("nan")
+    frag = vm.frag
+    return PolicyRow(
+        policy=policy.describe(),
+        elapsed_s=result.elapsed_s,
+        hard_faults=hard,
+        soft_faults=soft,
+        pages_released=vm.releaser_pages_freed,
+        pages_stolen=vm.daemon_pages_stolen,
+        daemon_runs=vm.daemon_runs,
+        interactive_response_ms=response_ms,
+        frag_samples=frag.samples,
+        mean_unusable_free=frag.mean_unusable_free_index,
+        peak_unusable_free=frag.peak_unusable_free_index,
+        min_largest_extent=max(0, frag.min_largest_free_extent),
+    )
+
+
+def compare_policies(
+    spec: ExperimentSpec,
+    policies: Optional[Sequence[Union[str, PolicySpec]]] = None,
+    jobs: int = 1,
+    cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+) -> List[PolicyRow]:
+    """Run one spec under each policy (default: every registered policy).
+
+    The per-policy specs go through :func:`~repro.experiments.runner.run_specs`
+    so they parallelise and cache exactly like any grid — and because the
+    policy is part of the frozen spec, each policy gets its own cache slot.
+    """
+    if policies is None:
+        policies = policy_names()
+    selected = [
+        PolicySpec.from_string(p) if isinstance(p, str) else p
+        for p in policies
+    ]
+    specs = [spec.with_policy(p) for p in selected]
+    results = run_specs(
+        specs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
+    return [_row(p, r) for p, r in zip(selected, results)]
+
+
+def format_policy_table(rows: Sequence[PolicyRow]) -> str:
+    """Render rows as the aligned text table the CLI prints."""
+    headers = [
+        "policy",
+        "elapsed_s",
+        "hard",
+        "soft",
+        "released",
+        "stolen",
+        "daemon_runs",
+        "interact_ms",
+        "frag_ufi_mean",
+        "frag_ufi_peak",
+        "min_extent",
+    ]
+    table = [headers]
+    for row in rows:
+        table.append(
+            [
+                row.policy,
+                f"{row.elapsed_s:.3f}",
+                str(row.hard_faults),
+                str(row.soft_faults),
+                str(row.pages_released),
+                str(row.pages_stolen),
+                str(row.daemon_runs),
+                (
+                    f"{row.interactive_response_ms:.2f}"
+                    if row.interactive_response_ms == row.interactive_response_ms
+                    else "-"
+                ),
+                f"{row.mean_unusable_free:.3f}",
+                f"{row.peak_unusable_free:.3f}",
+                str(row.min_largest_extent),
+            ]
+        )
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

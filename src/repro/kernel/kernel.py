@@ -17,8 +17,6 @@ from repro.kernel.paging_directed import PagingDirectedPm
 from repro.kernel.policy_module import PolicyRegistry
 from repro.sim.engine import Engine
 from repro.sim.task import SimTask
-from repro.vm.pagingdaemon import PagingDaemon
-from repro.vm.releaser import Releaser
 from repro.vm.system import VmSystem
 
 __all__ = ["Kernel", "KernelProcess"]
@@ -106,7 +104,7 @@ class Kernel:
     """The simulated machine: VM + swap + daemons + policy modules."""
 
     def __init__(
-        self, engine: Engine, scale: SimScale, obs=None, faults=None
+        self, engine: Engine, scale: SimScale, obs=None, faults=None, policy=None
     ) -> None:
         self.engine = engine
         self.scale = scale
@@ -114,12 +112,24 @@ class Kernel:
         # Fault injector (:class:`repro.faults.FaultInjector`), or None for
         # the ordinary fault-free machine.
         self.faults = faults
+        if policy is None:
+            # Imported lazily: repro.policies imports this module's siblings.
+            from repro.policies import DEFAULT_POLICY, build_policy
+
+            policy = build_policy(DEFAULT_POLICY)
+        # The memory-policy triple (:class:`repro.policies.MemoryPolicy`)
+        # decides what daemons exist and what PM each process gets.
+        self.policy = policy
         self.swap = StripedSwap(engine, scale.disk, faults=faults)
         self.swap.obs = obs
         self.vm = VmSystem(engine, scale, self.swap)
         self.vm.obs = obs
-        self.releaser = Releaser(engine, self.vm, scale.tunables)
-        self.paging_daemon = PagingDaemon(engine, self.vm, scale.tunables)
+        policy.configure(self)
+        # Construction order matters for determinism: each daemon owns a
+        # SimTask whose creation consumes engine sequence numbers, and the
+        # golden digests pin the releaser-before-daemon order.
+        self.releaser = policy.build_releaser(self)
+        self.paging_daemon = policy.build_paging_daemon(self)
         self.vm.releaser = self.releaser
         self.vm.paging_daemon = self.paging_daemon
         self.registry = PolicyRegistry()
@@ -127,28 +137,42 @@ class Kernel:
 
     @classmethod
     def boot(
-        cls, engine: Engine, scale: SimScale, obs=None, faults=None
+        cls, engine: Engine, scale: SimScale, obs=None, faults=None, policy=None
     ) -> "Kernel":
         """Construct and start the system daemons."""
-        kernel = cls(engine, scale, obs=obs, faults=faults)
+        kernel = cls(engine, scale, obs=obs, faults=faults, policy=policy)
         kernel.start()
         return kernel
 
     def start(self) -> None:
         if not self._started:
-            self.paging_daemon.start()
-            self.releaser.start()
+            if self.paging_daemon is not None:
+                self.paging_daemon.start()
+            if self.releaser is not None:
+                self.releaser.start()
             self._started = True
 
     # -- processes ------------------------------------------------------------
     def create_process(self, name: str) -> KernelProcess:
         return KernelProcess(self, name)
 
+    def attach_policy(
+        self, process: KernelProcess, mapped_range: Optional[range] = None
+    ) -> PagingDirectedPm:
+        """Attach the kernel's configured memory policy's PM to a process."""
+        return self.policy.attach_process(self, process, mapped_range)
+
     def attach_paging_directed(
         self, process: KernelProcess, mapped_range: Optional[range] = None
     ) -> PagingDirectedPm:
         """Create a PagingDirected PM over the given page range (default:
-        everything the process has mapped so far)."""
+        everything the process has mapped so far).
+
+        This always attaches the paper's PM regardless of the kernel's
+        configured policy — unit tests use it to poke the PagingDirected
+        syscalls directly; experiment plumbing goes through
+        :meth:`attach_policy`.
+        """
         if mapped_range is None:
             mapped_range = range(0, process.aspace.mapped_pages)
         pm = PagingDirectedPm(self.vm, process.aspace, mapped_range)

@@ -9,6 +9,7 @@ paper's ``PagingDirected`` PM) implement.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Optional
 
 from repro.vm.pagetable import AddressSpace
@@ -39,27 +40,47 @@ class PolicyModule:
 
 
 class PolicyRegistry:
-    """Per-address-space registry of attached policy modules."""
+    """Per-address-space registry of attached policy modules.
+
+    Modules are kept sorted by range start with a parallel start-key list,
+    so the per-fault lookup is a bisect over intervals rather than a linear
+    scan of every attached module.
+    """
 
     def __init__(self) -> None:
         self._modules: Dict[int, List[PolicyModule]] = {}
+        self._starts: Dict[int, List[int]] = {}
 
     def attach(self, module: PolicyModule) -> None:
-        modules = self._modules.setdefault(module.aspace.asid, [])
-        for existing in modules:
-            if (
-                existing.mapped_range.start < module.mapped_range.stop
-                and module.mapped_range.start < existing.mapped_range.stop
-            ):
-                raise ValueError(
-                    f"range overlap between {existing!r} and {module!r}"
-                )
-        modules.append(module)
+        asid = module.aspace.asid
+        modules = self._modules.setdefault(asid, [])
+        starts = self._starts.setdefault(asid, [])
+        start = module.mapped_range.start
+        stop = module.mapped_range.stop
+        pos = bisect_right(starts, start)
+        # Ranges are disjoint, so an overlap can only involve the sorted
+        # neighbours: the predecessor running past our start, or the
+        # successor starting before our stop.
+        if pos > 0 and modules[pos - 1].mapped_range.stop > start:
+            raise ValueError(
+                f"range overlap between {modules[pos - 1]!r} and {module!r}"
+            )
+        if pos < len(modules) and modules[pos].mapped_range.start < stop:
+            raise ValueError(
+                f"range overlap between {modules[pos]!r} and {module!r}"
+            )
+        modules.insert(pos, module)
+        starts.insert(pos, start)
         module.on_attach()
 
     def lookup(self, aspace: AddressSpace, vpn: int) -> Optional[PolicyModule]:
-        for module in self._modules.get(aspace.asid, ()):
-            if module.covers(vpn):
+        starts = self._starts.get(aspace.asid)
+        if not starts:
+            return None
+        pos = bisect_right(starts, vpn) - 1
+        if pos >= 0:
+            module = self._modules[aspace.asid][pos]
+            if vpn < module.mapped_range.stop:
                 return module
         return None
 

@@ -34,6 +34,13 @@ from repro.core.runtime.policies import VERSIONS
 from repro.faults import EMPTY_PLAN, FaultInjector, FaultPlan, FaultPlanError
 from repro.kernel.kernel import Kernel
 from repro.obs import Bus, Sink
+from repro.policies import (
+    DEFAULT_POLICY,
+    PolicyError,
+    PolicySpec,
+    build_policy,
+    validate_policy,
+)
 from repro.sim.engine import Engine
 from repro.sim.stats import TimeBuckets
 from repro.vm.stats import AddressSpaceStats, VmStats
@@ -171,11 +178,17 @@ class ExperimentSpec:
     fault machinery, so ordinary experiments are unaffected.  Because the
     plan is part of the frozen spec, fault experiments content-hash and
     cache exactly like fault-free ones.
+
+    ``policy`` selects the memory-management triple
+    (:mod:`repro.policies`); like the fault plan it is frozen and part of
+    the spec's repr, so the runner's content-addressed cache can never
+    serve one policy's results for another.
     """
 
     scale: SimScale
     processes: Tuple[WorkloadProcessSpec, ...]
     faults: FaultPlan = EMPTY_PLAN
+    policy: PolicySpec = DEFAULT_POLICY
 
     def validate(self) -> None:
         if not self.processes:
@@ -191,6 +204,10 @@ class ExperimentSpec:
             self.faults.validate()
         except FaultPlanError as exc:
             raise SpecError(f"invalid fault plan: {exc}") from exc
+        try:
+            validate_policy(self.policy)
+        except PolicyError as exc:
+            raise SpecError(f"invalid policy: {exc}") from exc
 
     def with_scale_overrides(self, **kwargs) -> "ExperimentSpec":
         """Copy with top-level :class:`SimScale` fields replaced."""
@@ -199,6 +216,12 @@ class ExperimentSpec:
     def with_faults(self, faults: FaultPlan) -> "ExperimentSpec":
         """Copy with the fault plan replaced."""
         return replace(self, faults=faults)
+
+    def with_policy(self, policy) -> "ExperimentSpec":
+        """Copy with the memory policy replaced (PolicySpec or CLI string)."""
+        if isinstance(policy, str):
+            policy = PolicySpec.from_string(policy)
+        return replace(self, policy=policy)
 
     # -- common shapes -----------------------------------------------------
     @staticmethod
@@ -336,6 +359,7 @@ class Machine:
         scale: SimScale,
         sinks: Iterable[Sink] = (),
         faults: FaultPlan = EMPTY_PLAN,
+        policy: PolicySpec = DEFAULT_POLICY,
     ) -> None:
         self.scale = scale
         self.engine = Engine()
@@ -347,7 +371,14 @@ class Machine:
         self.faults: Optional[FaultInjector] = (
             FaultInjector(faults, obs=self.bus) if faults.enabled else None
         )
-        self.kernel = Kernel.boot(self.engine, scale, obs=self.bus, faults=self.faults)
+        self.policy_spec = policy
+        self.kernel = Kernel.boot(
+            self.engine,
+            scale,
+            obs=self.bus,
+            faults=self.faults,
+            policy=build_policy(policy),
+        )
         self._attached: List[_Attached] = []
         self._names: Dict[str, int] = {}
         self._spec: Optional[ExperimentSpec] = None
@@ -357,7 +388,9 @@ class Machine:
     @classmethod
     def from_spec(cls, spec: ExperimentSpec, sinks: Iterable[Sink] = ()) -> "Machine":
         spec.validate()
-        machine = cls(spec.scale, sinks=sinks, faults=spec.faults)
+        machine = cls(
+            spec.scale, sinks=sinks, faults=spec.faults, policy=spec.policy
+        )
         machine._spec = spec
         # Build in the same order the seed harness did, so event sequences
         # (and therefore every reproduced figure) are bit-identical: first
@@ -390,7 +423,7 @@ class Machine:
         instance = workload.build(scale)
         process = self.kernel.create_process(attached.name)
         layout = build_layout(process, instance, scale.machine.page_size)
-        pm = self.kernel.attach_paging_directed(process)
+        pm = self.kernel.attach_policy(process)
         hint_faults = (
             self.faults.hint_model(attached.name) if self.faults is not None else None
         )
@@ -452,7 +485,7 @@ class Machine:
         process = self.kernel.create_process(attached.name)
         for segment, pages in header.layout:
             process.aspace.map_segment(segment, pages)
-        pm = self.kernel.attach_paging_directed(process)
+        pm = self.kernel.attach_policy(process)
         hint_faults = (
             self.faults.hint_model(attached.name) if self.faults is not None else None
         )

@@ -30,7 +30,11 @@ Event vocabulary (kind → payload fields):
 - ``vm.clock_pass`` — one paging-daemon pass (``stolen``);
 - ``kernel.syscall`` — PM syscall crossing (``syscall``, ``aspace``);
 - ``kernel.shared_page`` — shared page refreshed (``aspace``, ``usage``,
-  ``limit``).
+  ``limit``);
+- ``policy.attach`` — a memory policy attached its PM to a process
+  (``policy``, ``aspace``, ``pages``);
+- ``policy.frag`` — fragmentation sample after a daemon sweep (``free``,
+  ``runs``, ``largest``, ``unusable_free_index``).
 
 Fault-injection vocabulary (emitted only under a :mod:`repro.faults` plan):
 

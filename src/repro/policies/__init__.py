@@ -1,0 +1,40 @@
+"""Pluggable memory policies (see :mod:`repro.policies.base`).
+
+Importing this package registers the built-in policies, so
+``from repro.policies import build_policy`` is always ready to resolve
+``paging-directed``, ``global-clock``, and ``user-mode``.
+"""
+
+from repro.policies.base import (
+    DEFAULT_POLICY,
+    MemoryPolicy,
+    PolicyError,
+    PolicySpec,
+    build_policy,
+    policy_names,
+    register_policy,
+    validate_policy,
+)
+from repro.policies.builtin import (
+    GlobalClockPm,
+    GlobalClockPolicy,
+    PagingDirectedPolicy,
+    UserModePm,
+    UserModePolicy,
+)
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "GlobalClockPm",
+    "GlobalClockPolicy",
+    "MemoryPolicy",
+    "PagingDirectedPolicy",
+    "PolicyError",
+    "PolicySpec",
+    "UserModePm",
+    "UserModePolicy",
+    "build_policy",
+    "policy_names",
+    "register_policy",
+    "validate_policy",
+]

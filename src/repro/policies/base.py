@@ -1,0 +1,216 @@
+"""The memory-policy plug-in seam: spec, interface, and registry.
+
+The paper's contribution is *one point* in the memory-management design
+space — compiler-directed release through the PagingDirected policy module,
+its releaser daemon, and the pressure-scaled paging daemon.  This package
+turns that triple into a replaceable unit: a :class:`MemoryPolicy` builds
+the releaser and paging daemon for a kernel and attaches a policy module to
+each process, and a string-keyed registry maps policy names to
+implementations so an :class:`~repro.machine.ExperimentSpec` can select one
+declaratively.
+
+A policy is identified by a :class:`PolicySpec` — a frozen, hashable value
+object (name plus sorted ``(key, value)`` parameter pairs) that rides on
+the experiment spec and therefore flows into the runner's content-addressed
+cache key: two experiments differing only in policy can never share a
+cached result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
+
+from repro.kernel.paging_directed import PagingDirectedPm
+from repro.vm.pagingdaemon import PagingDaemon
+from repro.vm.releaser import Releaser
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel, KernelProcess
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "MemoryPolicy",
+    "PolicyError",
+    "PolicySpec",
+    "build_policy",
+    "policy_names",
+    "register_policy",
+    "validate_policy",
+]
+
+
+class PolicyError(ValueError):
+    """A policy name or parameter the registry cannot satisfy."""
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A policy selection: registry name plus frozen parameter pairs.
+
+    ``params`` is a tuple of ``(key, value)`` string pairs, sorted by key at
+    construction so that equal selections always have equal reprs (the
+    runner's cache key hashes ``repr(spec)``).
+    """
+
+    name: str = "paging-directed"
+    params: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        normalized = tuple(
+            sorted((str(k), str(v)) for k, v in self.params)
+        )
+        object.__setattr__(self, "params", normalized)
+
+    @staticmethod
+    def from_string(text: str) -> "PolicySpec":
+        """Parse the CLI form ``name`` or ``name:k=v,k2=v2``."""
+        text = text.strip()
+        if not text:
+            raise PolicyError("empty policy specification")
+        name, _, tail = text.partition(":")
+        params = []
+        if tail:
+            for chunk in tail.split(","):
+                key, eq, value = chunk.partition("=")
+                if not eq or not key.strip():
+                    raise PolicyError(
+                        f"bad policy parameter {chunk!r} in {text!r} "
+                        "(expected name:key=value,...)"
+                    )
+                params.append((key.strip(), value.strip()))
+        return PolicySpec(name=name.strip(), params=tuple(params))
+
+    def param(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def int_param(self, key: str, default: int) -> int:
+        value = self.param(key)
+        if value is None:
+            return default
+        try:
+            return int(value)
+        except ValueError as exc:
+            raise PolicyError(
+                f"policy parameter {key}={value!r} is not an integer"
+            ) from exc
+
+    def describe(self) -> str:
+        """The canonical CLI form (inverse of :meth:`from_string`)."""
+        if not self.params:
+            return self.name
+        tail = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}:{tail}"
+
+
+class MemoryPolicy:
+    """One replaceable memory-management triple.
+
+    The three build hooks mirror what :class:`~repro.kernel.kernel.Kernel`
+    used to hard-wire: the releaser (hint handling), the paging daemon
+    (reclaim sweep), and the per-process policy module (fault/placement
+    decisions).  The stock implementations reproduce the paper's
+    PagingDirected wiring exactly — subclasses replace only what differs.
+    Returning ``None`` from a build hook means the policy runs without that
+    daemon (the kernel null-guards both).
+    """
+
+    #: Registry key; subclasses must override.
+    name = "abstract"
+    #: Policy-module class attached per process.
+    pm_class: Type[PagingDirectedPm] = PagingDirectedPm
+    #: Parameter keys this policy accepts (validated before a run).
+    known_params: Tuple[str, ...] = ("frag_extent",)
+
+    def __init__(self, spec: PolicySpec) -> None:
+        self.spec = spec
+
+    # -- kernel construction hooks ----------------------------------------
+    def configure(self, kernel: "Kernel") -> None:
+        """Apply spec parameters to the freshly built VM (pre-daemon)."""
+        kernel.vm.frag_extent = self.spec.int_param(
+            "frag_extent", kernel.vm.frag_extent
+        )
+
+    def build_releaser(self, kernel: "Kernel") -> Optional[Releaser]:
+        return Releaser(kernel.engine, kernel.vm, kernel.scale.tunables)
+
+    def build_paging_daemon(self, kernel: "Kernel") -> Optional[PagingDaemon]:
+        return PagingDaemon(kernel.engine, kernel.vm, kernel.scale.tunables)
+
+    # -- per-process attachment --------------------------------------------
+    def attach_process(
+        self,
+        kernel: "Kernel",
+        process: "KernelProcess",
+        mapped_range: Optional[range] = None,
+    ) -> PagingDirectedPm:
+        """Create this policy's PM over the given page range (default:
+        everything the process has mapped so far) and register it."""
+        if mapped_range is None:
+            mapped_range = range(0, process.aspace.mapped_pages)
+        pm = self.pm_class(kernel.vm, process.aspace, mapped_range)
+        kernel.registry.attach(pm)
+        obs = kernel.obs
+        if obs is not None and obs.wants("policy.attach"):
+            obs.emit(
+                "policy.attach",
+                {
+                    "policy": self.name,
+                    "aspace": process.aspace.name,
+                    "pages": len(mapped_range),
+                },
+            )
+        return pm
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.spec.describe()})"
+
+
+# -- the string-keyed registry ------------------------------------------------
+_REGISTRY: Dict[str, Type[MemoryPolicy]] = {}
+
+
+def register_policy(cls: Type[MemoryPolicy]) -> Type[MemoryPolicy]:
+    """Class decorator: make a policy selectable by name."""
+    if not cls.name or cls.name == "abstract":
+        raise PolicyError(f"policy class {cls.__name__} needs a name")
+    if cls.name in _REGISTRY:
+        raise PolicyError(f"duplicate policy name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def policy_names() -> Tuple[str, ...]:
+    """Registered policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def validate_policy(spec: PolicySpec) -> Type[MemoryPolicy]:
+    """Check the name and parameter keys; returns the policy class."""
+    cls = _REGISTRY.get(spec.name)
+    if cls is None:
+        raise PolicyError(
+            f"unknown memory policy {spec.name!r}; registered: "
+            f"{', '.join(policy_names())}"
+        )
+    unknown = [key for key, _ in spec.params if key not in cls.known_params]
+    if unknown:
+        raise PolicyError(
+            f"policy {spec.name!r} does not accept parameter(s) "
+            f"{', '.join(sorted(unknown))}; accepted: "
+            f"{', '.join(sorted(cls.known_params)) or '(none)'}"
+        )
+    return cls
+
+
+def build_policy(spec: PolicySpec) -> MemoryPolicy:
+    """Instantiate the registered policy for a spec."""
+    return validate_policy(spec)(spec)
+
+
+#: The paper's policy: PagingDirected PM + releaser daemon + paging daemon.
+DEFAULT_POLICY = PolicySpec("paging-directed")

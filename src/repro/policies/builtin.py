@@ -1,0 +1,115 @@
+"""The built-in memory policies.
+
+Three registered triples:
+
+- ``paging-directed`` — the paper's system: PagingDirected PM, releaser
+  daemon, pressure-scaled paging daemon.  Byte-identical to the wiring the
+  kernel used before the policy seam existed (the golden-digest tests hold
+  it to that).
+- ``global-clock`` — the paper's implicit baseline: a plain global
+  clock/LRU paging daemon and *nothing else*.  Release hints still cross
+  into the kernel (the application binary is the same) but the kernel
+  discards them, so all reclamation is the daemon's two-handed clock.
+- ``user-mode`` — hint processing moved up into the runtime layer in the
+  style of Douglas's user-mode page management: release syscalls free the
+  pages inline in the calling worker thread, there is no releaser daemon,
+  and the kernel paging daemon is demoted to a pressure backstop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.kernel.paging_directed import PagingDirectedPm
+from repro.policies.base import MemoryPolicy, register_policy
+from repro.sim.task import SimTask
+from repro.vm.releaser import Releaser
+
+__all__ = [
+    "GlobalClockPm",
+    "GlobalClockPolicy",
+    "PagingDirectedPolicy",
+    "UserModePm",
+    "UserModePolicy",
+]
+
+
+@register_policy
+class PagingDirectedPolicy(MemoryPolicy):
+    """The paper's compiler-directed release triple (the default)."""
+
+    name = "paging-directed"
+
+
+class GlobalClockPm(PagingDirectedPm):
+    """A PM that accepts release syscalls but ignores them.
+
+    Prefetch and the shared page still work — the baseline difference under
+    study is release handling, not the whole PM interface — but release
+    requests cost their syscall crossing and then do nothing.
+    """
+
+    policy_name = "GlobalClock"
+
+    def release(self, task: SimTask, vpns: Sequence[int]):
+        pages = [vpn for vpn in vpns if self.covers(vpn)]
+        if len(pages) != len(vpns):
+            raise ValueError("release request outside the PM's range")
+        self.release_requests += 1
+        self.release_pages_requested += len(pages)
+        if self.vm.obs is not None:
+            self.vm.obs.emit(
+                "kernel.syscall",
+                {"syscall": "pm_release_ignored", "aspace": self.aspace.name},
+            )
+        yield from task.system(self.vm.machine.syscall_s)
+        return 0
+
+
+@register_policy
+class GlobalClockPolicy(MemoryPolicy):
+    """Plain global clock/LRU: no releaser, hints discarded."""
+
+    name = "global-clock"
+    pm_class = GlobalClockPm
+
+    def build_releaser(self, kernel) -> Optional[Releaser]:
+        return None
+
+
+class UserModePm(PagingDirectedPm):
+    """A PM whose release path frees pages inline in the caller.
+
+    The runtime layer's worker thread pays the page-free cost itself
+    (``releaser_per_page_free_s`` per page, under the address-space lock)
+    instead of handing the batch to a kernel daemon.
+    """
+
+    policy_name = "UserModeDirected"
+
+    def release(self, task: SimTask, vpns: Sequence[int]):
+        pages: List[int] = [vpn for vpn in vpns if self.covers(vpn)]
+        if len(pages) != len(vpns):
+            raise ValueError("release request outside the PM's range")
+        self.release_requests += 1
+        self.release_pages_requested += len(pages)
+        if self.vm.obs is not None:
+            self.vm.obs.emit(
+                "kernel.syscall",
+                {"syscall": "pm_release_inline", "aspace": self.aspace.name},
+            )
+        yield from task.system(self.vm.machine.syscall_s)
+        freed = yield from self.vm.release_inline(task, self.aspace, pages)
+        self.shared_page.refresh()
+        return freed
+
+
+@register_policy
+class UserModePolicy(MemoryPolicy):
+    """User-mode hint processing; the paging daemon is only a backstop."""
+
+    name = "user-mode"
+    pm_class = UserModePm
+
+    def build_releaser(self, kernel) -> Optional[Releaser]:
+        return None

@@ -11,31 +11,23 @@ Determinism matters here: the experiments in :mod:`repro.experiments` compare
 runs of the same workload under four different hint policies, and any
 nondeterminism in the engine would show up as noise in the reproduced tables.
 
-Two scheduler backends implement that contract (select with the
-``REPRO_ENGINE`` environment variable or ``Engine(backend=...)``):
-
-``calendar`` (default)
-    A calendar queue (Brown 1988) specialised for this simulator's event mix.
-    Events triggered *at the current time* — every lock grant, store put, and
-    zero-delay timeout, roughly half of all events — skip the calendar
-    entirely and go on a plain FIFO *now-lane* deque: no tuple allocation, no
-    sequence number, O(1) push and pop.  Future events go into time-bucketed
-    days; bucket count resizes by occupancy and bucket width is resampled
-    from observed inter-event gaps.  Section 7 of DESIGN.md proves the
-    dispatch order (calendar entries due now, then the now-lane, then the
-    next calendar day) is exactly the heap's ``(time, sequence)`` order.
-
-``heap``
-    The previous ``heapq`` scheduler, kept selectable for one release so CI
-    can A/B byte-identity of serialized experiment results across backends.
+The scheduler is a calendar queue (Brown 1988) specialised for this
+simulator's event mix.  Events triggered *at the current time* — every lock
+grant, store put, and zero-delay timeout, roughly half of all events — skip
+the calendar entirely and go on a plain FIFO *now-lane* deque: no tuple
+allocation, no sequence number, O(1) push and pop.  Future events go into
+time-bucketed days; bucket count resizes by occupancy and bucket width is
+resampled from observed inter-event gaps.  Section 7 of DESIGN.md proves
+the dispatch order (calendar entries due now, then the now-lane, then the
+next calendar day) is exactly a binary heap's ``(time, sequence)`` order —
+the previous ``heapq`` backend it replaced byte-identically
+(``tests/test_golden_digests.py`` pins the serialized results it froze).
 """
 
 from __future__ import annotations
 
-import os
 from bisect import insort
 from collections import deque
-from heapq import heappop, heappush
 from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
@@ -124,13 +116,7 @@ class Event:
         # Inlined scheduling: succeed() runs for every lock hand-off and
         # resource grant, so an extra call costs at ~10^5 events per run.
         engine = self.engine
-        queue = engine._queue
-        if queue is not None:
-            if delay < 0:
-                raise SimulationError(f"negative delay: {delay}")
-            engine._sequence += 1
-            heappush(queue, (engine._now + delay, engine._sequence, self))
-        elif delay == 0.0:
+        if delay == 0.0:
             engine._lane.append(self)
         else:
             if delay < 0:
@@ -150,11 +136,7 @@ class Event:
         self._value = exception
         self._ok = False
         engine = self.engine
-        queue = engine._queue
-        if queue is not None:
-            engine._sequence += 1
-            heappush(queue, (engine._now + delay, engine._sequence, self))
-        elif delay == 0.0:
+        if delay == 0.0:
             engine._lane.append(self)
         else:
             engine._cal_insert(engine._now + delay, self)
@@ -399,23 +381,10 @@ _CAL_RESAMPLE_POPS = 1024
 
 
 class Engine:
-    """The event loop: a virtual clock plus a scheduler of pending events.
+    """The event loop: a virtual clock plus a calendar-queue scheduler."""
 
-    ``backend`` selects the scheduler: ``"calendar"`` (default) or ``"heap"``
-    (the pre-calendar ``heapq`` scheduler, kept for one release for A/B
-    byte-identity checks).  When ``backend`` is None the ``REPRO_ENGINE``
-    environment variable decides, defaulting to the calendar queue.
-    """
-
-    def __init__(self, backend: Optional[str] = None) -> None:
-        if backend is None:
-            backend = os.environ.get("REPRO_ENGINE") or "calendar"
-        if backend not in ("calendar", "heap"):
-            raise SimulationError(
-                f"unknown engine backend {backend!r} (expected 'calendar' or "
-                "'heap'; check REPRO_ENGINE)"
-            )
-        self.backend = backend
+    def __init__(self) -> None:
+        self.backend = "calendar"
         self._now = 0.0
         self._sequence = 0
         self.active_process: Optional[Process] = None
@@ -429,35 +398,31 @@ class Engine:
         #: and :meth:`event`); refilled by the run loops' refcount guard.
         self._timeout_pool: List[Timeout] = []
         self._event_pool: List[Event] = []
-        if backend == "heap":
-            self._queue: Optional[List[Tuple[float, int, Event]]] = []
-        else:
-            self._queue = None
-            # Events already due at the current time, in (time, sequence)
-            # order; drained before anything else.
-            self._due: deque = deque()
-            # Events triggered *at* the current time, FIFO.  Dispatched after
-            # _due (their sequence numbers are necessarily larger) and before
-            # advancing the clock.
-            self._lane: deque = deque()
-            # The calendar proper: only events strictly in the future.
-            width = 1e-3
-            self._width = width
-            self._inv_width = 1.0 / width
-            self._buckets: List[list] = [[] for _ in range(_CAL_MIN_BUCKETS)]
-            self._mask = _CAL_MIN_BUCKETS - 1
-            self._cal_count = 0
-            self._day = 0  # absolute day number int(time * _inv_width)
-            self._grow_at = 2 * _CAL_MIN_BUCKETS
-            # Deterministic width resampling: pop-count thresholds, so the
-            # bucket width tracks the workload's inter-event gap through
-            # phase changes even when the entry count never crosses a
-            # grow/shrink threshold.
-            self._pops = 0
-            self._resample_at = _CAL_WARMUP_POPS
-            # Cached minimum entry so peek + pop after a scan are O(1);
-            # consumed by pop, maintained by inserts and resizes.
-            self._cache: Optional[tuple] = None
+        # Events already due at the current time, in (time, sequence)
+        # order; drained before anything else.
+        self._due: deque = deque()
+        # Events triggered *at* the current time, FIFO.  Dispatched after
+        # _due (their sequence numbers are necessarily larger) and before
+        # advancing the clock.
+        self._lane: deque = deque()
+        # The calendar proper: only events strictly in the future.
+        width = 1e-3
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets: List[list] = [[] for _ in range(_CAL_MIN_BUCKETS)]
+        self._mask = _CAL_MIN_BUCKETS - 1
+        self._cal_count = 0
+        self._day = 0  # absolute day number int(time * _inv_width)
+        self._grow_at = 2 * _CAL_MIN_BUCKETS
+        # Deterministic width resampling: pop-count thresholds, so the
+        # bucket width tracks the workload's inter-event gap through
+        # phase changes even when the entry count never crosses a
+        # grow/shrink threshold.
+        self._pops = 0
+        self._resample_at = _CAL_WARMUP_POPS
+        # Cached minimum entry so peek + pop after a scan are O(1);
+        # consumed by pop, maintained by inserts and resizes.
+        self._cache: Optional[tuple] = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -505,11 +470,7 @@ class Engine:
             timeout = pool.pop()
             timeout.callbacks = []
             timeout._state = _TRIGGERED
-            queue = self._queue
-            if queue is not None:
-                self._sequence += 1
-                heappush(queue, (self._now + delay, self._sequence, timeout))
-            elif delay == 0.0:
+            if delay == 0.0:
                 self._lane.append(timeout)
             else:
                 self._cal_insert(self._now + delay, timeout)
@@ -529,11 +490,7 @@ class Engine:
     def _push(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        queue = self._queue
-        if queue is not None:
-            self._sequence += 1
-            heappush(queue, (self._now + delay, self._sequence, event))
-        elif delay == 0.0:
+        if delay == 0.0:
             self._lane.append(event)
         else:
             self._cal_insert(self._now + delay, event)
@@ -723,22 +680,15 @@ class Engine:
     # -- stepping ----------------------------------------------------------
     def step(self) -> None:
         """Process the single next event; raises IndexError if none remain."""
-        queue = self._queue
-        if queue is not None:
-            time, _seq, event = heappop(queue)
-            if time < self._now:
-                raise SimulationError("time went backwards")
-            self._now = time
+        due = self._due
+        if due:
+            event = due.popleft()
+        elif self._lane:
+            event = self._lane.popleft()
+        elif self._cal_count:
+            event = self._cal_pop()
         else:
-            due = self._due
-            if due:
-                event = due.popleft()
-            elif self._lane:
-                event = self._lane.popleft()
-            elif self._cal_count:
-                event = self._cal_pop()
-            else:
-                raise IndexError("step from an empty event queue")
+            raise IndexError("step from an empty event queue")
         self.steps += 1
         if self._want_dispatch:
             self._obs.emit("engine.dispatch", {"event": type(event).__name__})
@@ -746,9 +696,6 @@ class Engine:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the queue is empty."""
-        queue = self._queue
-        if queue is not None:
-            return queue[0][0] if queue else float("inf")
         if self._due or self._lane:
             return self._now
         if self._cal_count:
@@ -767,10 +714,7 @@ class Engine:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        if self._queue is not None:
-            self._run_heap(until)
-        else:
-            self._run_calendar(until)
+        self._run_calendar(until)
         if until is not None:
             self._now = until
 
@@ -832,42 +776,6 @@ class Engine:
         finally:
             self.steps = steps
 
-    def _run_heap(self, until: Optional[float]) -> None:
-        """Heap-backend drain loop (inlined dispatch, see _run_calendar)."""
-        queue = self._queue
-        pool = self._timeout_pool
-        event_pool = self._event_pool
-        obs = self._obs
-        emit_dispatch = self._want_dispatch
-        steps = self.steps
-        try:
-            while queue:
-                if until is not None and queue[0][0] > until:
-                    break
-                time, _seq, event = heappop(queue)
-                if time < self._now:
-                    raise SimulationError("time went backwards")
-                self._now = time
-                steps += 1
-                if emit_dispatch:
-                    obs.emit("engine.dispatch", {"event": type(event).__name__})
-                callbacks = event.callbacks
-                event.callbacks = None
-                event._state = _PROCESSED
-                if callbacks:
-                    for callback in callbacks:
-                        callback(event)
-                if event._value is None and getrefcount(event) == 2:
-                    cls = type(event)
-                    if cls is Timeout:
-                        if len(pool) < _TIMEOUT_POOL_LIMIT:
-                            pool.append(event)
-                    elif cls is Event and event._ok:
-                        if len(event_pool) < _TIMEOUT_POOL_LIMIT:
-                            event_pool.append(event)
-        finally:
-            self.steps = steps
-
     def run_until_triggered(
         self, event: Event, max_steps: Optional[float] = None
     ) -> bool:
@@ -880,8 +788,6 @@ class Engine:
         This is the experiment harness's main loop, so the dispatch body is
         inlined with local bindings exactly like :meth:`run`.
         """
-        if self._queue is not None:
-            return self._run_until_triggered_heap(event, max_steps)
         return self._run_until_triggered_calendar(event, max_steps)
 
     def _run_until_triggered_calendar(
@@ -913,50 +819,6 @@ class Engine:
                         "event queue drained before the awaited event "
                         "triggered (deadlock)"
                     )
-                steps += 1
-                if emit_dispatch:
-                    obs.emit("engine.dispatch", {"event": type(popped).__name__})
-                callbacks = popped.callbacks
-                popped.callbacks = None
-                popped._state = _PROCESSED
-                if callbacks:
-                    for callback in callbacks:
-                        callback(popped)
-                if popped._value is None and getrefcount(popped) == 2:
-                    cls = type(popped)
-                    if cls is Timeout:
-                        if len(pool) < _TIMEOUT_POOL_LIMIT:
-                            pool.append(popped)
-                    elif cls is Event and popped._ok:
-                        if len(event_pool) < _TIMEOUT_POOL_LIMIT:
-                            event_pool.append(popped)
-        finally:
-            self.steps = steps
-        return True
-
-    def _run_until_triggered_heap(
-        self, event: Event, max_steps: Optional[float]
-    ) -> bool:
-        queue = self._queue
-        pool = self._timeout_pool
-        event_pool = self._event_pool
-        obs = self._obs
-        emit_dispatch = self._want_dispatch
-        budget = float("inf") if max_steps is None else max_steps
-        steps = self.steps
-        try:
-            while event._state == _PENDING:
-                if steps >= budget:
-                    return False
-                if not queue:
-                    raise SimulationError(
-                        "event queue drained before the awaited event "
-                        "triggered (deadlock)"
-                    )
-                time, _seq, popped = heappop(queue)
-                if time < self._now:
-                    raise SimulationError("time went backwards")
-                self._now = time
                 steps += 1
                 if emit_dispatch:
                     obs.emit("engine.dispatch", {"event": type(popped).__name__})

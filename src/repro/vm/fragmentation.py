@@ -1,0 +1,140 @@
+"""Physical-memory fragmentation metrics over the frame table.
+
+Policies that free the *right* pages (compiler-directed release) and
+policies that free *whatever the clock hand finds* (global clock) can show
+identical fault counts while leaving physical memory in very different
+shapes.  Following Mansi & Swift's characterization of physical-memory
+fragmentation, we measure the free list's shape directly:
+
+- **free-run-length histogram** — power-of-two buckets of contiguous free
+  frame runs (bucket ``i`` counts runs with ``2**i <= length < 2**(i+1)``);
+- **largest free extent** — the longest contiguous run of free frames;
+- **unusable free index** — ``1 - usable/free`` where *usable* counts the
+  free frames inside extent-aligned, extent-sized blocks that are entirely
+  free.  0 means every free frame could back an aligned large allocation;
+  1 means the free memory is pure confetti.
+
+Sampling is pure computation over the flags column — no engine events, no
+simulated time — so it can never perturb event ordering (the golden-digest
+byte-identity gate relies on that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.vm.frames import F_ON_FREE_LIST, FrameTable
+
+__all__ = [
+    "DEFAULT_EXTENT_PAGES",
+    "FragmentationSample",
+    "FragmentationStats",
+    "measure_fragmentation",
+]
+
+#: Default "large allocation" unit for the unusable-free index, in frames.
+#: 16 frames = 64 KiB at the simulated 4 KiB page — the superpage-ish extent
+#: Mansi & Swift use as their headline unit.
+DEFAULT_EXTENT_PAGES = 16
+
+
+@dataclass
+class FragmentationSample:
+    """One instantaneous measurement of the frame table's free-space shape."""
+
+    free_frames: int = 0
+    free_runs: int = 0
+    largest_free_extent: int = 0
+    unusable_free_index: float = 0.0
+    #: ``run_histogram[i]`` counts runs with ``2**i <= length < 2**(i+1)``.
+    run_histogram: List[int] = field(default_factory=list)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "free_frames": self.free_frames,
+            "free_runs": self.free_runs,
+            "largest_free_extent": self.largest_free_extent,
+            "unusable_free_index": self.unusable_free_index,
+            "run_histogram": list(self.run_histogram),
+        }
+
+
+@dataclass
+class FragmentationStats:
+    """Accumulated fragmentation samples for one run (lives on VmStats)."""
+
+    samples: int = 0
+    last: FragmentationSample = field(default_factory=FragmentationSample)
+    peak_unusable_free_index: float = 0.0
+    mean_unusable_free_index: float = 0.0
+    min_largest_free_extent: int = -1
+    _ufi_sum: float = 0.0
+
+    def record(self, sample: FragmentationSample) -> None:
+        self.samples += 1
+        self.last = sample
+        self._ufi_sum += sample.unusable_free_index
+        self.mean_unusable_free_index = self._ufi_sum / self.samples
+        if sample.unusable_free_index > self.peak_unusable_free_index:
+            self.peak_unusable_free_index = sample.unusable_free_index
+        if (
+            self.min_largest_free_extent < 0
+            or sample.largest_free_extent < self.min_largest_free_extent
+        ):
+            self.min_largest_free_extent = sample.largest_free_extent
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "samples": self.samples,
+            "peak_unusable_free_index": self.peak_unusable_free_index,
+            "mean_unusable_free_index": self.mean_unusable_free_index,
+            "min_largest_free_extent": max(0, self.min_largest_free_extent),
+            "last": self.last.snapshot(),
+        }
+
+
+def measure_fragmentation(
+    table: FrameTable, extent_pages: int = DEFAULT_EXTENT_PAGES
+) -> FragmentationSample:
+    """One pass over the flags column: find free runs, bucket them, and
+    compute the unusable-free index for the given extent size."""
+    if extent_pages < 1:
+        raise ValueError(f"extent_pages must be >= 1, got {extent_pages}")
+    flags = table.flags
+    total = len(flags)
+    sample = FragmentationSample()
+    histogram: List[int] = []
+    free = 0
+    runs = 0
+    largest = 0
+    usable = 0
+    index = 0
+    while index < total:
+        if not flags[index] & F_ON_FREE_LIST:
+            index += 1
+            continue
+        start = index
+        index += 1
+        while index < total and flags[index] & F_ON_FREE_LIST:
+            index += 1
+        length = index - start
+        free += length
+        runs += 1
+        if length > largest:
+            largest = length
+        bucket = length.bit_length() - 1
+        while len(histogram) <= bucket:
+            histogram.append(0)
+        histogram[bucket] += 1
+        # Extent-aligned, extent-sized blocks wholly inside [start, index).
+        first_block = -(-start // extent_pages)  # ceil
+        last_block = index // extent_pages  # floor
+        if last_block > first_block:
+            usable += (last_block - first_block) * extent_pages
+    sample.free_frames = free
+    sample.free_runs = runs
+    sample.largest_free_extent = largest
+    sample.run_histogram = histogram
+    sample.unusable_free_index = 1.0 - usable / free if free else 0.0
+    return sample

@@ -112,6 +112,10 @@ class PagingDaemon:
             started = self.engine.now
             stolen = yield from self._clock_pass()
             self.vm.stats.daemon_active_time += self.engine.now - started
+            # Fragmentation is sampled right after every sweep: that is when
+            # the free list's shape just changed, and the measurement is pure
+            # (no events), so the sweep's own timing is untouched.
+            self.vm.sample_fragmentation()
             if self.vm.obs is not None:
                 self.vm.obs.emit("vm.clock_pass", {"stolen": stolen})
 

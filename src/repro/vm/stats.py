@@ -11,8 +11,10 @@ Two levels:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
+
+from repro.vm.fragmentation import FragmentationStats
 
 __all__ = ["AddressSpaceStats", "VmStats"]
 
@@ -67,6 +69,12 @@ class VmStats:
     rescued_from_daemon: int = 0
     rescued_from_release: int = 0
 
+    # Free-space shape over time (sampled on daemon sweeps and once at
+    # finalize).  Excluded from the dataclass repr: the canonical result
+    # serialization hashes ``repr(VmStats)`` and fragmentation sampling is
+    # observational, so it must never move the byte-identity goldens.
+    frag: FragmentationStats = field(default_factory=FragmentationStats, repr=False)
+
     def freed_total(self) -> int:
         return self.freed_by_daemon + self.freed_by_release
 
@@ -80,5 +88,7 @@ class VmStats:
             raise ValueError(f"unknown free source {source!r}")
         return rescued / freed if freed else 0.0
 
-    def snapshot(self) -> Dict[str, float]:
-        return dict(self.__dict__)
+    def snapshot(self) -> Dict[str, object]:
+        data: Dict[str, object] = dict(self.__dict__)
+        data["frag"] = self.frag.snapshot()
+        return data

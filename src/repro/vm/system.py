@@ -30,6 +30,7 @@ from repro.disk.swap import StripedSwap
 from repro.faults import DiskIOError
 from repro.sim.engine import Engine
 from repro.sim.task import SimTask
+from repro.vm.fragmentation import DEFAULT_EXTENT_PAGES, measure_fragmentation
 from repro.vm.frames import (
     F_DIRTY,
     F_FROM_PREFETCH,
@@ -38,6 +39,7 @@ from repro.vm.frames import (
     F_REFERENCED,
     F_RELEASE_PENDING,
     F_SW_VALID,
+    F_WIRED,
     FREED_BY_DAEMON,
     FREED_BY_EXIT,
     FREED_BY_RELEASE,
@@ -83,6 +85,9 @@ class VmSystem:
         # Wired in by the kernel after construction.
         self.paging_daemon = None
         self.releaser = None
+        # "Large allocation" unit for the unusable-free index; policies may
+        # override via the frag_extent parameter.
+        self.frag_extent = DEFAULT_EXTENT_PAGES
 
     # -- address spaces -----------------------------------------------------
     def create_address_space(self, name: str) -> AddressSpace:
@@ -437,6 +442,62 @@ class VmSystem:
             )
         return len(accepted)
 
+    def release_inline(self, task: SimTask, aspace: AddressSpace, vpns: List[int]):
+        """Process generator: free released pages synchronously in the
+        calling task (the ``user-mode`` policy's hint path).
+
+        Unlike :meth:`request_release` there is no daemon hand-off: the
+        caller holds its own request, takes the address-space lock in the
+        same batch sizes the releaser would, and pays the same per-page free
+        cost — user-mode page management in the style of Douglas.  Pages
+        touched since the runtime layer filtered the hint are skipped only
+        if they are wired or have I/O in flight; there is no
+        release-pending window for a re-reference to cancel.  Returns pages
+        freed.
+        """
+        tunables = self.tunables
+        batch_size = tunables.releaser_lock_batch_pages
+        per_page = tunables.releaser_per_page_free_s
+        flags = self._flags
+        in_transit = self._in_transit
+        pt = aspace.pt
+        npt = len(pt)
+        stats = self.stats
+        stats.releaser_requests += 1
+        freed_total = 0
+        for start in range(0, len(vpns), batch_size):
+            batch = vpns[start : start + batch_size]
+            yield from task.lock_acquire(aspace.lock)
+            freed = 0
+            try:
+                for vpn in batch:
+                    index = pt[vpn] if vpn < npt else -1
+                    if index < 0 or not flags[index] & F_PRESENT:
+                        stats.releaser_skipped_absent += 1
+                        continue
+                    if flags[index] & F_WIRED or in_transit[index] is not None:
+                        stats.releaser_skipped_referenced += 1
+                        continue
+                    self.free_frame(aspace, index, FREED_BY_RELEASE)
+                    freed += 1
+                if freed:
+                    yield from task.system(freed * per_page)
+            finally:
+                aspace.lock.release()
+            stats.releaser_pages_freed += freed
+            freed_total += freed
+        self._refresh_shared(aspace)
+        if self.obs is not None:
+            self.obs.emit(
+                "vm.release",
+                {
+                    "aspace": aspace.name,
+                    "requested": len(vpns),
+                    "freed": freed_total,
+                },
+            )
+        return freed_total
+
     # -- freeing ------------------------------------------------------------
     def free_frame(self, aspace: AddressSpace, index: int, freed_by: int) -> None:
         """Detach a page and free its frame (writing back first if dirty).
@@ -486,8 +547,27 @@ class VmSystem:
         self.engine.process(run(), name="writeback")
 
     # -- reporting ------------------------------------------------------------
+    def sample_fragmentation(self):
+        """Observe the free list's shape (pure measurement: no events, no
+        simulated time, so it can never perturb the golden digests)."""
+        sample = measure_fragmentation(self.frame_table, self.frag_extent)
+        self.stats.frag.record(sample)
+        obs = self.obs
+        if obs is not None and obs.wants("policy.frag"):
+            obs.emit(
+                "policy.frag",
+                {
+                    "free": sample.free_frames,
+                    "runs": sample.free_runs,
+                    "largest": sample.largest_free_extent,
+                    "unusable_free_index": sample.unusable_free_index,
+                },
+            )
+        return sample
+
     def finalize_stats(self) -> VmStats:
         """Mirror free-list counters into the VmStats snapshot."""
+        self.sample_fragmentation()
         stats = self.stats
         freelist = self.freelist
         stats.freed_by_daemon = freelist.pushes_by_daemon

@@ -240,7 +240,7 @@ def run_standalone(
     (process, runtime, driver generator)."""
     process = kernel.create_process(instance.name)
     layout = build_layout(process, instance, scale.machine.page_size)
-    pm = kernel.attach_paging_directed(process)
+    pm = kernel.attach_policy(process)
     runtime = RuntimeLayer(process, pm, scale.runtime, version)
     compiled = instance.compiled(scale)
     driver = app_driver(

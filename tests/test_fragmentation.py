@@ -1,0 +1,138 @@
+"""Unit tests for the fragmentation metrics over hand-built frame tables."""
+
+import pytest
+
+from repro.vm.fragmentation import (
+    DEFAULT_EXTENT_PAGES,
+    FragmentationSample,
+    FragmentationStats,
+    measure_fragmentation,
+)
+from repro.vm.frames import F_ON_FREE_LIST, F_PRESENT, FrameTable
+
+
+def _table(nframes, free_indices):
+    table = FrameTable(nframes)
+    free = set(free_indices)
+    for index in range(nframes):
+        if index in free:
+            table.flags[index] = F_ON_FREE_LIST
+        else:
+            table.flags[index] = F_PRESENT
+    return table
+
+
+def test_no_free_frames():
+    sample = measure_fragmentation(_table(64, []))
+    assert sample.free_frames == 0
+    assert sample.free_runs == 0
+    assert sample.largest_free_extent == 0
+    assert sample.unusable_free_index == 0.0
+    assert sample.run_histogram == []
+
+
+def test_entirely_free_table():
+    sample = measure_fragmentation(_table(64, range(64)), extent_pages=16)
+    assert sample.free_frames == 64
+    assert sample.free_runs == 1
+    assert sample.largest_free_extent == 64
+    # One run of 64: bucket index 6 (2**6 <= 64 < 2**7).
+    assert sample.run_histogram[6] == 1
+    assert sum(sample.run_histogram) == 1
+    # Every frame sits in an aligned 16-frame block: nothing is unusable.
+    assert sample.unusable_free_index == 0.0
+
+
+def test_alternating_confetti_is_fully_unusable():
+    sample = measure_fragmentation(_table(64, range(0, 64, 2)), extent_pages=16)
+    assert sample.free_frames == 32
+    assert sample.free_runs == 32
+    assert sample.largest_free_extent == 1
+    assert sample.run_histogram == [32]
+    # No run can hold an aligned 16-frame extent.
+    assert sample.unusable_free_index == 1.0
+
+
+def test_unaligned_run_counts_as_unusable():
+    # [8, 24) is 16 frames long but straddles the 16-frame alignment
+    # boundary: no aligned extent fits, so all 16 are unusable.
+    sample = measure_fragmentation(_table(64, range(8, 24)), extent_pages=16)
+    assert sample.free_frames == 16
+    assert sample.free_runs == 1
+    assert sample.largest_free_extent == 16
+    assert sample.unusable_free_index == 1.0
+
+
+def test_aligned_run_is_fully_usable():
+    sample = measure_fragmentation(_table(64, range(16, 32)), extent_pages=16)
+    assert sample.free_frames == 16
+    assert sample.unusable_free_index == 0.0
+
+
+def test_partial_usability():
+    # [8, 40) = 32 free frames; only the aligned block [16, 32) is usable.
+    sample = measure_fragmentation(_table(64, range(8, 40)), extent_pages=16)
+    assert sample.free_frames == 32
+    assert sample.unusable_free_index == pytest.approx(1.0 - 16 / 32)
+
+
+def test_run_ending_at_table_edge():
+    sample = measure_fragmentation(_table(32, range(16, 32)), extent_pages=16)
+    assert sample.free_runs == 1
+    assert sample.unusable_free_index == 0.0
+
+
+def test_histogram_buckets_power_of_two():
+    # Runs of lengths 1, 2, 3, 4, 8 land in power-of-two buckets:
+    # bucket 0 gets the 1, bucket 1 gets 2 and 3, bucket 2 gets 4,
+    # bucket 3 gets 8.
+    free = [0]  # length 1
+    free += [2, 3]  # length 2
+    free += [5, 6, 7]  # length 3
+    free += [9, 10, 11, 12]  # length 4
+    free += list(range(14, 22))  # length 8
+    sample = measure_fragmentation(_table(32, free), extent_pages=16)
+    assert sample.run_histogram == [1, 2, 1, 1]
+    assert sample.free_runs == 5
+    assert sample.largest_free_extent == 8
+
+
+def test_extent_must_be_positive():
+    with pytest.raises(ValueError):
+        measure_fragmentation(_table(8, []), extent_pages=0)
+
+
+def test_default_extent_is_sixteen():
+    assert DEFAULT_EXTENT_PAGES == 16
+
+
+def test_stats_record_tracks_mean_peak_min():
+    stats = FragmentationStats()
+    stats.record(
+        FragmentationSample(
+            free_frames=10,
+            free_runs=1,
+            largest_free_extent=10,
+            unusable_free_index=0.2,
+        )
+    )
+    stats.record(
+        FragmentationSample(
+            free_frames=10,
+            free_runs=5,
+            largest_free_extent=4,
+            unusable_free_index=0.8,
+        )
+    )
+    assert stats.samples == 2
+    assert stats.peak_unusable_free_index == 0.8
+    assert stats.mean_unusable_free_index == pytest.approx(0.5)
+    assert stats.min_largest_free_extent == 4
+    assert stats.last.free_runs == 5
+
+
+def test_stats_snapshot_clamps_unset_min():
+    snap = FragmentationStats().snapshot()
+    assert snap["samples"] == 0
+    assert snap["min_largest_free_extent"] == 0
+    assert snap["last"]["free_frames"] == 0
