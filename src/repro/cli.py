@@ -48,9 +48,25 @@ from repro.experiments import (
     run_version_suite,
 )
 from repro.experiments.compare import compare_policies, format_policy_table
+from repro.experiments.ensemble import (
+    EnsembleSpec,
+    format_ensemble_table,
+    run_ensemble,
+)
 from repro.experiments.harness import multiprogram_spec, to_multiprogram
 from repro.experiments.report import format_table
 from repro.experiments.runner import cache_entries, prune_cache
+from repro.experiments.sweep import (
+    SweepAborted,
+    SweepError,
+    SweepOptions,
+    collect_report,
+    expand_grid,
+    run_sweep,
+    specs_from_meta,
+    sweep_status,
+    synthetic_specs,
+)
 from repro.faults import EMPTY_PLAN, FaultPlan, FaultPlanError
 from repro.policies import PolicyError, policy_names
 from repro.machine import (
@@ -404,6 +420,18 @@ def _cmd_compare_policies(args: argparse.Namespace) -> int:
         "across memory policies:"
     )
     print(format_policy_table(rows))
+    failed = [row for row in rows if row.failed]
+    if failed:
+        # A partial table must not masquerade as a complete comparison:
+        # summarise what failed and exit non-zero.
+        print(
+            f"compare-policies: {len(failed)} of {len(rows)} policy cells "
+            "failed:",
+            file=sys.stderr,
+        )
+        for row in failed:
+            print(f"  - {row}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -528,6 +556,167 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             ),
         )
     )
+    return 0
+
+
+def _sweep_options_from(args: argparse.Namespace) -> SweepOptions:
+    return SweepOptions(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_base_s=args.backoff_base,
+        heartbeat_s=args.heartbeat,
+        hang_timeout_s=args.hang_timeout,
+        shard_slo_s=args.shard_slo,
+        max_failures=args.max_failures,
+    )
+
+
+def _print_sweep_report(report) -> int:
+    counts = report.counts()
+    print(
+        f"sweep complete: {counts['ok']}/{counts['total']} ok, "
+        f"{counts['failure']} failed, {counts['quarantined']} quarantined"
+    )
+    for outcome in report.failures:
+        print(
+            f"  - spec {outcome.index} [{outcome.status}/{outcome.kind}] "
+            f"after {outcome.attempts} attempt(s): {outcome.message}",
+            file=sys.stderr,
+        )
+    print(f"merged digest: {report.digest}")
+    return 1 if report.failures else 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    if args.synthetic is not None:
+        if args.synthetic < 1:
+            raise SweepError(f"--synthetic needs a positive count, got {args.synthetic}")
+        specs = synthetic_specs(
+            args.synthetic,
+            fail_every=args.synthetic_fail_every,
+            sleep_s=args.synthetic_sleep,
+        )
+        describe = {
+            "synthetic": {
+                "count": args.synthetic,
+                "fail_every": args.synthetic_fail_every,
+                "sleep_s": args.synthetic_sleep,
+            }
+        }
+    elif args.grid is not None:
+        data = _load_json_argument(args.grid)
+        if not isinstance(data, dict):
+            raise SpecError("a sweep grid must be a JSON object")
+        grid = dict(data)
+        grid.setdefault("scale", args.scale)
+        specs = expand_grid(dict(grid))
+        describe = {"grid": grid}
+    else:
+        raise SweepError("sweep run: give --grid or --synthetic")
+    print(f"sweep: {len(specs)} specs -> {args.state_dir}")
+    try:
+        report = run_sweep(
+            specs,
+            args.state_dir,
+            options=_sweep_options_from(args),
+            resume=False,
+            describe=describe,
+        )
+    except SweepAborted as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 1
+    return _print_sweep_report(report)
+
+
+def _cmd_sweep_resume(args: argparse.Namespace) -> int:
+    specs = specs_from_meta(args.state_dir)
+    print(f"sweep resume: {len(specs)} specs <- {args.state_dir}")
+    try:
+        report = run_sweep(
+            specs,
+            args.state_dir,
+            options=_sweep_options_from(args),
+            resume=True,
+        )
+    except SweepAborted as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 1
+    return _print_sweep_report(report)
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    info = sweep_status(args.state_dir)
+    rows = [
+        ("total", info["total"]),
+        ("done", info["done"]),
+        ("pending", info["pending"]),
+        ("ok", info["ok"]),
+        ("failed", info["failure"]),
+        ("quarantined", info["quarantined"]),
+        ("attempts", info["attempts"]),
+        ("aborted", "yes" if info["aborted"] else "no"),
+    ]
+    rows += [(f"cached in {shard}", count) for shard, count in info["by_shard"].items()]
+    print(
+        format_table(
+            ["field", "value"], rows, title=f"sweep checkpoint at {info['state_dir']}"
+        )
+    )
+    if args.digest:
+        if info["pending"]:
+            print(f"digest: (partial — {info['pending']} specs still pending)")
+        report = collect_report(specs_from_meta(args.state_dir), args.state_dir)
+        print(f"merged digest: {report.digest}")
+    return 0
+
+
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    spec = multiprogram_spec(
+        scale,
+        benchmark(args.benchmark),
+        VERSIONS[args.version],
+        sleep_time_s=args.sleep,
+    )
+    plan = FaultPlan.from_dict(_load_json_argument(args.faults))
+    spec = spec.with_faults(plan)
+    if args.policy is not None:
+        spec = spec.with_policy(args.policy)
+    ensemble = EnsembleSpec(
+        base=spec, seeds=args.seeds, base_seed=args.fault_seed or 0
+    )
+    try:
+        report = run_ensemble(
+            ensemble,
+            state_dir=args.state_dir,
+            options=_sweep_options_from(args),
+            resume=args.resume,
+            resamples=args.resamples,
+            alpha=args.alpha,
+        )
+    except SweepAborted as exc:
+        print(f"repro ensemble: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.benchmark} version {args.version} at scale '{scale.name}': "
+        f"{report.members_ok}/{args.seeds} fault seeds "
+        f"(base seed {args.fault_seed or 0}, "
+        f"{args.resamples} bootstrap resamples)"
+    )
+    print(format_ensemble_table(report, alpha=args.alpha))
+    if report.failed_members:
+        print(
+            f"ensemble: {len(report.failed_members)} of {args.seeds} members "
+            "failed and are excluded from the intervals:",
+            file=sys.stderr,
+        )
+        for outcome in report.failed_members:
+            print(
+                f"  - member {outcome.index} [{outcome.kind}]: {outcome.message}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -937,6 +1126,194 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.set_defaults(handler=_cmd_cache)
 
+    def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker shards (default 1: run inline, no subprocesses)",
+        )
+        parser.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="wall-clock budget per spec in seconds (default: none)",
+        )
+        parser.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="extra attempts for a failing spec (default 0)",
+        )
+        parser.add_argument(
+            "--backoff-base",
+            type=float,
+            default=0.25,
+            help="base delay for exponential retry backoff (default 0.25s)",
+        )
+        parser.add_argument(
+            "--heartbeat",
+            type=float,
+            default=1.0,
+            help="worker heartbeat period in seconds (default 1.0)",
+        )
+        parser.add_argument(
+            "--hang-timeout",
+            type=float,
+            default=None,
+            help="kill a shard whose heartbeat stalls this long while busy "
+            "(default: off)",
+        )
+        parser.add_argument(
+            "--shard-slo",
+            type=float,
+            default=None,
+            help="per-shard wall-clock SLO: an idle shard past this budget "
+            "stops taking work (default: off)",
+        )
+        parser.add_argument(
+            "--max-failures",
+            type=int,
+            default=None,
+            help="abort the sweep after this many failed specs (default: off)",
+        )
+
+    sweep_parser = commands.add_parser(
+        "sweep",
+        help="checkpointed, resumable sharded sweeps over experiment grids",
+    )
+    sweep_commands = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run_parser = sweep_commands.add_parser(
+        "run", help="start a sweep, journaling every outcome to --state-dir"
+    )
+    sweep_run_parser.add_argument(
+        "--state-dir",
+        required=True,
+        help="checkpoint directory (journal + per-shard result caches)",
+    )
+    sweep_run_parser.add_argument(
+        "--grid",
+        default=None,
+        help="JSON grid (file path or inline): axes over benchmark/version/"
+        "sleep/policy/fault_seed, plus scale/overrides/faults",
+    )
+    sweep_run_parser.add_argument(
+        "--synthetic",
+        type=int,
+        default=None,
+        help="run N synthetic no-op specs instead of a grid (orchestrator "
+        "stress testing)",
+    )
+    sweep_run_parser.add_argument(
+        "--synthetic-fail-every",
+        type=int,
+        default=0,
+        help="every Nth synthetic spec fails (default 0: none)",
+    )
+    sweep_run_parser.add_argument(
+        "--synthetic-sleep",
+        type=float,
+        default=0.0,
+        help="per-synthetic-spec sleep in seconds (default 0)",
+    )
+    _add_scale(sweep_run_parser)
+    _add_sweep_options(sweep_run_parser)
+    sweep_run_parser.set_defaults(handler=_cmd_sweep_run)
+
+    sweep_resume_parser = sweep_commands.add_parser(
+        "resume",
+        help="resume an interrupted sweep from its checkpoint directory",
+    )
+    sweep_resume_parser.add_argument(
+        "--state-dir", required=True, help="checkpoint directory to resume"
+    )
+    _add_sweep_options(sweep_resume_parser)
+    sweep_resume_parser.set_defaults(handler=_cmd_sweep_resume)
+
+    sweep_status_parser = sweep_commands.add_parser(
+        "status", help="summarise a sweep checkpoint without running anything"
+    )
+    sweep_status_parser.add_argument(
+        "--state-dir", required=True, help="checkpoint directory to inspect"
+    )
+    sweep_status_parser.add_argument(
+        "--digest",
+        action="store_true",
+        help="also compute the merged result digest (loads cached results)",
+    )
+    sweep_status_parser.set_defaults(handler=_cmd_sweep_status)
+
+    ensemble_parser = commands.add_parser(
+        "ensemble",
+        help="Monte Carlo fault ensemble: one spec across N fault seeds, "
+        "merged with bootstrap confidence intervals",
+    )
+    _add_benchmark(ensemble_parser)
+    ensemble_parser.add_argument(
+        "--version",
+        default="R",
+        type=str.upper,
+        choices=sorted(VERSIONS),
+        help="program version (default R)",
+    )
+    ensemble_parser.add_argument(
+        "--sleep",
+        type=float,
+        default=None,
+        help="interactive sleep time (default: the scale's intermediate)",
+    )
+    ensemble_parser.add_argument(
+        "--policy",
+        default=None,
+        choices=policy_names(),
+        help="memory policy for every member (default: the paper's)",
+    )
+    ensemble_parser.add_argument(
+        "--faults",
+        required=True,
+        help="JSON fault plan (file path or inline); its seed is replaced "
+        "by each member's derived seed",
+    )
+    ensemble_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="base seed rooting the member seed stream (default 0)",
+    )
+    ensemble_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=32,
+        help="ensemble size: number of derived fault seeds (default 32)",
+    )
+    ensemble_parser.add_argument(
+        "--resamples",
+        type=int,
+        default=2000,
+        help="bootstrap resamples per metric (default 2000)",
+    )
+    ensemble_parser.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help="1 - confidence level for the intervals (default 0.05)",
+    )
+    ensemble_parser.add_argument(
+        "--state-dir",
+        default=None,
+        help="checkpoint the member sweep here (resumable); default: "
+        "a throwaway directory",
+    )
+    ensemble_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted ensemble from --state-dir",
+    )
+    _add_scale(ensemble_parser)
+    _add_sweep_options(ensemble_parser)
+    ensemble_parser.set_defaults(handler=_cmd_ensemble)
+
     trace_parser = commands.add_parser(
         "trace",
         help="record, replay, inspect, diff, and import binary op traces",
@@ -1068,7 +1445,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (SpecError, FaultPlanError, PolicyError, TraceError, OSError) as exc:
+    except (SpecError, FaultPlanError, PolicyError, TraceError, SweepError, OSError) as exc:
         # Bad input — missing spec file, corrupt trace, invalid plan —
         # is an exit-2 one-liner, not a traceback.
         print(f"repro: error: {exc}", file=sys.stderr)

@@ -14,10 +14,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.machine import ExperimentResult, ExperimentSpec
-from repro.experiments.runner import run_specs
+from repro.experiments.runner import ExperimentFailure, run_specs
 from repro.policies import PolicySpec, policy_names
 
-__all__ = ["PolicyRow", "compare_policies", "format_policy_table"]
+__all__ = ["PolicyFailure", "PolicyRow", "compare_policies", "format_policy_table"]
 
 
 @dataclass
@@ -39,6 +39,30 @@ class PolicyRow:
 
     def snapshot(self) -> Dict[str, object]:
         return dict(self.__dict__)
+
+    @property
+    def failed(self) -> bool:
+        return False
+
+
+@dataclass
+class PolicyFailure:
+    """A policy cell that produced no result; keeps the table aligned.
+
+    A failed competitor policy must not silently vanish from the
+    comparison (a partial table reads as a complete one): the cell stays,
+    marked failed, and the CLI exits non-zero with a summary.
+    """
+
+    policy: str
+    failure: ExperimentFailure
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.policy}: {self.failure}"
 
 
 def _row(policy: PolicySpec, result: ExperimentResult) -> PolicyRow:
@@ -77,12 +101,16 @@ def compare_policies(
     cache_dir=None,
     timeout_s: Optional[float] = None,
     retries: int = 0,
-) -> List[PolicyRow]:
+) -> List[Union[PolicyRow, PolicyFailure]]:
     """Run one spec under each policy (default: every registered policy).
 
     The per-policy specs go through :func:`~repro.experiments.runner.run_specs`
     so they parallelise and cache exactly like any grid — and because the
     policy is part of the frozen spec, each policy gets its own cache slot.
+
+    A policy whose cell fails (error, timeout, worker crash) comes back as
+    a :class:`PolicyFailure` in its slot rather than aborting the whole
+    comparison; the other policies still run and cache.
     """
     if policies is None:
         policies = policy_names()
@@ -97,12 +125,23 @@ def compare_policies(
         cache_dir=cache_dir,
         timeout_s=timeout_s,
         retries=retries,
+        on_error="return",
     )
-    return [_row(p, r) for p, r in zip(selected, results)]
+    rows: List[Union[PolicyRow, PolicyFailure]] = []
+    for policy, result in zip(selected, results):
+        if isinstance(result, ExperimentFailure):
+            rows.append(PolicyFailure(policy=policy.describe(), failure=result))
+        else:
+            rows.append(_row(policy, result))
+    return rows
 
 
-def format_policy_table(rows: Sequence[PolicyRow]) -> str:
-    """Render rows as the aligned text table the CLI prints."""
+def format_policy_table(rows: Sequence[Union[PolicyRow, PolicyFailure]]) -> str:
+    """Render rows as the aligned text table the CLI prints.
+
+    Failed cells render as a ``FAILED(kind)`` row so the table never
+    silently shrinks.
+    """
     headers = [
         "policy",
         "elapsed_s",
@@ -118,6 +157,12 @@ def format_policy_table(rows: Sequence[PolicyRow]) -> str:
     ]
     table = [headers]
     for row in rows:
+        if isinstance(row, PolicyFailure):
+            table.append(
+                [row.policy, f"FAILED({row.failure.kind})"]
+                + ["-"] * (len(headers) - 2)
+            )
+            continue
         table.append(
             [
                 row.policy,

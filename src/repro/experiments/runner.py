@@ -49,9 +49,12 @@ __all__ = [
     "ExperimentGridError",
     "cache_entries",
     "code_version",
+    "execute_guarded",
+    "load_cached",
     "prune_cache",
     "run_specs",
     "spec_key",
+    "store_cached",
 ]
 
 _code_version: Optional[str] = None
@@ -145,30 +148,35 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"{key}.pkl"
 
 
-def _load_cached(cache_dir: Path, key: str) -> Optional[ExperimentResult]:
-    path = _cache_path(cache_dir, key)
-    if not path.exists():
-        return None
+def load_cached(cache_dir: Path, key: str) -> Optional[ExperimentResult]:
+    """Load one cached result, or ``None`` (missing, corrupt, or stale)."""
+    path = _cache_path(Path(cache_dir), key)
     try:
         with path.open("rb") as handle:
             result = pickle.load(handle)
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-        return None  # corrupt or stale entry: just re-run
+        return None  # missing, corrupt, or stale entry: just re-run
     if not isinstance(result, ExperimentResult):
         return None
     result.from_cache = True
     return result
 
 
-def _store_cached(cache_dir: Path, key: str, result: object) -> None:
+def store_cached(cache_dir: Path, key: str, result: object) -> None:
+    """Persist one success under ``key``; failures are silently refused."""
     if not isinstance(result, ExperimentResult):
         # Failures (or a slot that never produced anything) must not be
         # persisted: a cached failure would satisfy every future lookup.
         return
-    path = _cache_path(cache_dir, key)
+    path = _cache_path(Path(cache_dir), key)
     # Write-then-rename so a parallel worker never reads a torn entry.
     with atomic_open(path, "wb") as handle:
         pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# Back-compat aliases (the sweep layer uses the public names above).
+_load_cached = load_cached
+_store_cached = store_cached
 
 
 @dataclass
@@ -191,15 +199,29 @@ class CacheEntry:
 
 
 def cache_entries(cache_dir: os.PathLike) -> List[CacheEntry]:
-    """Classify every file in a result cache directory."""
+    """Classify every file in a result cache directory.
+
+    Tolerant of concurrent writers and pruners: an entry that vanishes
+    between listing and inspection (ENOENT at ``stat`` or ``open``) is
+    simply skipped, and a torn/partial entry classifies as ``"corrupt"``
+    rather than raising — another process may be pruning or rewriting the
+    same directory at any time.
+    """
     cache = Path(cache_dir)
     entries: List[CacheEntry] = []
     if not cache.is_dir():
         return entries
-    for path in sorted(cache.iterdir()):
-        if not path.is_file():
-            continue
-        size = path.stat().st_size
+    try:
+        listing = sorted(cache.iterdir())
+    except FileNotFoundError:
+        return entries  # the directory itself vanished under us
+    for path in listing:
+        try:
+            if not path.is_file():
+                continue
+            size = path.stat().st_size
+        except FileNotFoundError:
+            continue  # deleted between listing and stat
         if ".tmp." in path.name:
             entries.append(CacheEntry(path, size, "orphan"))
             continue
@@ -208,6 +230,8 @@ def cache_entries(cache_dir: os.PathLike) -> List[CacheEntry]:
         try:
             with path.open("rb") as handle:
                 result = pickle.load(handle)
+        except FileNotFoundError:
+            continue  # deleted between stat and open
         except Exception:
             entries.append(CacheEntry(path, size, "corrupt"))
             continue
@@ -253,16 +277,29 @@ def _run_with_deadline(spec: ExperimentSpec, timeout_s: Optional[float]):
     def _alarm(signum, frame):
         raise _SpecTimeout()
 
+    # Ordering matters for every exit path.  The timer is armed *inside*
+    # the outer try so the handler is restored even if arming raises; the
+    # timer is disarmed in its own finally *before* the handler swap so a
+    # pending alarm can never fire into the caller's handler; and the
+    # handler restore sits in the outermost finally so an alarm delivered
+    # inside the disarm window (after ``run_experiment`` returns, before
+    # ``setitimer(0)`` takes effect — Python runs the handler at the next
+    # bytecode boundary, which may be inside this ``finally``) still
+    # leaves ``SIGALRM`` exactly as we found it.  Such a late alarm
+    # converts the attempt into a timeout failure, which is accurate: the
+    # deadline genuinely expired.
     previous = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        return run_experiment(spec)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        try:
+            return run_experiment(spec)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
-def _execute_guarded(
+def execute_guarded(
     spec: ExperimentSpec,
     timeout_s: Optional[float] = None,
     retries: int = 0,
@@ -270,7 +307,10 @@ def _execute_guarded(
     """Run one spec; never raises — failures come back as values.
 
     Returning (not raising) is what keeps a pool worker alive and the rest
-    of the grid unharmed when one configuration is broken.
+    of the grid unharmed when one configuration is broken.  This is the
+    execution primitive the sharded sweep orchestrator
+    (:mod:`repro.experiments.sweep`) layers its own retry/backoff and
+    watchdog machinery on top of.
     """
     attempts = 0
     while True:
@@ -293,10 +333,13 @@ def _execute_guarded(
             return failure
 
 
+_execute_guarded = execute_guarded  # back-compat alias
+
+
 def _execute_indexed_guarded(item):
     """Pool worker: (index, spec, timeout_s, retries) -> (index, outcome)."""
     index, spec, timeout_s, retries = item
-    return index, _execute_guarded(spec, timeout_s, retries)
+    return index, execute_guarded(spec, timeout_s, retries)
 
 
 def _run_pool(
@@ -397,7 +440,7 @@ def run_specs(
     for index, spec in enumerate(specs):
         if cache is not None:
             keys[index] = spec_key(spec)
-            cached = _load_cached(cache, keys[index])
+            cached = load_cached(cache, keys[index])
             if cached is not None:
                 results[index] = cached
                 continue
@@ -407,12 +450,12 @@ def run_specs(
         jobs = min(jobs, len(missing))
         if jobs == 1:
             for index in missing:
-                results[index] = _execute_guarded(specs[index], timeout_s, retries)
+                results[index] = execute_guarded(specs[index], timeout_s, retries)
         else:
             _run_pool(specs, missing, results, jobs, timeout_s, retries)
         if cache is not None:
             for index in missing:
-                _store_cached(cache, keys[index], results[index])
+                store_cached(cache, keys[index], results[index])
 
     failures = [r for r in results if isinstance(r, ExperimentFailure)]
     if failures and on_error == "raise":

@@ -45,6 +45,7 @@ __all__ = [
     "FaultPlan",
     "HintFaultModel",
     "HintFaultSpec",
+    "seed_stream",
 ]
 
 
@@ -79,6 +80,19 @@ def _derive_seed(*parts: object) -> int:
     text = "/".join(str(part) for part in parts)
     digest = hashlib.sha256(text.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def seed_stream(base_seed: int, count: int) -> Tuple[int, ...]:
+    """``count`` distinct 64-bit seeds deterministically derived from one.
+
+    Used by :mod:`repro.experiments.ensemble` to expand a single fault
+    plan into a Monte Carlo ensemble; SHA-256 derivation means the stream
+    is stable across interpreters and hash randomisation, like every
+    other stream in this module.
+    """
+    if count < 0:
+        raise FaultPlanError(f"seed_stream needs count >= 0, got {count}")
+    return tuple(_derive_seed(base_seed, "ensemble", i) for i in range(count))
 
 
 def _check_probability(name: str, value: float) -> None:
@@ -205,6 +219,21 @@ class FaultPlan:
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=seed)
+
+    def fan_out(self, count: int, base_seed: Optional[int] = None) -> Tuple["FaultPlan", ...]:
+        """``count`` copies of this plan on independent derived seed streams.
+
+        The Monte Carlo primitive: member ``i`` gets seed
+        ``derive(base, "ensemble", i)``, so ensemble members are mutually
+        independent (no seed collisions, no overlap with the base stream)
+        yet the whole ensemble is a pure function of ``base_seed`` —
+        re-running it re-produces every member bit-for-bit, which keeps
+        ensemble cells exactly as cacheable as single experiments.
+        """
+        if count < 1:
+            raise FaultPlanError(f"fan_out needs count >= 1, got {count}")
+        base = self.seed if base_seed is None else base_seed
+        return tuple(self.with_seed(seed) for seed in seed_stream(base, count))
 
     # -- serialisation (CLI --faults) --------------------------------------
     def to_dict(self) -> Dict[str, object]:

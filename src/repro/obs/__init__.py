@@ -47,15 +47,35 @@ Fault-injection vocabulary (emitted only under a :mod:`repro.faults` plan):
   ``reason`` ∈ scheduled/error/timeout);
 - ``fault.hint`` — a compiler hint was corrupted at the run-time layer
   (``process``, ``op``, ``mode`` ∈ drop/spurious/mistime, ``pages``).
+
+Sweep-orchestrator vocabulary (emitted by :mod:`repro.experiments.sweep`
+on a wall-clock bus — :class:`WallClock` stands in for the engine — and
+logged to ``<state_dir>/events.jsonl`` via :class:`JsonlSink`):
+
+- ``sweep.start`` / ``sweep.done`` — one orchestrator pass over a sweep
+  (``total``, ``pending``; done adds ``ok``/``failed``/``quarantined``);
+- ``sweep.progress`` — periodic completion counter (``done``, ``total``);
+- ``sweep.heartbeat`` — a shard's liveness beat was observed (``shard``);
+- ``sweep.requeue`` — a spec went back to the queue after a crash, hang,
+  or retryable failure (``key``, ``shard``, ``reason``, ``attempt``,
+  ``delay_s``);
+- ``sweep.quarantine`` — a poison spec was retired after its requeue
+  budget (``key``, ``shard``, ``reason``);
+- ``sweep.shard_slo`` — a shard exceeded its wall-clock SLO and stopped
+  claiming work (``shard``, ``elapsed_s``, ``slo_s``);
+- ``sweep.abort`` — the ``max_failures`` budget was exhausted
+  (``failures``, ``budget``).
 """
 
 from repro.obs.bus import Bus, Sink, TraceEvent
-from repro.obs.sinks import MetricsAggregator, TraceRecorder
+from repro.obs.sinks import JsonlSink, MetricsAggregator, TraceRecorder, WallClock
 
 __all__ = [
     "Bus",
+    "JsonlSink",
     "MetricsAggregator",
     "Sink",
     "TraceEvent",
     "TraceRecorder",
+    "WallClock",
 ]

@@ -1,13 +1,66 @@
-"""Bundled sinks: the bounded trace recorder and the metrics aggregator."""
+"""Bundled sinks: the bounded trace recorder, the metrics aggregator, and
+the JSONL event log used by orchestrator-level (``sweep.*``) buses."""
 
 from __future__ import annotations
 
+import os
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set
 
+from repro.ioutil import append_journal_line
 from repro.obs.bus import Sink, TraceEvent
 
-__all__ = ["MetricsAggregator", "TraceRecorder"]
+__all__ = ["JsonlSink", "MetricsAggregator", "TraceRecorder", "WallClock"]
+
+
+class WallClock:
+    """Engine stand-in for buses that live outside any simulation.
+
+    The :class:`~repro.obs.bus.Bus` stamps events with ``engine.now``; the
+    sweep orchestrator has no engine, so it hands the bus one of these —
+    ``now`` is wall-clock seconds since construction.  Simulation buses
+    are unaffected.
+    """
+
+    __slots__ = ("_origin",)
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+
+class JsonlSink(Sink):
+    """Appends every event as one JSON line to ``path``.
+
+    Built for low-rate orchestrator events (``sweep.*`` heartbeats and
+    progress): each event is one durable single-write append, so a killed
+    sweep leaves a readable event log up to the final instant.  Do not
+    attach it to per-op simulation buses — one ``open``/``write`` per
+    event is deliberate, not fast.
+    """
+
+    def __init__(
+        self, path: os.PathLike, kinds: Optional[Set[str]] = None, fsync: bool = False
+    ) -> None:
+        self.path = path
+        self.kinds = set(kinds) if kinds is not None else None
+        self.fsync = fsync
+        self.written = 0
+
+    def on_event(
+        self, time: float, kind: str, payload: Optional[Dict[str, object]]
+    ) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        record: Dict[str, object] = {"t": round(time, 6), "kind": kind}
+        if payload:
+            record.update(payload)
+        append_journal_line(self.path, record, fsync=self.fsync)
+        self.written += 1
 
 
 class TraceRecorder(Sink):

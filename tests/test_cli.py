@@ -277,3 +277,84 @@ class TestStructuredErrors:
             capsys,
             "no such file",
         )
+
+
+class TestSweepCommands:
+    """`repro sweep run|resume|status` and `repro ensemble`."""
+
+    def test_synthetic_run_resume_status(self, tmp_path, capsys):
+        state = str(tmp_path / "sweep")
+        assert main(["sweep", "run", "--state-dir", state, "--synthetic", "8"]) == 0
+        first = capsys.readouterr().out
+        assert "8/8 ok" in first
+        assert main(["sweep", "status", "--state-dir", state, "--digest"]) == 0
+        status = capsys.readouterr().out
+        assert "pending" in status
+        # Both surfaces agree on the merged digest.
+        digest = [
+            line for line in first.splitlines() if line.startswith("merged digest:")
+        ][0]
+        assert digest in status
+        assert main(["sweep", "resume", "--state-dir", state]) == 0
+        assert digest in capsys.readouterr().out
+
+    def test_failures_exit_nonzero(self, tmp_path, capsys):
+        state = str(tmp_path / "sweep")
+        code = main(
+            [
+                "sweep", "run", "--state-dir", state,
+                "--synthetic", "6", "--synthetic-fail-every", "3",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "4/6 ok" in captured.out
+        assert "synthetic failure" in captured.err
+
+    def test_rerun_without_resume_is_an_error(self, tmp_path, capsys):
+        state = str(tmp_path / "sweep")
+        assert main(["sweep", "run", "--state-dir", state, "--synthetic", "2"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "run", "--state-dir", state, "--synthetic", "2"]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_grid_run(self, tmp_path, capsys):
+        state = str(tmp_path / "sweep")
+        grid = '{"axes": {"benchmark": ["MATVEC"], "version": ["R"]}}'
+        code = main(
+            ["sweep", "run", "--state-dir", state, "--grid", grid, "--scale", "tiny"]
+        )
+        assert code == 0
+        assert "1/1 ok" in capsys.readouterr().out
+        # The recorded grid lets resume rebuild the specs by itself.
+        assert main(["sweep", "resume", "--state-dir", state]) == 0
+        assert "1/1 ok" in capsys.readouterr().out
+
+    def test_ensemble_deterministic_table(self, tmp_path, capsys):
+        argv = [
+            "ensemble", "--benchmark", "MATVEC", "--scale", "tiny",
+            "--seeds", "3", "--resamples", "50",
+            "--faults", '{"disk": {"io_error_prob": 0.02}}',
+            "--fault-seed", "5",
+        ]
+        assert main(argv + ["--state-dir", str(tmp_path / "a")]) == 0
+        first = capsys.readouterr().out
+        assert "3/3 fault seeds" in first
+        assert "ci95_lo" in first
+        assert main(argv + ["--state-dir", str(tmp_path / "b")]) == 0
+        # Fixed --fault-seed: the whole table (members + CIs) reproduces.
+        assert capsys.readouterr().out == first
+
+
+class TestComparePoliciesExit:
+    def test_failed_cells_exit_nonzero(self, capsys):
+        code = main(
+            [
+                "compare-policies", "--benchmark", "MATVEC", "--scale", "tiny",
+                "--timeout", "0.0001",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED(timeout)" in captured.out
+        assert "policy cells failed" in captured.err

@@ -1,8 +1,21 @@
-"""The parallel runner: spec hashing, caching, and fan-out."""
+"""The parallel runner: spec hashing, caching, fan-out, and containment."""
+
+import pathlib
+import signal
+import time
 
 import pytest
 
-from repro.experiments.runner import run_specs, spec_key
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import (
+    ExperimentFailure,
+    cache_entries,
+    execute_guarded,
+    prune_cache,
+    run_specs,
+    spec_key,
+    store_cached,
+)
 from repro.machine import ExperimentSpec
 from repro.sim.engine import Engine
 
@@ -89,3 +102,126 @@ def test_parallel_pool_path_matches_serial(scale):
 def test_rejects_nonpositive_jobs(scale):
     with pytest.raises(ValueError):
         run_specs([_spec(scale)], jobs=0)
+
+
+# -- SIGALRM deadline hygiene ------------------------------------------------
+
+
+@pytest.fixture
+def sentinel_alarm():
+    """Install a recognisable SIGALRM handler; restore it afterwards."""
+
+    def handler(signum, frame):  # pragma: no cover - must never fire
+        raise AssertionError("sentinel SIGALRM handler invoked")
+
+    previous = signal.signal(signal.SIGALRM, handler)
+    try:
+        yield handler
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _assert_alarm_pristine(handler):
+    assert signal.getsignal(signal.SIGALRM) is handler
+    # The itimer must be fully disarmed, not merely rescheduled.
+    assert signal.setitimer(signal.ITIMER_REAL, 0.0) == (0.0, 0.0)
+
+
+class TestDeadlineHygiene:
+    """``_run_with_deadline`` must restore the caller's SIGALRM state on
+    *every* exit path — success, timeout, and error (a leaked handler or
+    armed timer fires into unrelated code minutes later)."""
+
+    def test_success_path(self, scale, sentinel_alarm):
+        result = execute_guarded(_spec(scale), timeout_s=120.0)
+        assert not isinstance(result, ExperimentFailure)
+        _assert_alarm_pristine(sentinel_alarm)
+
+    def test_timeout_path(self, scale, sentinel_alarm, monkeypatch):
+        monkeypatch.setattr(
+            runner_mod, "run_experiment", lambda spec: time.sleep(30)
+        )
+        failure = execute_guarded(_spec(scale), timeout_s=0.05)
+        assert isinstance(failure, ExperimentFailure)
+        assert failure.kind == "timeout"
+        _assert_alarm_pristine(sentinel_alarm)
+
+    def test_error_path(self, scale, sentinel_alarm, monkeypatch):
+        def explode(spec):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(runner_mod, "run_experiment", explode)
+        failure = execute_guarded(_spec(scale), timeout_s=120.0)
+        assert isinstance(failure, ExperimentFailure)
+        assert failure.kind == "error" and "boom" in failure.message
+        _assert_alarm_pristine(sentinel_alarm)
+
+    def test_failures_are_not_cached(self, scale, tmp_path):
+        spec = _spec(scale)
+        failure = ExperimentFailure(spec, "error", "synthetic")
+        store_cached(tmp_path, spec_key(spec), failure)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_backcompat_aliases(self):
+        assert runner_mod._load_cached is runner_mod.load_cached
+        assert runner_mod._store_cached is runner_mod.store_cached
+        assert runner_mod._execute_guarded is runner_mod.execute_guarded
+
+
+# -- cache inspection under concurrent writers -------------------------------
+
+
+class TestCacheRaces:
+    """``cache_entries``/``prune_cache`` share a directory with live
+    workers and other pruners: entries may vanish between listing and
+    inspection, and partial writes may appear at any time."""
+
+    def test_missing_directory(self, tmp_path):
+        assert cache_entries(tmp_path / "nope") == []
+        assert prune_cache(tmp_path / "nope") == []
+
+    def test_entry_vanishing_before_stat_is_skipped(
+        self, scale, tmp_path, monkeypatch
+    ):
+        run_specs([_spec(scale)], cache_dir=tmp_path)
+        (tmp_path / "vanishing.pkl").write_bytes(b"soon gone")
+        real_stat = pathlib.Path.stat
+
+        def racing_stat(self, **kwargs):
+            if self.name == "vanishing.pkl":
+                self.unlink(missing_ok=True)  # a concurrent pruner won
+                raise FileNotFoundError(str(self))
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "stat", racing_stat)
+        entries = cache_entries(tmp_path)
+        assert [e.status for e in entries] == ["ok"]
+
+    def test_entry_vanishing_before_open_is_skipped(
+        self, scale, tmp_path, monkeypatch
+    ):
+        run_specs([_spec(scale)], cache_dir=tmp_path)
+        victim = tmp_path / "vanishing.pkl"
+        victim.write_bytes(b"soon gone")
+        real_open = pathlib.Path.open
+
+        def racing_open(self, *args, **kwargs):
+            if self.name == "vanishing.pkl":
+                raise FileNotFoundError(str(self))
+            return real_open(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "open", racing_open)
+        entries = cache_entries(tmp_path)
+        assert [e.status for e in entries] == ["ok"]
+
+    def test_torn_partial_write_classifies_corrupt(self, scale, tmp_path):
+        run_specs([_spec(scale)], cache_dir=tmp_path)
+        (tmp_path / "torn.pkl").write_bytes(b"\x80\x05")  # truncated pickle
+        orphan = tmp_path / "x.pkl.tmp.123"
+        orphan.write_bytes(b"half-renamed")
+        statuses = sorted(e.status for e in cache_entries(tmp_path))
+        assert statuses == ["corrupt", "ok", "orphan"]
+        removed = prune_cache(tmp_path)
+        assert sorted(e.status for e in removed) == ["corrupt", "orphan"]
+        assert [e.status for e in cache_entries(tmp_path)] == ["ok"]
