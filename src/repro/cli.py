@@ -742,11 +742,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"--check given but no baseline at {args.baseline}", file=sys.stderr)
         return 2
     rows = []
+    records = []
     failures = []
     for name in names:
         record, profile_text = bench.run_case(
             name, repeats=args.repeats, profile=args.profile
         )
+        records.append(record)
         ok, message = bench.compare_to_baseline(
             record,
             baseline_cases,
@@ -763,12 +765,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             profile_path = Path(args.out_dir) / f"PROFILE_{name}.txt"
             profile_path.write_text(profile_text, encoding="utf-8")
             print(f"profile written: {profile_path}")
+        meta = record.meta
+        ops_per_s = meta.get("ops_per_s", 0.0)
+        hit_rate = meta.get("bulk_hit_rate")
         rows.append(
             (
                 record.name,
                 f"{record.wall_s:.3f}",
                 record.engine_steps,
                 f"{record.events_per_s:,.0f}",
+                "-" if not ops_per_s else f"{ops_per_s:,.0f}",
+                "-"
+                if not meta.get("bulk_runs")
+                else f"{hit_rate:.1%}",
                 f"{record.sim_s_per_wall_s:.2f}",
                 f"{record.peak_rss_mb:.1f}",
                 "-"
@@ -783,21 +792,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "wall s",
                 "events",
                 "events/s",
+                "ops/s",
+                "bulk hit",
                 "sim s / wall s",
                 "rss MB",
                 "vs baseline",
             ],
             rows,
-            title=f"repro bench (best of {args.repeats})",
+            title=f"repro bench (best of {args.repeats}, lane "
+            f"{records[0].meta.get('lane', '?') if records else '?'})",
         )
     )
     if args.update_baseline:
         from repro.ioutil import atomic_write_json
 
         payload = {
-            "note": "committed wall-clock baselines for `repro bench --check`",
+            "note": (
+                "committed wall-clock baselines for `repro bench --check`; "
+                "rewrite with `repro bench --all --update-baseline` on a "
+                "quiet machine"
+            ),
+            # Cases not rerun this invocation keep their old entries.
             "cases": {
-                row[0]: {"wall_s": float(row[1])} for row in rows
+                **baseline_cases,
+                **{
+                    record.name: {
+                        "wall_s": record.wall_s,
+                        "engine_steps": record.engine_steps,
+                        "sim_s": record.sim_s,
+                        "specs": record.specs,
+                        "events_per_s": record.events_per_s,
+                        "ops_per_s": record.meta.get("ops_per_s", 0.0),
+                        "bulk_hit_rate": record.meta.get("bulk_hit_rate", 0.0),
+                        "sim_s_per_wall_s": record.sim_s_per_wall_s,
+                        "peak_rss_mb": record.peak_rss_mb,
+                    }
+                    for record in records
+                },
             },
         }
         atomic_write_json(args.baseline, payload)

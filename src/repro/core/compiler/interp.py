@@ -248,6 +248,10 @@ class NestRunner:
         self._by_stmt: Dict[int, List[_RefState]] = {}
         for state in self._states:
             self._by_stmt.setdefault(id(state.cref.reuse.stmt), []).append(state)
+        # Per-innermost-loop invariants (id(loop) -> (total_flops,
+        # has_refs)): both depend only on the IR body, and the innermost
+        # entry runs once per outer iteration.
+        self._innermost_meta: Dict[int, Tuple[float, bool]] = {}
 
     # -- public entry -----------------------------------------------------
     def run(self) -> Iterator[Op]:
@@ -312,7 +316,20 @@ class NestRunner:
                 yield from self._run_innermost_slow(loop)
             return
         body = loop.body
-        total_flops = sum(stmt.flops for stmt in body)
+        meta = self._innermost_meta.get(id(loop))
+        if meta is None:
+            total_flops = sum(stmt.flops for stmt in body)
+            has_refs = any(id(stmt) in self._by_stmt for stmt in body)
+            self._innermost_meta[id(loop)] = (total_flops, has_refs)
+        else:
+            total_flops, has_refs = meta
+        if not has_refs:
+            # No page references anywhere in the body: the chunk loop below
+            # would run exactly once with chunk == iterations_left and emit
+            # one compute op — same expression, so bit-identical output.
+            iterations = (hi - lo + step - 1) // step
+            yield ("w", iterations * total_flops * self.machine.cpu_s_per_element)
+            return
         affine_entries: List[Tuple[_RefState, int, int, int, int]] = []
         indirect_entries: List[_RefState] = []
         for stmt in body:

@@ -83,6 +83,14 @@ class RuntimeLayer:
         self._inflight: Set[int] = set()
         self._drain_armed = True
         self._queue = Store(self.engine, name=f"{process.name}-rt-queue")
+        # Hot-path bindings for the inline hint filters, which run once per
+        # compiler hint: the shared page's bitmap set, and the per-page
+        # filter cost.  The bitmap set's identity is stable for the PM's
+        # lifetime, so membership tests can skip the method hop.
+        self._bits = pm.shared_page._bits
+        self._hint_filter_s = params.hint_filter_s
+        self._emit_prefetch = version.prefetch
+        self._emit_release = version.release
         self._workers: List[SimTask] = []
         if version.prefetch:
             for index in range(params.prefetch_threads):
@@ -106,52 +114,60 @@ class RuntimeLayer:
     # -- prefetch hints --------------------------------------------------------
     def handle_prefetch(self, tag: int, vpns: Sequence[int]) -> None:
         """Inline handling of one compiler prefetch hint (synchronous)."""
-        if not self.version.prefetch:
+        if not self._emit_prefetch:
             return
-        corrupted = self._corrupted("prefetch", vpns)
-        if corrupted is None:
-            return
-        vpns = corrupted
-        self.process.charge(self.params.hint_filter_s * len(vpns))
-        self.stats.prefetch_hints += len(vpns)
-        page_in_memory = self.pm.page_in_memory
+        if self.faults is not None:
+            corrupted = self._corrupted("prefetch", vpns)
+            if corrupted is None:
+                return
+            vpns = corrupted
+        n = len(vpns)
+        self.process.pending_user += self._hint_filter_s * n
+        stats = self.stats
+        stats.prefetch_hints += n
+        bits = self._bits
+        inflight = self._inflight
+        queue_put = self._queue.put
         for vpn in vpns:
-            if page_in_memory(vpn):
-                self.stats.prefetch_filtered_bitmap += 1
-                continue
-            if vpn in self._inflight:
-                self.stats.prefetch_filtered_inflight += 1
-                continue
-            self._inflight.add(vpn)
-            self.stats.prefetch_enqueued += 1
-            self._queue.put(("pf", vpn))
+            if vpn in bits:
+                stats.prefetch_filtered_bitmap += 1
+            elif vpn in inflight:
+                stats.prefetch_filtered_inflight += 1
+            else:
+                inflight.add(vpn)
+                stats.prefetch_enqueued += 1
+                queue_put(("pf", vpn))
 
     # -- release hints -----------------------------------------------------------
     def handle_release(self, tag: int, vpns: Sequence[int], priority: int) -> None:
         """Inline handling of one compiler release hint (synchronous)."""
-        if not self.version.release:
+        if not self._emit_release:
             return
-        corrupted = self._corrupted("release", vpns)
-        if corrupted is None:
-            return
-        vpns = corrupted
-        self.process.charge(self.params.hint_filter_s * len(vpns))
-        self.stats.release_hints += 1
-        self.stats.release_pages_hinted += len(vpns)
+        if self.faults is not None:
+            corrupted = self._corrupted("release", vpns)
+            if corrupted is None:
+                return
+            vpns = corrupted
+        n = len(vpns)
+        self.process.pending_user += self._hint_filter_s * n
+        stats = self.stats
+        stats.release_hints += 1
+        stats.release_pages_hinted += n
         # Filter 1: the bitmap check — drop pages not in memory.
-        page_in_memory = self.pm.page_in_memory
-        pages = tuple(v for v in vpns if page_in_memory(v))
-        self.stats.release_filtered_bitmap += len(vpns) - len(pages)
+        bits = self._bits
+        pages = tuple(v for v in vpns if v in bits)
+        stats.release_filtered_bitmap += n - len(pages)
         # Filter 2: the one-behind tag filter.  Record this request; handle
         # the previously recorded one only if it names different pages.
-        previous = self._last_release.get(tag)
+        last_release = self._last_release
+        previous = last_release.get(tag)
         prev_priority = self._last_priority.get(tag, priority)
-        self._last_release[tag] = pages
+        last_release[tag] = pages
         self._last_priority[tag] = priority
         if previous is None:
             return
         if previous == pages:
-            self.stats.release_filtered_same_page += len(previous)
+            stats.release_filtered_same_page += len(previous)
             return
         if previous:
             self._handle_surviving(tag, previous, prev_priority)
@@ -220,17 +236,76 @@ class RuntimeLayer:
 
     # -- the worker pool -----------------------------------------------------------
     def _worker(self, task: SimTask):
-        """One pthread: issues PM requests and waits for their I/O."""
+        """One pthread: issues PM requests and waits for their I/O.
+
+        The PM's :meth:`~repro.kernel.paging_directed.PagingDirectedPm.prefetch`
+        and :meth:`~repro.kernel.paging_directed.PagingDirectedPm.release`
+        generators are inlined here — identical bookkeeping, syscall charge,
+        and VM calls, minus one delegating frame per request on the layer's
+        hottest path.  The inlining is a transcription of the *base class*
+        bodies, so it only applies when the PM actually uses them: a policy
+        that overrides prefetch/release (user-mode frees inline instead of
+        handing to the releaser daemon) gets the delegating call.
+        """
+        queue_get = self._queue.get
+        inflight_discard = self._inflight.discard
+        pm = self.pm
+        inline_prefetch = type(pm).prefetch is PagingDirectedPm.prefetch
+        inline_release = type(pm).release is PagingDirectedPm.release
+        vm = pm.vm
+        aspace = pm.aspace
+        mapped = pm.mapped_range
+        shared = pm.shared_page
+        prefetch_page = vm.prefetch_page
+        request_release = vm.request_release
+        syscall_s = pm._syscall_s
+        timeout = self.engine.timeout
+        buckets = task.buckets
         while True:
-            item = yield self._queue.get()
+            item = yield queue_get()
             if item[0] == "pf":
                 vpn = item[1]
+                if not inline_prefetch:
+                    try:
+                        yield from pm.prefetch(task, vpn)
+                    finally:
+                        inflight_discard(vpn)
+                    continue
                 try:
-                    yield from self.pm.prefetch(task, vpn)
+                    if vpn not in mapped:
+                        raise ValueError(f"vpn {vpn} outside {pm!r}")
+                    pm.prefetch_requests += 1
+                    if vm.obs is not None:
+                        vm.obs.emit(
+                            "kernel.syscall",
+                            {"syscall": "pm_prefetch", "aspace": aspace.name},
+                        )
+                    if syscall_s > 0:
+                        yield timeout(syscall_s)
+                        buckets.system += syscall_s
+                    yield from prefetch_page(task, aspace, vpn)
+                    shared.refresh()
                 finally:
-                    self._inflight.discard(vpn)
+                    inflight_discard(vpn)
             else:
-                yield from self.pm.release(task, item[1])
+                if not inline_release:
+                    yield from pm.release(task, item[1])
+                    continue
+                vpns = item[1]
+                pages = [v for v in vpns if v in mapped]
+                if len(pages) != len(vpns):
+                    raise ValueError("release request outside the PM's range")
+                pm.release_requests += 1
+                pm.release_pages_requested += len(pages)
+                if vm.obs is not None:
+                    vm.obs.emit(
+                        "kernel.syscall",
+                        {"syscall": "pm_release", "aspace": aspace.name},
+                    )
+                if syscall_s > 0:
+                    yield timeout(syscall_s)
+                    buckets.system += syscall_s
+                request_release(aspace, pages)
 
     # -- reporting ----------------------------------------------------------------
     @property

@@ -37,6 +37,7 @@ class ScsiAdapter:
         self._slots = Resource(
             engine, params.adapter_queue_depth, name=f"scsi{adapter_id}"
         )
+        self._overhead_s = params.adapter_overhead_s
         self.commands = 0
         self.errors = 0
 
@@ -60,7 +61,7 @@ class ScsiAdapter:
         try:
             self.commands += 1
             # Command setup/teardown overhead on the channel.
-            yield self.engine.timeout(self.params.adapter_overhead_s)
+            yield self.engine.timeout(self._overhead_s)
             request: DiskRequest = disk.submit(block, is_write)
             yield request.done
         except DiskIOError:

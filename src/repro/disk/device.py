@@ -25,7 +25,7 @@ from repro.sim.engine import Engine, Event
 __all__ = ["DiskDevice", "DiskRequest"]
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskRequest:
     """One page-sized transfer.
 
@@ -73,6 +73,12 @@ class DiskDevice:
         self.faults = faults
         self._busy_until = 0.0
         self._last_block: Optional[int] = None
+        # Service-time constants (submit runs once per page of swap traffic).
+        self._seq_position_s = (
+            params.average_seek_s * 0.3 + params.rotational_latency_s * 0.5
+        )
+        self._rand_position_s = params.average_seek_s + params.rotational_latency_s
+        self._transfer_s = params.transfer_s_per_page
         # Statistics.
         self.requests = 0
         self.reads = 0
@@ -83,18 +89,13 @@ class DiskDevice:
         self.total_queue_delay = 0.0
 
     def _service_time(self, block: int) -> float:
-        params = self.params
         if self._last_block is not None and block == self._last_block + 1:
             # Head is near: short seek (track-to-track-ish) plus an average
             # half rotation — raw swap partitions are not laid out for
             # zero-latency sequential reads.
             self.sequential_hits += 1
-            positioning = (
-                params.average_seek_s * 0.3 + params.rotational_latency_s * 0.5
-            )
-        else:
-            positioning = params.average_seek_s + params.rotational_latency_s
-        return positioning + params.transfer_s_per_page
+            return self._seq_position_s + self._transfer_s
+        return self._rand_position_s + self._transfer_s
 
     def submit(self, block: int, is_write: bool) -> DiskRequest:
         """Queue one page transfer; ``request.done`` fires on completion.
@@ -103,8 +104,14 @@ class DiskDevice:
         :class:`~repro.faults.DiskIOError` instead — after the same queueing
         and service delay a successful transfer would have taken.
         """
-        now = self.engine.now
-        service = self._service_time(block)
+        now = self.engine._now
+        # _service_time inlined: one method call per page of swap traffic.
+        last = self._last_block
+        if last is not None and block == last + 1:
+            self.sequential_hits += 1
+            service = self._seq_position_s + self._transfer_s
+        else:
+            service = self._rand_position_s + self._transfer_s
         failed = False
         if self.faults is not None:
             service, failed = self.faults.perturb(service)

@@ -36,6 +36,7 @@ class SharedPage:
         # Equation 1 is a constant; refresh() runs on every fault and hint.
         self._maxrss = vm.tunables.maxrss_pages(len(vm.frame_table))
         self._min_freemem = vm.tunables.min_freemem_pages
+        self._freelist = vm.freelist
         # "When the application attaches the PM to a region of its virtual
         # address space, the bits corresponding to those addresses are all
         # cleared" — we start with an empty set, which is the same thing.
@@ -60,14 +61,13 @@ class SharedPage:
     def refresh(self) -> None:
         """Recompute the two reserved words (called on memory activity)."""
         self.refreshes += 1
-        vm = self._vm
-        current = self._aspace.resident
-        free = vm.freelist.free_count
+        current = self._aspace._resident
+        free = self._freelist._free_count
         self.current_usage = current
         self.upper_limit = min(
             self._maxrss, current + free - self._min_freemem
         )
-        obs = vm.obs
+        obs = self._vm.obs
         if obs is not None and obs.wants("kernel.shared_page"):
             obs.emit(
                 "kernel.shared_page",

@@ -457,7 +457,12 @@ class Machine:
         """Like :meth:`_prepare_out_of_core`, but replaying a recorded
         op stream: the trace header supplies the layout, hint version, and
         default process name; no compiler or interpreter work happens."""
-        from repro.trace.workload import TraceWorkload, replay_driver
+        from repro.trace.workload import (
+            TraceWorkload,
+            replay_columns_driver,
+            replay_driver,
+        )
+        from repro.vm import fastlane
 
         scale = self.scale
         trace = TraceWorkload(wspec.trace_path)
@@ -467,7 +472,18 @@ class Machine:
                 f"{trace.digest[:12]}… does not match the spec's "
                 f"{wspec.trace_digest[:12]}…"
             )
-        ops = trace.ops()  # decode (and checksum-validate) before wiring
+        # Lane selection: the object-free column replayer, unless the fast
+        # lane is disabled or a trace.op observer is attached (observers
+        # are owed tuple-shaped ops, which only the legacy driver builds).
+        bus = self.bus
+        use_columns = fastlane.lane_mode() != fastlane.LANE_OFF and not (
+            bus is not None and bus.wants("trace.op")
+        )
+        if use_columns:
+            # Decode (and checksum-validate) before wiring.
+            payload = trace.columns()
+        else:
+            payload = trace.ops()
         header = trace.header
         if header.page_size and header.page_size != scale.machine.page_size:
             raise SpecError(
@@ -505,7 +521,10 @@ class Machine:
                     "layout": header.layout,
                 },
             )
-        driver = replay_driver(process, runtime, ops, version, scale)
+        if use_columns:
+            driver = replay_columns_driver(process, runtime, payload, version, scale)
+        else:
+            driver = replay_driver(process, runtime, payload, version, scale)
         self._attached.append(attached)
         return attached, driver
 

@@ -346,16 +346,19 @@ class Process(Event):
             self.fail(exc)
             return
         engine.active_process = previous
-        if not isinstance(target, Event):
+        self._waiting_on = target
+        # Inlined add_callback with the cached bound method.  The yielded
+        # value is trusted to be an Event of this engine; anything else
+        # surfaces as the AttributeError below, converted to the same
+        # diagnostic the explicit isinstance check used to raise (checking
+        # up front cost two tests on every yield of every process).
+        try:
+            callbacks = target.callbacks
+        except AttributeError:
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 "yield Event instances"
-            )
-        if target.engine is not engine:
-            raise SimulationError("process yielded an event from another engine")
-        self._waiting_on = target
-        # Inlined add_callback with the cached bound method.
-        callbacks = target.callbacks
+            ) from None
         if callbacks is None:
             self._bound_resume(target)
         else:
@@ -449,7 +452,10 @@ class Engine:
         pool = self._event_pool
         if pool:
             event = pool.pop()
-            event.callbacks = []
+            # Recycled events keep their (cleared) callback list, so the
+            # common path allocates nothing at all.
+            if event.callbacks is None:
+                event.callbacks = []
             event._state = _PENDING
             return event
         return Event(self)
@@ -468,7 +474,8 @@ class Engine:
             if delay < 0:
                 raise SimulationError(f"negative timeout delay: {delay}")
             timeout = pool.pop()
-            timeout.callbacks = []
+            if timeout.callbacks is None:
+                timeout.callbacks = []
             timeout._state = _TRIGGERED
             if delay == 0.0:
                 self._lane.append(timeout)
@@ -765,13 +772,24 @@ class Engine:
                 # references left must be the local `event` and getrefcount's
                 # own argument.  Anything held by a condition, a generator
                 # frame, or user code keeps a third reference and is skipped.
-                if event._value is None and getrefcount(event) == 2:
+                # Plain Events get their value cleared so carrying one (every
+                # lock grant and queue hand-off does) doesn't bar reuse or pin
+                # the payload; Timeouts must stay value-less because
+                # ``timeout()`` reuses them without resetting the value.
+                if getrefcount(event) == 2:
                     cls = type(event)
                     if cls is Timeout:
-                        if len(pool) < _TIMEOUT_POOL_LIMIT:
+                        if event._value is None and len(pool) < _TIMEOUT_POOL_LIMIT:
+                            if callbacks is not None:
+                                callbacks.clear()
+                                event.callbacks = callbacks
                             pool.append(event)
                     elif cls is Event and event._ok:
                         if len(event_pool) < _TIMEOUT_POOL_LIMIT:
+                            event._value = None
+                            if callbacks is not None:
+                                callbacks.clear()
+                                event.callbacks = callbacks
                             event_pool.append(event)
         finally:
             self.steps = steps
@@ -828,13 +846,20 @@ class Engine:
                 if callbacks:
                     for callback in callbacks:
                         callback(popped)
-                if popped._value is None and getrefcount(popped) == 2:
+                if getrefcount(popped) == 2:
                     cls = type(popped)
                     if cls is Timeout:
-                        if len(pool) < _TIMEOUT_POOL_LIMIT:
+                        if popped._value is None and len(pool) < _TIMEOUT_POOL_LIMIT:
+                            if callbacks is not None:
+                                callbacks.clear()
+                                popped.callbacks = callbacks
                             pool.append(popped)
                     elif cls is Event and popped._ok:
                         if len(event_pool) < _TIMEOUT_POOL_LIMIT:
+                            popped._value = None
+                            if callbacks is not None:
+                                callbacks.clear()
+                                popped.callbacks = callbacks
                             event_pool.append(popped)
         finally:
             self.steps = steps

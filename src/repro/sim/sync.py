@@ -12,7 +12,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional
 
-from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.engine import _TRIGGERED, Engine, Event, SimulationError
+
+# Event.succeed is inlined at the uncontended/non-blocking fast paths below
+# (state/value stores plus a now-lane append): the events are freshly made or
+# known-pending, so the succeed() guard is vacuous, and these paths run for
+# every lock acquisition, adapter slot grant, and queue hand-off.
 
 __all__ = ["Lock", "Resource", "Store"]
 
@@ -46,29 +51,42 @@ class Lock:
         return len(self._waiters)
 
     def acquire(self, who: object = None) -> Event:
-        event = self.engine.event()
+        engine = self.engine
+        event = engine.event()
         if self._holder is None:
-            self._grant(event, who, waited=0.0)
+            # _grant inlined for the uncontended case (zero wait adds
+            # nothing to the accounting), which is nearly every fault.
+            self._holder = who if who is not None else event
+            self._held_since = engine._now
+            self.acquisitions += 1
+            event._state = _TRIGGERED
+            event._value = self
+            event._ok = True
+            engine._lane.append(event)
         else:
             self.contended_acquisitions += 1
-            self._waiters.append((event, who, self.engine.now))
+            self._waiters.append((event, who, engine._now))
         return event
 
     def _grant(self, event: Event, who: object, waited: float) -> None:
         self._holder = who if who is not None else event
-        self._held_since = self.engine.now
+        self._held_since = self.engine._now
         self.acquisitions += 1
         self.total_wait_time += waited
-        event.succeed(self)
+        event._state = _TRIGGERED
+        event._value = self
+        event._ok = True
+        self.engine._lane.append(event)
 
     def release(self) -> None:
         if self._holder is None:
             raise SimulationError(f"release of unheld lock {self.name!r}")
-        self.total_hold_time += self.engine.now - self._held_since
+        now = self.engine._now
+        self.total_hold_time += now - self._held_since
         self._holder = None
         if self._waiters:
             event, who, enqueued = self._waiters.popleft()
-            self._grant(event, who, waited=self.engine.now - enqueued)
+            self._grant(event, who, waited=now - enqueued)
 
     def holding(self, who: object = None):
         """Generator helper: ``yield from lock.holding()`` is not supported;
@@ -106,10 +124,14 @@ class Resource:
         return self.capacity - self._in_use
 
     def acquire(self) -> Event:
-        event = self.engine.event()
+        engine = self.engine
+        event = engine.event()
         if self._in_use < self.capacity:
             self._in_use += 1
-            event.succeed(self)
+            event._state = _TRIGGERED
+            event._value = self
+            event._ok = True
+            engine._lane.append(event)
         else:
             self._wait_started[id(event)] = self.engine.now
             self._waiters.append(event)
@@ -121,10 +143,14 @@ class Resource:
         self._in_use -= 1
         if self._waiters:
             event = self._waiters.popleft()
-            started = self._wait_started.pop(id(event), self.engine.now)
-            self.total_wait_time += self.engine.now - started
+            now = self.engine._now
+            started = self._wait_started.pop(id(event), now)
+            self.total_wait_time += now - started
             self._in_use += 1
-            event.succeed(self)
+            event._state = _TRIGGERED
+            event._value = self
+            event._ok = True
+            self.engine._lane.append(event)
 
 
 class Store:
@@ -151,17 +177,27 @@ class Store:
         self.puts += 1
         if self._getters:
             self.gets += 1
-            self._getters.popleft().succeed(item)
+            event = self._getters.popleft()
+            event._state = _TRIGGERED
+            event._value = item
+            event._ok = True
+            event.engine._lane.append(event)
         else:
-            self._items.append(item)
-            if len(self._items) > self.max_depth:
-                self.max_depth = len(self._items)
+            items = self._items
+            items.append(item)
+            depth = len(items)
+            if depth > self.max_depth:
+                self.max_depth = depth
 
     def get(self) -> Event:
-        event = self.engine.event()
+        engine = self.engine
+        event = engine.event()
         if self._items:
             self.gets += 1
-            event.succeed(self._items.popleft())
+            event._state = _TRIGGERED
+            event._value = self._items.popleft()
+            event._ok = True
+            engine._lane.append(event)
         else:
             self._getters.append(event)
         return event

@@ -46,23 +46,23 @@ class SimTask:
 
     def wait_io(self, event: Event):
         """Wait on an event, charging the elapsed time to I/O stall."""
-        started = self.engine.now
+        started = self.engine._now
         value = yield event
-        self.buckets.stall_io += self.engine.now - started
+        self.buckets.stall_io += self.engine._now - started
         return value
 
     def wait_memory(self, event: Event):
         """Wait on an event, charging the elapsed time to memory stall."""
-        started = self.engine.now
+        started = self.engine._now
         value = yield event
-        self.buckets.stall_memory += self.engine.now - started
+        self.buckets.stall_memory += self.engine._now - started
         return value
 
     def lock_acquire(self, lock: Lock):
         """Acquire a lock; queueing time is a memory-system stall."""
-        started = self.engine.now
+        started = self.engine._now
         yield lock.acquire(self)
-        self.buckets.stall_memory += self.engine.now - started
+        self.buckets.stall_memory += self.engine._now - started
 
     def sleep(self, seconds: float):
         """Advance the clock without charging any bucket (idle time)."""

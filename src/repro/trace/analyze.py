@@ -35,6 +35,7 @@ __all__ = [
     "regenerate_ops",
     "trace_info",
     "verify_against_code",
+    "verify_bytes_against_code",
 ]
 
 #: Header fields whose disagreement makes two traces semantically
@@ -237,6 +238,63 @@ def verify_against_code(path: os.PathLike) -> Dict[str, object]:
     return summary
 
 
+def verify_bytes_against_code(path: os.PathLike) -> Dict[str, object]:
+    """Byte-level fast twin of :func:`verify_against_code`.
+
+    Regenerates the op stream from source and *re-encodes* it, then
+    compares the result against the file's record body with one memcmp —
+    the recorded stream is never decoded into tuples.  The encoding is
+    canonical (the delta cursor and interning tables depend only on the op
+    sequence), so byte equality proves op-for-op equality.
+
+    A byte mismatch is not yet a verdict: a trace recorded with fault
+    annotations legitimately interleaves ``'f'`` records (which perturb
+    the vpn-delta and float-table chains) that regeneration cannot
+    produce, so a mismatch falls back to the tuple-level diff, which
+    strips annotations before comparing.  Corrupt files take the fallback
+    too and raise the same typed errors :func:`verify_against_code` would.
+    """
+    import json
+    import zlib
+
+    from repro.trace.format import MAGIC, TraceError, _U32, encode_body
+
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    fast_ok = (
+        data[:8] == MAGIC
+        and len(data) >= 17
+        and _U32.unpack_from(data, len(data) - 4)[0] == zlib.crc32(data[8:-4])
+    )
+    if fast_ok:
+        header_len = _U32.unpack_from(data, 8)[0]
+        body_start = 12 + header_len
+        try:
+            header = TraceHeader.from_dict(
+                json.loads(data[12:body_start].decode("utf-8"))
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            header = None
+        if header is not None:
+            body, count = encode_body(regenerate_ops(header))
+            if body == data[body_start:-4]:
+                return {
+                    "path": str(path),
+                    "workload": header.workload,
+                    "version": header.version,
+                    "scale": header.scale,
+                    "recorded_ops": count,
+                    "regenerated_ops": count,
+                    "equal": True,
+                    "method": "bytes",
+                }
+    summary = verify_against_code(path)
+    summary["method"] = "ops"
+    return summary
+
+
 # -- footprint / locality stats ---------------------------------------------
 def trace_info(path: os.PathLike) -> Dict[str, object]:
     """Footprint and locality statistics for one trace file."""
@@ -271,6 +329,11 @@ def trace_info(path: os.PathLike) -> Dict[str, object]:
             user_s += op[1]
         elif kind == "T":
             start, count, write, secs = op[1], op[2], op[3], op[4]
+            if count <= 0:
+                # A zero-count run touches nothing: it must not move the
+                # stream cursor or perturb the locality counters (the
+                # interpreter never emits one, but the format admits it).
+                continue
             touches += count
             write_touches += count if write else 0
             user_s += secs * count

@@ -51,6 +51,7 @@ import os
 import struct
 import tempfile
 import zlib
+from array import array
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -58,6 +59,15 @@ from typing import Dict, Iterable, List, Optional, Tuple
 __all__ = [
     "MAGIC",
     "TRACE_FORMAT_VERSION",
+    "K_COMPUTE",
+    "K_FAULT",
+    "K_PREFETCH",
+    "K_RELEASE",
+    "K_RUN_READ",
+    "K_RUN_WRITE",
+    "K_TOUCH_READ",
+    "K_TOUCH_WRITE",
+    "ReplayColumns",
     "TraceChecksumError",
     "TraceError",
     "TraceFormatError",
@@ -65,7 +75,11 @@ __all__ = [
     "TraceReader",
     "TraceTruncatedError",
     "TraceWriter",
+    "decode_columns",
+    "decode_trace",
+    "encode_body",
     "file_digest",
+    "read_columns",
     "read_header",
     "read_trace",
     "write_trace",
@@ -194,52 +208,28 @@ def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
             raise TraceFormatError("varint field longer than 10 bytes")
 
 
-class TraceWriter:
-    """Streaming encoder; lands the file atomically on :meth:`close`.
+class _BodyEncoder:
+    """Record-body encoding state: the vpn delta cursor plus the
+    float/string interning tables.  ``encode_op`` appends one record to
+    ``_buf``; what becomes of the buffer — flushed to a file by
+    :class:`TraceWriter`, or finished into body bytes by
+    :func:`encode_body` — is the caller's business."""
 
-    Use as a context manager: a clean exit closes (finalizing the footer
-    and renaming into place), an exception aborts (removing the temp file
-    and leaving any previous file at ``path`` untouched).
-    """
+    # Subclasses with a backing file override this to bound the buffer;
+    # the in-memory encoder never flushes.
+    _FLUSH_BYTES = float("inf")
 
-    _FLUSH_BYTES = 1 << 16
-
-    def __init__(self, path: os.PathLike, header: TraceHeader) -> None:
-        self.path = Path(path)
-        self.header = header
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=f"{self.path.name}.tmp."
-        )
-        self._tmp = Path(tmp_name)
-        self._file = os.fdopen(fd, "wb")
-        self._file.write(MAGIC)
-        header_bytes = header.encode()
-        prefix = _U32.pack(len(header_bytes)) + header_bytes
-        self._file.write(prefix)
-        self._crc = zlib.crc32(prefix)
+    def __init__(self) -> None:
         self._buf = bytearray()
         self._count = 0
         self._last_vpn = 0
         self._floats: Dict[float, int] = {}
         self._strings: Dict[str, int] = {}
-        self._done = False
 
-    # -- encoding ----------------------------------------------------------
-    def _float_field(self, buf: bytearray, value: float) -> bool:
-        """Append the float as a table ref if known; returns True when the
-        value is new (caller must use a new-float tag and append 8 bytes)."""
-        index = self._floats.get(value)
-        if index is None:
-            self._floats[value] = len(self._floats)
-            buf += _F64.pack(value)
-            return True
-        _append_uvarint(buf, index)
-        return False
+    def _flush(self) -> None:  # pragma: no cover - only file writers flush
+        pass
 
-    def write_op(self, op: Tuple) -> None:
-        if self._done:
-            raise TraceFormatError(f"writer for {self.path} is closed")
+    def encode_op(self, op: Tuple) -> None:
         buf = self._buf
         kind = op[0]
         if kind == "t":
@@ -308,6 +298,170 @@ class TraceWriter:
         self._count += 1
         if len(buf) >= self._FLUSH_BYTES:
             self._flush()
+
+
+def encode_body(ops: Iterable[Tuple]) -> Tuple[bytes, int]:
+    """Encode ``ops`` to the record-body bytes of a trace file.
+
+    Returns ``(body, count)`` where ``body`` is exactly the span a
+    :class:`TraceWriter` would lay down between the header JSON and the
+    CRC footer: the records, the 0x00 end tag, and the uvarint op count.
+    Because the encoding is canonical (delta cursor and interning tables
+    depend only on the op sequence), comparing this against
+    ``file_bytes[12 + header_len:-4]`` proves the file records the same
+    op stream without decoding it — the fast path of trace verification.
+
+    The record layout is :meth:`_BodyEncoder.encode_op`'s, inlined: this
+    runs once per op of every regenerated stream in a verification pass,
+    and the per-op method and varint-helper calls were most of its cost.
+    Zigzag and the one-byte varint case are open-coded; multi-byte varints
+    (rare at real page deltas) fall back to the helper.
+    """
+    buf = bytearray()
+    append = buf.append
+    append_uvarint = _append_uvarint
+    pack_f64 = _F64.pack
+    floats: Dict[float, int] = {}
+    strings: Dict[str, int] = {}
+    last_vpn = 0
+    count = 0
+    for op in ops:
+        count += 1
+        kind = op[0]
+        if kind == "t":
+            vpn = op[1]
+            append(0x04 if op[2] else 0x03)
+            delta = vpn - last_vpn
+            z = delta << 1 if delta >= 0 else ((-delta) << 1) - 1
+            if z < 0x80:
+                append(z)
+            else:
+                append_uvarint(buf, z)
+            last_vpn = vpn
+        elif kind == "w":
+            value = op[1]
+            index = floats.get(value)
+            if index is None:
+                floats[value] = len(floats)
+                append(0x01)
+                buf += pack_f64(value)
+            else:
+                append(0x02)
+                if index < 0x80:
+                    append(index)
+                else:
+                    append_uvarint(buf, index)
+        elif kind == "p" or kind == "r":
+            if kind == "p":
+                append(0x09)
+                tag = op[1]
+                if tag < 0x80:
+                    append(tag)
+                else:
+                    append_uvarint(buf, tag)
+            else:
+                append(0x0A)
+                tag = op[1]
+                if tag < 0x80:
+                    append(tag)
+                else:
+                    append_uvarint(buf, tag)
+                prio = op[3]
+                z = prio << 1 if prio >= 0 else ((-prio) << 1) - 1
+                if z < 0x80:
+                    append(z)
+                else:
+                    append_uvarint(buf, z)
+            vpns = op[2]
+            n = len(vpns)
+            if n < 0x80:
+                append(n)
+            else:
+                append_uvarint(buf, n)
+            for vpn in vpns:
+                delta = vpn - last_vpn
+                z = delta << 1 if delta >= 0 else ((-delta) << 1) - 1
+                if z < 0x80:
+                    append(z)
+                else:
+                    append_uvarint(buf, z)
+                last_vpn = vpn
+        elif kind == "T":
+            start, run, write, secs = op[1], op[2], op[3], op[4]
+            index = floats.get(secs)
+            append((0x06 if write else 0x05) if index is None
+                   else (0x08 if write else 0x07))
+            delta = start - last_vpn
+            z = delta << 1 if delta >= 0 else ((-delta) << 1) - 1
+            if z < 0x80:
+                append(z)
+            else:
+                append_uvarint(buf, z)
+            if run < 0x80:
+                append(run)
+            else:
+                append_uvarint(buf, run)
+            if index is None:
+                floats[secs] = len(floats)
+                buf += pack_f64(secs)
+            elif index < 0x80:
+                append(index)
+            else:
+                append_uvarint(buf, index)
+            last_vpn = start + run - 1
+        elif kind == "f":
+            vpn, fault_kind = op[1], op[2]
+            index = strings.get(fault_kind)
+            if index is None:
+                strings[fault_kind] = len(strings)
+                encoded = fault_kind.encode("utf-8")
+                append(0x0B)
+                append_uvarint(buf, _zigzag(vpn - last_vpn))
+                append_uvarint(buf, len(encoded))
+                buf += encoded
+            else:
+                append(0x0C)
+                append_uvarint(buf, _zigzag(vpn - last_vpn))
+                append_uvarint(buf, index)
+            last_vpn = vpn
+        else:
+            raise TraceFormatError(f"unknown op kind {kind!r}")
+    append(0x00)
+    _append_uvarint(buf, count)
+    return bytes(buf), count
+
+
+class TraceWriter(_BodyEncoder):
+    """Streaming encoder; lands the file atomically on :meth:`close`.
+
+    Use as a context manager: a clean exit closes (finalizing the footer
+    and renaming into place), an exception aborts (removing the temp file
+    and leaving any previous file at ``path`` untouched).
+    """
+
+    _FLUSH_BYTES = 1 << 16
+
+    def __init__(self, path: os.PathLike, header: TraceHeader) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.header = header
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=f"{self.path.name}.tmp."
+        )
+        self._tmp = Path(tmp_name)
+        self._file = os.fdopen(fd, "wb")
+        self._file.write(MAGIC)
+        header_bytes = header.encode()
+        prefix = _U32.pack(len(header_bytes)) + header_bytes
+        self._file.write(prefix)
+        self._crc = zlib.crc32(prefix)
+        self._done = False
+
+    def write_op(self, op: Tuple) -> None:
+        if self._done:
+            raise TraceFormatError(f"writer for {self.path} is closed")
+        self.encode_op(op)
 
     def write_ops(self, ops: Iterable[Tuple]) -> int:
         for op in ops:
@@ -462,8 +616,188 @@ def _corrupt(message: str) -> TraceChecksumError:
     )
 
 
-def decode_trace(data: bytes, source: str = "trace") -> Tuple[TraceHeader, List[Tuple]]:
-    """Decode and fully validate one trace from its raw bytes."""
+# ReplayColumns.kinds values: the op vocabulary as small ints so the replay
+# driver dispatches on a bytearray instead of tuple[0] string compares.
+K_TOUCH_READ = 0
+K_TOUCH_WRITE = 1
+K_COMPUTE = 2
+K_RUN_READ = 3
+K_RUN_WRITE = 4
+K_PREFETCH = 5
+K_RELEASE = 6
+K_FAULT = 7
+
+
+class ReplayColumns:
+    """One trace's op stream as flat integer columns — no per-op tuples.
+
+    ``kinds[i]`` is one of the ``K_*`` codes; the meaning of the argument
+    columns depends on it:
+
+    ========== ============== ================== ==================
+    kind       arg0           arg1               arg2
+    ========== ============== ================== ==================
+    touch      vpn            —                  —
+    compute    float index    —                  —
+    run (T)    start vpn      page count         float index
+    prefetch   hint tag       hint_vpns start    hint_vpns end
+    release    hint tag       hint_vpns start    hint_vpns end
+    fault      vpn            string index       —
+    ========== ============== ================== ==================
+
+    Hint page lists live flattened in ``hint_vpns`` (slice with the
+    start/end offsets); release priorities sit in ``rel_priorities`` in
+    stream order (the replayer keeps its own release cursor).  ``floats``
+    and ``strings`` are the interning tables from the file.
+    """
+
+    __slots__ = (
+        "kinds",
+        "arg0",
+        "arg1",
+        "arg2",
+        "floats",
+        "strings",
+        "hint_vpns",
+        "rel_priorities",
+    )
+
+    def __init__(self) -> None:
+        self.kinds = bytearray()
+        self.arg0 = array("q")
+        self.arg1 = array("q")
+        self.arg2 = array("q")
+        self.floats: List[float] = []
+        self.strings: List[str] = []
+        self.hint_vpns = array("q")
+        self.rel_priorities = array("q")
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+
+def _decode_body_columns(
+    data: bytes, pos: int, strict: bool
+) -> Tuple[ReplayColumns, int]:
+    """Column-decoding twin of :func:`_decode_body`: same records, same
+    structural checks, but lands in :class:`ReplayColumns` arrays instead
+    of materialising a tuple per op."""
+    cols = ReplayColumns()
+    kinds = cols.kinds
+    floats = cols.floats
+    strings = cols.strings
+    hint_vpns = cols.hint_vpns
+    append_kind = kinds.append
+    append0 = cols.arg0.append
+    append1 = cols.arg1.append
+    append2 = cols.arg2.append
+    append_hint = hint_vpns.append
+    read_uvarint = _read_uvarint
+    unpack_f64 = _F64.unpack_from
+    last_vpn = 0
+    n = len(data)
+    while True:
+        if pos >= n:
+            raise TraceTruncatedError("trace ends before the end-of-records tag")
+        tag = data[pos]
+        pos += 1
+        if tag == 0x03 or tag == 0x04:
+            delta, pos = read_uvarint(data, pos)
+            last_vpn += _unzigzag(delta)
+            append_kind(K_TOUCH_WRITE if tag == 0x04 else K_TOUCH_READ)
+            append0(last_vpn)
+            append1(0)
+            append2(0)
+        elif tag == 0x02:
+            index, pos = read_uvarint(data, pos)
+            if index >= len(floats):
+                raise TraceFormatError(f"float table index {index} out of range")
+            append_kind(K_COMPUTE)
+            append0(index)
+            append1(0)
+            append2(0)
+        elif tag == 0x01:
+            if pos + 8 > n:
+                raise TraceTruncatedError("trace ends inside a float field")
+            floats.append(unpack_f64(data, pos)[0])
+            pos += 8
+            append_kind(K_COMPUTE)
+            append0(len(floats) - 1)
+            append1(0)
+            append2(0)
+        elif 0x05 <= tag <= 0x08:
+            delta, pos = read_uvarint(data, pos)
+            count, pos = read_uvarint(data, pos)
+            if tag <= 0x06:
+                if pos + 8 > n:
+                    raise TraceTruncatedError("trace ends inside a float field")
+                floats.append(unpack_f64(data, pos)[0])
+                pos += 8
+                index = len(floats) - 1
+            else:
+                index, pos = read_uvarint(data, pos)
+                if index >= len(floats):
+                    raise TraceFormatError(
+                        f"float table index {index} out of range"
+                    )
+            start = last_vpn + _unzigzag(delta)
+            last_vpn = start + count - 1
+            append_kind(K_RUN_WRITE if tag in (0x06, 0x08) else K_RUN_READ)
+            append0(start)
+            append1(count)
+            append2(index)
+        elif tag == 0x09 or tag == 0x0A:
+            hint_tag, pos = read_uvarint(data, pos)
+            if tag == 0x0A:
+                priority, pos = read_uvarint(data, pos)
+                cols.rel_priorities.append(_unzigzag(priority))
+            count, pos = read_uvarint(data, pos)
+            offset = len(hint_vpns)
+            for _ in range(count):
+                delta, pos = read_uvarint(data, pos)
+                last_vpn += _unzigzag(delta)
+                append_hint(last_vpn)
+            append_kind(K_PREFETCH if tag == 0x09 else K_RELEASE)
+            append0(hint_tag)
+            append1(offset)
+            append2(offset + count)
+        elif tag == 0x0B or tag == 0x0C:
+            delta, pos = read_uvarint(data, pos)
+            last_vpn += _unzigzag(delta)
+            if tag == 0x0B:
+                length, pos = read_uvarint(data, pos)
+                if pos + length > n:
+                    raise TraceTruncatedError("trace ends inside a string field")
+                try:
+                    kind = data[pos:pos + length].decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise TraceFormatError(f"bad fault-kind string: {exc}") from exc
+                pos += length
+                strings.append(kind)
+                index = len(strings) - 1
+            else:
+                index, pos = read_uvarint(data, pos)
+                if index >= len(strings):
+                    raise TraceFormatError(
+                        f"string table index {index} out of range"
+                    )
+            append_kind(K_FAULT)
+            append0(last_vpn)
+            append1(index)
+            append2(0)
+        elif tag == 0x00:
+            return cols, pos
+        else:
+            message = f"unknown record tag 0x{tag:02X}"
+            raise TraceFormatError(message) if strict else _corrupt(message)
+
+
+def _decode_with(data: bytes, source: str, decode_records, count_of):
+    """Shared validation flow around a record-body decoder.
+
+    Checks magic, CRC, header, declared op count, and trailing bytes with
+    identical error semantics for the tuple and column decoders.
+    """
     if data[:8] != MAGIC:
         if len(data) < 8 and MAGIC.startswith(data):
             raise TraceTruncatedError(f"{source}: file shorter than the magic")
@@ -486,10 +820,11 @@ def decode_trace(data: bytes, source: str = "trace") -> Tuple[TraceHeader, List[
                 raise _corrupt("unreadable header") from exc
             raise TraceFormatError(f"unreadable trace header: {exc}") from exc
         header = TraceHeader.from_dict(header_data)
-        ops, pos = _decode_body(data, header_end, strict=crc_ok)
+        payload, pos = decode_records(data, header_end, crc_ok)
         declared, pos = _read_uvarint(data, pos)
-        if declared != len(ops):
-            message = f"op count mismatch: footer says {declared}, decoded {len(ops)}"
+        decoded = count_of(payload)
+        if declared != decoded:
+            message = f"op count mismatch: footer says {declared}, decoded {decoded}"
             if not crc_ok:
                 raise _corrupt(message)
             raise TraceFormatError(message)
@@ -512,7 +847,27 @@ def decode_trace(data: bytes, source: str = "trace") -> Tuple[TraceHeader, List[
         raise TraceChecksumError(
             f"{source}: trace checksum mismatch — the file is corrupt"
         )
-    return header, ops
+    return header, payload
+
+
+def decode_trace(data: bytes, source: str = "trace") -> Tuple[TraceHeader, List[Tuple]]:
+    """Decode and fully validate one trace from its raw bytes."""
+    return _decode_with(data, source, _decode_body, len)
+
+
+def decode_columns(
+    data: bytes, source: str = "trace"
+) -> Tuple[TraceHeader, ReplayColumns]:
+    """Decode and fully validate one trace straight into flat columns.
+
+    Same validation as :func:`decode_trace` (magic, CRC, structure, op
+    count, trailing bytes) but the record stream lands in
+    :class:`ReplayColumns` arrays — the object-free replay fast lane's
+    input — without building a tuple per op.
+    """
+    return _decode_with(
+        data, source, _decode_body_columns, lambda cols: len(cols.kinds)
+    )
 
 
 def read_trace(path: os.PathLike) -> Tuple[TraceHeader, List[Tuple]]:
@@ -522,6 +877,15 @@ def read_trace(path: os.PathLike) -> Tuple[TraceHeader, List[Tuple]]:
     except OSError as exc:
         raise TraceError(f"cannot read trace {path}: {exc}") from exc
     return decode_trace(data, source=str(path))
+
+
+def read_columns(path: os.PathLike) -> Tuple[TraceHeader, ReplayColumns]:
+    """Read, checksum-validate, and column-decode one trace file."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    return decode_columns(data, source=str(path))
 
 
 def read_header(path: os.PathLike) -> TraceHeader:

@@ -23,14 +23,34 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-from repro.trace.format import TraceHeader, file_digest, read_header, read_trace
+from repro.trace.format import (
+    K_COMPUTE,
+    K_PREFETCH,
+    K_RELEASE,
+    K_RUN_WRITE,
+    K_TOUCH_WRITE,
+    ReplayColumns,
+    TraceHeader,
+    file_digest,
+    read_columns,
+    read_header,
+    read_trace,
+)
 
-__all__ = ["TraceWorkload", "replay_driver", "trace_process_spec"]
+__all__ = [
+    "TraceWorkload",
+    "replay_columns_driver",
+    "replay_driver",
+    "trace_process_spec",
+]
 
 #: Decoded-op cache: trace content digest -> ops list.  Bounded so a long
 #: session over many traces cannot hold every stream alive.
 _OPS_CACHE: "OrderedDict[str, List[Tuple]]" = OrderedDict()
 _OPS_CACHE_LIMIT = 8
+
+#: Column cache for the object-free replay lane, same keying and bound.
+_COLUMNS_CACHE: "OrderedDict[str, ReplayColumns]" = OrderedDict()
 
 
 class TraceWorkload:
@@ -69,6 +89,24 @@ class TraceWorkload:
         while len(_OPS_CACHE) > _OPS_CACHE_LIMIT:
             _OPS_CACHE.popitem(last=False)
         return ops
+
+    def columns(self) -> ReplayColumns:
+        """The op stream as flat columns (memoized by content digest).
+
+        Input for :func:`replay_columns_driver` — same validation as
+        :meth:`ops`, no per-op tuples.
+        """
+        digest = self.digest
+        cached = _COLUMNS_CACHE.get(digest)
+        if cached is not None:
+            _COLUMNS_CACHE.move_to_end(digest)
+            return cached
+        header, cols = read_columns(self.path)
+        self.header = header
+        _COLUMNS_CACHE[digest] = cols
+        while len(_COLUMNS_CACHE) > _OPS_CACHE_LIMIT:
+            _COLUMNS_CACHE.popitem(last=False)
+        return cols
 
     def process_spec(self, start_offset_s: float = 0.0, name: Optional[str] = None):
         """A :class:`~repro.machine.WorkloadProcessSpec` replaying this trace."""
@@ -116,7 +154,9 @@ def replay_driver(process, runtime, ops, version, scale):
         from repro.workloads.base import observed_ops
 
         ops = observed_ops(obs, process.name, ops)
+    nops = 0
     for op in ops:
+        nops += 1
         kind = op[0]
         if kind == "t":
             fault = touch(op[1], op[2])
@@ -157,6 +197,106 @@ def replay_driver(process, runtime, ops, version, scale):
         elif kind == "r":
             handle_release(op[1], op[2], op[3])
         # 'f': fault annotation, replay ignores it.
+    from repro.vm import fastlane
+
+    fastlane.COUNTERS["ops"] += nops
+    if version.release:
+        runtime.flush_tag_filters()
+    yield from process.flush()
+
+
+def replay_columns_driver(process, runtime, cols: ReplayColumns, version, scale):
+    """Object-free twin of :func:`replay_driver` over decoded columns.
+
+    Dispatches on the ``kinds`` bytearray and reads arguments out of flat
+    int columns — no per-op tuple is ever built.  The loop body mirrors
+    ``app_driver``'s optimized stream (inlined touch hit test, local
+    ``pending`` mirror, ``run_touches`` for batched runs), whose event
+    stream is add-for-add identical to the per-op ``replay_driver``, so
+    replayed results stay byte-identical whichever lane runs.
+
+    The machine selects this driver only when no ``trace.op`` observer is
+    attached (observers are owed tuple-shaped ops) — see
+    ``Machine._prepare_trace``.
+    """
+    from repro.vm import fastlane
+    from repro.vm.frames import F_DIRTY, F_IN_TRANSIT, F_REFERENCED, F_SW_VALID
+
+    machine = scale.machine
+    quantum = scale.time_quantum_s
+    handle_prefetch = runtime.handle_prefetch
+    handle_release = runtime.handle_release
+    run_touches = process.run_touches
+    aspace = process.aspace
+    pt = aspace.pt
+    task = process.task
+    buckets = task.buckets
+    timeout = process.engine.timeout
+    vm_fault = process.kernel.vm.fault
+    flags = process.kernel.vm._flags
+    in_mask = F_SW_VALID | F_IN_TRANSIT
+    bits_read = F_REFERENCED
+    bits_write = F_REFERENCED | F_DIRTY
+    resident_touch_s = machine.resident_touch_s
+    kinds = cols.kinds
+    arg0 = cols.arg0
+    arg1 = cols.arg1
+    arg2 = cols.arg2
+    floats = cols.floats
+    hint_vpns = cols.hint_vpns
+    rel_priorities = cols.rel_priorities
+    rel_cursor = 0
+    pending = process.pending_user
+    npt = len(pt)
+    for i in range(len(kinds)):
+        kind = kinds[i]
+        if kind <= K_TOUCH_WRITE:
+            vpn = arg0[i]
+            index = pt[vpn] if vpn < npt else -1
+            if index >= 0 and flags[index] & in_mask == F_SW_VALID:
+                flags[index] |= bits_write if kind else bits_read
+                pending += resident_touch_s
+                if pending >= quantum:
+                    # process.flush() inlined (quantum > 0, so pending > 0).
+                    yield timeout(pending)
+                    buckets.user += pending
+                    pending = 0.0
+            else:
+                # process._fault inlined: flush, then the kernel fault path.
+                process.pending_user = 0.0
+                if pending > 0:
+                    yield timeout(pending)
+                    buckets.user += pending
+                yield from vm_fault(task, aspace, vpn, kind == K_TOUCH_WRITE)
+                pending = 0.0
+                npt = len(pt)
+        elif kind == K_COMPUTE:
+            pending += floats[arg0[i]]
+            if pending >= quantum:
+                yield timeout(pending)
+                buckets.user += pending
+                pending = 0.0
+        elif kind <= K_RUN_WRITE:
+            process.pending_user = pending
+            yield from run_touches(
+                arg0[i], arg1[i], kind == K_RUN_WRITE, floats[arg2[i]]
+            )
+            pending = process.pending_user
+            npt = len(pt)
+        elif kind == K_PREFETCH:
+            process.pending_user = pending
+            handle_prefetch(arg0[i], hint_vpns[arg1[i]:arg2[i]])
+            pending = process.pending_user
+        elif kind == K_RELEASE:
+            process.pending_user = pending
+            handle_release(
+                arg0[i], hint_vpns[arg1[i]:arg2[i]], rel_priorities[rel_cursor]
+            )
+            rel_cursor += 1
+            pending = process.pending_user
+        # K_FAULT: annotation only; faults re-emerge from the simulation.
+    process.pending_user = pending
+    fastlane.COUNTERS["ops"] += len(kinds)
     if version.release:
         runtime.flush_tag_filters()
     yield from process.flush()

@@ -51,6 +51,7 @@ __all__ = [
     "F_RELEASE_PENDING",
     "F_ON_FREE_LIST",
     "F_WIRED",
+    "F_IN_TRANSIT",
 ]
 
 # Per-frame state bits, packed into FrameTable.flags[index].
@@ -63,6 +64,11 @@ F_FROM_PREFETCH = 1 << 5
 F_RELEASE_PENDING = 1 << 6
 F_ON_FREE_LIST = 1 << 7
 F_WIRED = 1 << 8
+# Mirror of ``in_transit[index] is not None``, kept in sync wherever the
+# event column is written.  Folding the in-flight test into the flags word
+# lets the touch fast path (and the bulk run classifier) decide hit/miss
+# with a single mask compare over one column instead of two list reads.
+F_IN_TRANSIT = 1 << 9
 
 # reset_identity() clears the page-content bits but preserves the frame's
 # lifecycle bits (present / on-free-list / wired).
@@ -200,6 +206,10 @@ class Frame:
     @in_transit.setter
     def in_transit(self, value: Optional[Event]) -> None:
         self.table.in_transit[self.index] = value
+        if value is not None:
+            self.table.flags[self.index] |= F_IN_TRANSIT
+        else:
+            self.table.flags[self.index] &= ~F_IN_TRANSIT
 
     @property
     def active(self) -> bool:

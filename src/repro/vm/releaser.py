@@ -75,23 +75,34 @@ class Releaser:
         # Freeable iff release still pending and neither referenced nor
         # revalidated since the request was queued.
         check_mask = F_RELEASE_PENDING | F_REFERENCED | F_SW_VALID
+        engine = self.engine
+        task = self.task
+        buckets = task.buckets
+        queue_get = self.queue.get
+        free_frame = vm.free_frame
+        stats = vm.stats
         while True:
-            item: ReleaseWorkItem = yield self.queue.get()
-            started = self.engine.now
-            freed_before = vm.stats.releaser_pages_freed
+            item: ReleaseWorkItem = yield queue_get()
+            started = engine._now
+            freed_before = stats.releaser_pages_freed
             aspace = item.aspace
             vpns = item.vpns
             pt = aspace.pt
             npt = len(pt)
+            lock = aspace.lock
             for start in range(0, len(vpns), batch_size):
                 batch = vpns[start : start + batch_size]
-                yield from self.task.lock_acquire(aspace.lock)
+                # task.lock_acquire / task.system inlined: two fewer
+                # generator frames per lock batch, identical accounting.
+                lock_started = engine._now
+                yield lock.acquire(task)
+                buckets.stall_memory += engine._now - lock_started
                 freed = 0
                 try:
                     for vpn in batch:
                         index = pt[vpn] if vpn < npt else -1
                         if index < 0 or not flags[index] & F_PRESENT:
-                            vm.stats.releaser_skipped_absent += 1
+                            stats.releaser_skipped_absent += 1
                             continue
                         if (
                             flags[index] & check_mask != F_RELEASE_PENDING
@@ -99,18 +110,21 @@ class Releaser:
                         ):
                             # Referenced again (the in-memory bit is set
                             # once more) since the request: leave it alone.
-                            vm.stats.releaser_skipped_referenced += 1
+                            stats.releaser_skipped_referenced += 1
                             continue
-                        vm.free_frame(aspace, index, FREED_BY_RELEASE)
+                        free_frame(aspace, index, FREED_BY_RELEASE)
                         freed += 1
                     if freed:
-                        yield from self.task.system(freed * per_page)
+                        cost = freed * per_page
+                        if cost > 0:
+                            yield engine.timeout(cost)
+                            buckets.system += cost
                 finally:
-                    aspace.lock.release()
-                vm.stats.releaser_pages_freed += freed
+                    lock.release()
+                stats.releaser_pages_freed += freed
             if aspace.shared_page is not None:
                 aspace.shared_page.refresh()
-            vm.stats.releaser_active_time += self.engine.now - started
+            stats.releaser_active_time += engine._now - started
             if vm.obs is not None:
                 vm.obs.emit(
                     "vm.release",

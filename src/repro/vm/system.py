@@ -30,10 +30,12 @@ from repro.disk.swap import StripedSwap
 from repro.faults import DiskIOError
 from repro.sim.engine import Engine
 from repro.sim.task import SimTask
+from repro.vm import fastlane
 from repro.vm.fragmentation import DEFAULT_EXTENT_PAGES, measure_fragmentation
 from repro.vm.frames import (
     F_DIRTY,
     F_FROM_PREFETCH,
+    F_IN_TRANSIT,
     F_INVALIDATED,
     F_PRESENT,
     F_REFERENCED,
@@ -80,6 +82,12 @@ class VmSystem:
         self._flags = self.frame_table.flags
         self._vpns = self.frame_table.vpn
         self._in_transit = self.frame_table.in_transit
+        # Per-fault cost constants, hoisted off the machine config: the
+        # fault handler reads one of these on every slow-path entry.
+        self._soft_fault_s = self.machine.soft_fault_cpu_s
+        self._prefetch_validate_s = self.machine.prefetch_validate_s
+        self._hard_fault_s = self.machine.hard_fault_cpu_s
+        self._rescue_s = self.machine.rescue_cpu_s
         # Instrumentation bus (:mod:`repro.obs`), or None when disabled.
         self.obs = None
         # Wired in by the kernel after construction.
@@ -122,7 +130,9 @@ class VmSystem:
 
         This is deliberately not a generator: resident touches are the
         common case and must cost nothing but a list index and one
-        flags-word test.
+        flags-word test.  The in-flight check rides along in the flags word
+        (``F_IN_TRANSIT`` mirrors the event column), so hit/miss is one
+        mask compare.
         """
         try:
             index = aspace.pt[vpn]
@@ -132,12 +142,44 @@ class VmSystem:
             return False
         flags = self._flags
         fl = flags[index]
-        if fl & F_SW_VALID and self._in_transit[index] is None:
+        if fl & (F_SW_VALID | F_IN_TRANSIT) == F_SW_VALID:
             flags[index] = (
                 fl | (F_REFERENCED | F_DIRTY) if write else fl | F_REFERENCED
             )
             return True
         return False
+
+    def touch_run(
+        self, aspace: AddressSpace, start: int, count: int, write: bool
+    ) -> int:
+        """Bulk fast path: touch the longest hit prefix of a page run.
+
+        Equivalent to calling :meth:`touch_fast` on ``start``,
+        ``start + 1``, ... in order and stopping at the first miss — same
+        hit test, same flag side effects on exactly the hit frames, and
+        the first page that needs the slow path (unmapped, I/O in flight,
+        invalidated, or release-pending) is left for the caller's fault
+        path.  Returns the number of leading hits (0..count).
+
+        Classification in one pass is exact because the simulation is
+        cooperative: nothing can change frame state between the touches of
+        a run that performs no yields.
+        """
+        pt = aspace.pt
+        end = start + count
+        npt = len(pt)
+        if end > npt:
+            end = npt
+        if end <= start:
+            return 0
+        return fastlane.touch_segment(
+            pt[start:end],
+            self._flags,
+            F_SW_VALID | F_IN_TRANSIT,
+            F_SW_VALID,
+            (F_REFERENCED | F_DIRTY) if write else F_REFERENCED,
+            True,
+        )
 
     # -- the slow path ------------------------------------------------------
     def fault(self, task: SimTask, aspace: AddressSpace, vpn: int, write: bool):
@@ -151,12 +193,14 @@ class VmSystem:
         # resume through on every one of ~10^5 faults per experiment, and
         # flattening them measurably cuts the dispatch cost.  The inlined
         # forms replicate the helpers' accounting exactly.
-        machine = self.machine
         engine = self.engine
         buckets = task.buckets
         flags = self._flags
         in_transit = self._in_transit
         pt = aspace.pt
+        lock = aspace.lock
+        sp = aspace.shared_page
+        obs = self.obs
         while True:
             index = pt[vpn] if vpn < len(pt) else -1
             if index < 0:
@@ -165,9 +209,9 @@ class VmSystem:
             if inflight is not None:
                 # A prefetch for this page is in flight; wait for the I/O
                 # rather than starting a duplicate read.
-                io_started = engine.now
+                io_started = engine._now
                 yield inflight
-                buckets.stall_io += engine.now - io_started
+                buckets.stall_io += engine._now - io_started
                 continue  # re-examine: the world may have moved
             fl = flags[index]
             if fl & F_SW_VALID:
@@ -176,20 +220,21 @@ class VmSystem:
                 flags[index] = (
                     fl | (F_REFERENCED | F_DIRTY) if write else fl | F_REFERENCED
                 )
-                self._emit_fault(aspace, vpn, FaultKind.PREFETCH_VALIDATE)
+                if obs is not None:
+                    self._emit_fault(aspace, vpn, FaultKind.PREFETCH_VALIDATE)
                 return FaultKind.PREFETCH_VALIDATE
             if fl & F_RELEASE_PENDING:
                 kind = FaultKind.RELEASE_REVALIDATE
-                cost = machine.soft_fault_cpu_s
+                cost = self._soft_fault_s
             elif fl & F_INVALIDATED:
                 kind = FaultKind.SOFT
-                cost = machine.soft_fault_cpu_s
+                cost = self._soft_fault_s
             else:
                 kind = FaultKind.PREFETCH_VALIDATE
-                cost = machine.prefetch_validate_s
-            started = engine.now
-            yield aspace.lock.acquire(task)
-            buckets.stall_memory += engine.now - started
+                cost = self._prefetch_validate_s
+            started = engine._now
+            yield lock.acquire(task)
+            buckets.stall_memory += engine._now - started
             try:
                 if pt[vpn] != index:
                     # The releaser or the paging daemon freed the page while
@@ -210,7 +255,7 @@ class VmSystem:
                 # cost.  Uncontended acquisition makes this an exact zero in
                 # theory, but float rounding of now - started - cost can land
                 # a hair below it, so clamp rather than accumulate negatives.
-                wait = engine.now - started - cost
+                wait = engine._now - started - cost
                 if wait > 0.0:
                     aspace.stats.fault_wait_time += wait
                 fl = flags[index]
@@ -221,15 +266,17 @@ class VmSystem:
                     # The re-reference sets the in-memory bit again, which
                     # is exactly what the releaser checks before freeing.
                     fl &= ~F_RELEASE_PENDING
-                    if aspace.shared_page is not None:
-                        aspace.shared_page.set_bit(vpn)
+                    if sp is not None:
+                        sp.set_bit(vpn)
                 if write:
                     fl |= F_DIRTY
                 flags[index] = fl
             finally:
-                aspace.lock.release()
-            self._refresh_shared(aspace)
-            self._emit_fault(aspace, vpn, kind)
+                lock.release()
+            if sp is not None:
+                sp.refresh()
+            if obs is not None:
+                self._emit_fault(aspace, vpn, kind)
             return kind
 
         # Not mapped: try to rescue it from the free list.
@@ -242,22 +289,24 @@ class VmSystem:
             )
             aspace.reattach(vpn, index)
             aspace.stats.rescues += 1
-            lock_started = engine.now
-            yield aspace.lock.acquire(task)
-            buckets.stall_memory += engine.now - lock_started
+            lock_started = engine._now
+            yield lock.acquire(task)
+            buckets.stall_memory += engine._now - lock_started
             try:
-                cost = machine.rescue_cpu_s
+                cost = self._rescue_s
                 if cost > 0:
                     yield engine.timeout(cost)
                     buckets.system += cost
             finally:
-                aspace.lock.release()
+                lock.release()
             fl = flags[index] | F_SW_VALID | F_REFERENCED
             if write:
                 fl |= F_DIRTY
             flags[index] = fl
-            self._refresh_shared(aspace)
-            self._emit_fault(aspace, vpn, FaultKind.RESCUE)
+            if sp is not None:
+                sp.refresh()
+            if obs is not None:
+                self._emit_fault(aspace, vpn, FaultKind.RESCUE)
             return FaultKind.RESCUE
 
         # Hard fault: allocate and read from swap.
@@ -267,28 +316,31 @@ class VmSystem:
         aspace.stats.allocations += 1
         inflight = engine.event()
         in_transit[index] = inflight
-        lock_started = engine.now
-        yield aspace.lock.acquire(task)
-        buckets.stall_memory += engine.now - lock_started
+        flags[index] |= F_IN_TRANSIT
+        lock_started = engine._now
+        yield lock.acquire(task)
+        buckets.stall_memory += engine._now - lock_started
         try:
-            cost = machine.hard_fault_cpu_s
+            cost = self._hard_fault_s
             if cost > 0:
                 yield engine.timeout(cost)
                 buckets.system += cost
         finally:
-            aspace.lock.release()
+            lock.release()
         io = self.swap.read_page(aspace.asid, vpn, purpose="demand")
-        io_started = engine.now
+        io_started = engine._now
         yield io
-        buckets.stall_io += engine.now - io_started
+        buckets.stall_io += engine._now - io_started
         in_transit[index] = None
         inflight.succeed()
-        fl = flags[index] | F_SW_VALID | F_REFERENCED
+        fl = (flags[index] | F_SW_VALID | F_REFERENCED) & ~F_IN_TRANSIT
         if write:
             fl |= F_DIRTY
         flags[index] = fl
-        self._refresh_shared(aspace)
-        self._emit_fault(aspace, vpn, FaultKind.HARD)
+        if sp is not None:
+            sp.refresh()
+        if obs is not None:
+            self._emit_fault(aspace, vpn, FaultKind.HARD)
         return FaultKind.HARD
 
     # -- allocation ---------------------------------------------------------
@@ -370,12 +422,17 @@ class VmSystem:
                 "vm.prefetch",
                 {"aspace": aspace.name, "vpn": vpn, "outcome": "issued"},
             )
-        flags[index] |= F_FROM_PREFETCH
-        inflight = self.engine.event()
+        flags[index] |= F_FROM_PREFETCH | F_IN_TRANSIT
+        engine = self.engine
+        inflight = engine.event()
         self._in_transit[index] = inflight
         io = self.swap.read_page(aspace.asid, vpn, purpose="prefetch")
+        # task.wait_io inlined: one less generator frame on a path that runs
+        # for every surviving prefetch (accounting is identical — a failed
+        # wait charges nothing, exactly like the helper).
+        io_started = engine._now
         try:
-            yield from task.wait_io(io)
+            yield io
         except DiskIOError:
             # Catastrophic I/O failure (the swap layer retries and fails
             # over internally, so this means no spindle is left).  A
@@ -385,7 +442,7 @@ class VmSystem:
             self._in_transit[index] = None
             inflight.succeed()
             aspace.detach(vpn)
-            flags[index] &= ~F_PRESENT
+            flags[index] &= ~(F_PRESENT | F_IN_TRANSIT)
             self.frame_table.reset_identity(index)
             self.freelist.push(index, FREED_BY_EXIT)
             aspace.stats.prefetches_failed += 1
@@ -396,7 +453,9 @@ class VmSystem:
                 )
             self._refresh_shared(aspace)
             return False
+        task.buckets.stall_io += engine._now - io_started
         self._in_transit[index] = None
+        flags[index] &= ~F_IN_TRANSIT
         inflight.succeed()
         # Deliberately NOT validated: sw_valid stays False so the first real
         # touch pays the cheap prefetch_validate cost instead of displacing

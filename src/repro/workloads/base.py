@@ -26,6 +26,8 @@ from repro.core.compiler.pipeline import compile_program
 from repro.core.runtime.layer import RuntimeLayer
 from repro.core.runtime.policies import VersionConfig
 from repro.kernel.kernel import Kernel, KernelProcess
+from repro.vm import fastlane
+from repro.vm.frames import F_DIRTY, F_IN_TRANSIT, F_REFERENCED, F_SW_VALID
 
 __all__ = [
     "OutOfCoreWorkload",
@@ -127,13 +129,22 @@ def app_driver(
     emit_release = version.release
     obs = process.kernel.obs
     trace_obs = obs if obs is not None and obs.wants("trace.op") else None
-    touch = process.touch
-    charge = process.charge
     handle_prefetch = runtime.handle_prefetch
     handle_release = runtime.handle_release
-    touch_fast = process.kernel.vm.touch_fast
+    run_touches = process.run_touches
     aspace = process.aspace
+    pt = aspace.pt
+    task = process.task
+    buckets = task.buckets
+    timeout = process.engine.timeout
+    vm_fault = process.kernel.vm.fault
+    flags = process.kernel.vm._flags
+    in_mask = F_SW_VALID | F_IN_TRANSIT
+    bits_read = F_REFERENCED
+    bits_write = F_REFERENCED | F_DIRTY
     resident_touch_s = machine.resident_touch_s
+    counters = fastlane.COUNTERS
+    nops = 0
     # The interpreter is deterministic, so invocation i produces the same op
     # stream on every repeat; materialise each stream once and replay the
     # list, which skips the whole interpreter (runner construction, loop
@@ -176,55 +187,63 @@ def app_driver(
                 )
             if trace_obs is not None:
                 ops = observed_ops(trace_obs, process.name, ops)
+            # The op loop keeps the user-time batch in a local mirror of
+            # process.pending_user (synced around every yield and every
+            # call that charges through the process), and inlines the
+            # touch_fast hit test to one page-table probe plus one mask
+            # compare.  The accounting is add-for-add identical to the
+            # process.touch/charge path.
+            pending = process.pending_user
+            npt = len(pt)
             for op in ops:
+                nops += 1
                 kind = op[0]
                 if kind == "t":
-                    fault = touch(op[1], op[2])
-                    if fault is not None:
-                        yield from fault
-                    elif process.pending_user >= quantum:
-                        yield from process.flush()
-                elif kind == "w":
-                    charge(op[1])
-                    if process.pending_user >= quantum:
-                        yield from process.flush()
-                elif kind == "T":
-                    # Run of sequential full-page touches.  The loop keeps
-                    # the user-time batch in a local and replicates the
-                    # per-op path's checks exactly — charge, flush-if-due,
-                    # touch, flush-if-due per page — so quantum flushes land
-                    # on the same op boundaries and the metrics stay
-                    # bit-identical to the unbatched stream.
                     vpn = op[1]
-                    end = vpn + op[2]
-                    write = op[3]
-                    secs_per_page = op[4]
-                    pending = process.pending_user
-                    while vpn < end:
-                        pending += secs_per_page
+                    index = pt[vpn] if vpn < npt else -1
+                    if index >= 0 and flags[index] & in_mask == F_SW_VALID:
+                        flags[index] |= bits_write if op[2] else bits_read
+                        pending += resident_touch_s
                         if pending >= quantum:
-                            process.pending_user = pending
-                            yield from process.flush()
+                            # process.flush() inlined (the quantum is
+                            # positive, so pending > 0 holds here).
+                            yield timeout(pending)
+                            buckets.user += pending
                             pending = 0.0
-                        if touch_fast(aspace, vpn, write):
-                            pending += resident_touch_s
-                            if pending >= quantum:
-                                process.pending_user = pending
-                                yield from process.flush()
-                                pending = 0.0
-                        else:
-                            # First miss: drop to the kernel's fault path
-                            # (which flushes the batch itself), then resume
-                            # the run with whatever batch it left behind.
-                            process.pending_user = pending
-                            yield from process._fault(vpn, write)
-                            pending = process.pending_user
-                        vpn += 1
+                    else:
+                        # process._fault inlined (flush, then the kernel
+                        # fault path): one less generator frame per miss.
+                        process.pending_user = 0.0
+                        if pending > 0:
+                            yield timeout(pending)
+                            buckets.user += pending
+                        yield from vm_fault(task, aspace, vpn, op[2])
+                        pending = 0.0
+                        npt = len(pt)
+                elif kind == "w":
+                    pending += op[1]
+                    if pending >= quantum:
+                        yield timeout(pending)
+                        buckets.user += pending
+                        pending = 0.0
+                elif kind == "T":
+                    # Run of sequential full-page touches: the bulk lane
+                    # (or its per-page fallback) replicates the unbatched
+                    # stream's checkpoints bit-for-bit.
                     process.pending_user = pending
+                    yield from run_touches(op[1], op[2], op[3], op[4])
+                    pending = process.pending_user
+                    npt = len(pt)
                 elif kind == "p":
+                    process.pending_user = pending
                     handle_prefetch(op[1], op[2])
+                    pending = process.pending_user
                 else:  # 'r'
+                    process.pending_user = pending
                     handle_release(op[1], op[2], op[3])
+                    pending = process.pending_user
+            process.pending_user = pending
+    counters["ops"] += nops
     if emit_release:
         runtime.flush_tag_filters()
     yield from process.flush()

@@ -544,3 +544,134 @@ def test_atomic_open_rejects_read_modes(tmp_path):
     with pytest.raises(ValueError, match="atomic_open"):
         with atomic_open(tmp_path / "x", "rb"):
             pass
+
+
+# -- column decoding and byte-level verification ----------------------------
+def _columns_to_ops(cols):
+    """Reconstruct the tuple stream from a :class:`ReplayColumns`."""
+    from repro.trace.format import (
+        K_COMPUTE,
+        K_PREFETCH,
+        K_RELEASE,
+        K_RUN_READ,
+        K_RUN_WRITE,
+        K_TOUCH_READ,
+        K_TOUCH_WRITE,
+    )
+
+    ops = []
+    rel_cursor = 0
+    for i in range(len(cols)):
+        kind = cols.kinds[i]
+        if kind in (K_TOUCH_READ, K_TOUCH_WRITE):
+            ops.append(("t", cols.arg0[i], kind == K_TOUCH_WRITE, 0.0))
+        elif kind == K_COMPUTE:
+            ops.append(("w", cols.floats[cols.arg0[i]]))
+        elif kind in (K_RUN_READ, K_RUN_WRITE):
+            ops.append(
+                (
+                    "T",
+                    cols.arg0[i],
+                    cols.arg1[i],
+                    kind == K_RUN_WRITE,
+                    cols.floats[cols.arg2[i]],
+                )
+            )
+        elif kind == K_PREFETCH:
+            pages = tuple(cols.hint_vpns[cols.arg1[i] : cols.arg2[i]])
+            ops.append(("p", cols.arg0[i], pages))
+        elif kind == K_RELEASE:
+            pages = tuple(cols.hint_vpns[cols.arg1[i] : cols.arg2[i]])
+            ops.append(
+                ("r", cols.arg0[i], pages, cols.rel_priorities[rel_cursor])
+            )
+            rel_cursor += 1
+        else:
+            ops.append(("f", cols.arg0[i], cols.strings[cols.arg1[i]]))
+    return ops
+
+
+def test_columns_decode_matches_tuple_decode(tmp_path):
+    """``read_columns`` is a lossless twin of ``read_trace`` on a stream
+    exercising every record type (negative deltas, interned floats and
+    fault kinds, multi-page hints)."""
+    from repro.trace.format import read_columns
+
+    ops = synthetic_ops(seed=11)
+    path = tmp_path / "cols.trace"
+    write_trace(path, HEADER, ops)
+    header, cols = read_columns(path)
+    assert header == HEADER
+    assert len(cols) == len(ops)
+    assert _columns_to_ops(cols) == ops
+
+
+def test_columns_rejects_corruption_like_tuple_decoder(tmp_path):
+    from repro.trace.format import read_columns
+
+    path = tmp_path / "c.trace"
+    write_trace(path, HEADER, synthetic_ops(seed=12, count=200))
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    (tmp_path / "bad.trace").write_bytes(bytes(data))
+    with pytest.raises(TraceChecksumError):
+        read_columns(tmp_path / "bad.trace")
+    (tmp_path / "cut.trace").write_bytes(bytes(data[: len(data) // 2]))
+    with pytest.raises((TraceTruncatedError, TraceChecksumError)):
+        read_columns(tmp_path / "cut.trace")
+
+
+def test_encode_body_matches_streaming_writer(tmp_path):
+    """``encode_body`` (the verification fast path) must produce the exact
+    bytes ``TraceWriter`` streams out — same interning, same deltas."""
+    from repro.trace.format import encode_body
+
+    ops = synthetic_ops(seed=13)
+    path = tmp_path / "enc.trace"
+    write_trace(path, HEADER, ops)
+    data = path.read_bytes()
+    header_len = int.from_bytes(data[8:12], "little")
+    body, count = encode_body(iter(ops))
+    assert count == len(ops)
+    assert body == data[12 + header_len : -4]
+
+
+def test_verify_bytes_takes_fast_path_on_clean_trace(tmp_path):
+    from repro.trace.analyze import verify_bytes_against_code
+
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="B")
+    _result, paths = record_experiment(spec, tmp_path / "v")
+    for path in paths.values():
+        summary = verify_bytes_against_code(path)
+        assert summary["equal"] is True
+        assert summary["method"] == "bytes"
+        assert summary["recorded_ops"] == summary["regenerated_ops"]
+
+
+def test_verify_bytes_falls_back_on_fault_annotations(tmp_path):
+    """'f' records perturb the delta/float chains, so the byte compare
+    cannot match — the verifier must fall back to the tuple-level diff,
+    which strips annotations, and still verify the trace."""
+    from repro.trace.analyze import verify_bytes_against_code
+
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="B")
+    _result, paths = record_experiment(
+        spec, tmp_path / "vf", include_faults=True
+    )
+    for path in paths.values():
+        summary = verify_bytes_against_code(path)
+        assert summary["equal"] is True
+        assert summary["method"] == "ops"
+
+
+def test_verify_bytes_propagates_corruption_errors(tmp_path):
+    from repro.trace.analyze import verify_bytes_against_code
+
+    spec = ExperimentSpec.multiprogram(tiny(), "MATVEC", version="B")
+    _result, paths = record_experiment(spec, tmp_path / "vc")
+    path = next(iter(paths.values()))
+    data = bytearray(path.read_bytes())
+    data[-2] ^= 0xFF  # corrupt the CRC
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceChecksumError):
+        verify_bytes_against_code(path)
