@@ -17,6 +17,7 @@ See README.md for the architecture tour, DESIGN.md for the paper-to-module
 mapping, and EXPERIMENTS.md for paper-vs-measured results.
 """
 
+from repro._version import __version__
 from repro.config import SimScale, paper, small, tiny
 from repro.core.compiler import compile_program
 from repro.core.runtime.policies import VERSIONS, VersionConfig
@@ -39,8 +40,6 @@ from repro.machine import (
 from repro.obs import Bus, MetricsAggregator, TraceRecorder
 from repro.sim.engine import Engine
 from repro.workloads import BENCHMARKS, benchmark
-
-__version__ = "1.1.0"
 
 __all__ = [
     "BENCHMARKS",

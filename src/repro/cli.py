@@ -27,6 +27,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro._version import __version__
 from repro.config import SimScale, paper, small, tiny
 from repro.core.compiler import compile_program
 from repro.core.runtime.policies import VERSIONS
@@ -54,7 +55,7 @@ from repro.experiments.ensemble import (
     run_ensemble,
 )
 from repro.experiments.harness import multiprogram_spec, to_multiprogram
-from repro.experiments.report import format_table
+from repro.experiments.report import format_process_table, format_table
 from repro.experiments.runner import cache_entries, prune_cache
 from repro.experiments.sweep import (
     SweepAborted,
@@ -77,6 +78,14 @@ from repro.machine import (
     run_experiment,
 )
 from repro.obs import TraceRecorder
+from repro.scenarios import (
+    ScenarioError,
+    builtin_registry,
+    compile_scenario,
+    load_scenario_file,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobError, run_direct
 from repro.trace import (
     TraceError,
     diff_traces,
@@ -267,47 +276,7 @@ def _spec_from_argument(text: str, default_scale: str) -> ExperimentSpec:
 
 def _print_process_table(result, label: str) -> None:
     """The per-process summary table shared by ``run --spec`` and replay."""
-    rows = []
-    for process in result.processes:
-        rows.append(
-            (
-                process.name,
-                process.workload,
-                process.version or "-",
-                "yes" if process.completed else "no",
-                round(process.buckets.user, 3),
-                round(process.buckets.system, 3),
-                round(process.buckets.stall_memory, 3),
-                round(process.buckets.stall_io, 3),
-                process.stats.hard_faults,
-                process.stats.soft_faults,
-                len(process.sweeps) if process.interactive else "-",
-            )
-        )
-    print(
-        format_table(
-            [
-                "process",
-                "workload",
-                "ver",
-                "done",
-                "user_s",
-                "system_s",
-                "stall_mem_s",
-                "stall_io_s",
-                "hard",
-                "soft",
-                "sweeps",
-            ],
-            rows,
-            title=(
-                f"{label} at scale '{result.scale}': "
-                f"elapsed_s={result.elapsed_s:.3f}  "
-                f"engine_steps={result.engine_steps}  "
-                f"pages_released={result.vm.releaser_pages_freed}"
-            ),
-        )
-    )
+    print(format_process_table(result, label))
 
 
 def _cmd_run_spec(args: argparse.Namespace) -> int:
@@ -336,10 +305,12 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        return _cmd_run_scenario(args)
     if args.spec is not None:
         return _cmd_run_spec(args)
     if args.benchmark is None:
-        raise SystemExit("repro run: give --benchmark or --spec")
+        raise SystemExit("repro run: give --benchmark, --spec, or --scenario")
     scale = _scale_from(args)
     spec = multiprogram_spec(
         scale,
@@ -398,6 +369,213 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- scenarios and the experiment service -----------------------------------
+
+
+def _registry_from(args: argparse.Namespace):
+    return builtin_registry(scenario_dirs=getattr(args, "scenario_dir", None) or ())
+
+
+def _scenario_document(text: str, registry):
+    """Resolve a scenario argument: template name, file path, or inline JSON."""
+    if text in registry:
+        return registry.get(text), text
+    data = _load_json_argument(text)
+    if not isinstance(data, dict):
+        raise ScenarioError("a scenario must be a JSON object")
+    name = Path(text).stem if os.path.exists(text) else None
+    return data, name
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    registry = _registry_from(args)
+    for text in args.scenario:
+        if text in registry:
+            document, name = registry.get(text), text
+        else:
+            document, name = load_scenario_file(text), Path(text).stem
+        compiled = compile_scenario(document, registry=registry, name=name)
+        print(
+            f"scenario '{compiled.name}': OK — {len(compiled.specs)} spec(s), "
+            f"digest {compiled.digest}"
+        )
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    registry = _registry_from(args)
+    entries = registry.entries()
+    if args.json:
+        print(json.dumps({"scenarios": entries}, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        (
+            row["name"],
+            row["origin"],
+            row["extends"] or "-",
+            row["description"][:60],
+        )
+        for row in entries
+    ]
+    print(
+        format_table(
+            ["name", "origin", "extends", "description"],
+            rows,
+            title=f"{len(entries)} registered scenario template(s)",
+        )
+    )
+    return 0
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    registry = _registry_from(args)
+    document, name = _scenario_document(args.scenario, registry)
+    compiled = compile_scenario(document, registry=registry, name=name)
+    outcomes, digest = run_direct(
+        compiled,
+        cache_dir=Path(args.cache_dir) if getattr(args, "cache_dir", None) else None,
+    )
+    failures = 0
+    for index, outcome in enumerate(outcomes):
+        if index:
+            print()
+        if getattr(outcome, "failed", False):
+            failures += 1
+            print(f"spec {index}: FAILED {outcome}")
+        else:
+            _print_process_table(outcome, f"{compiled.name}[{index}]")
+    if args.digest:
+        print(f"scenario digest: {digest}")
+    return 1 if failures else 0
+
+
+def _client_from(args: argparse.Namespace) -> ServiceClient:
+    timeout = getattr(args, "http_timeout", None) or 300.0
+    if getattr(args, "url", None):
+        return ServiceClient(args.url, timeout=timeout)
+    if getattr(args, "state_dir", None):
+        return ServiceClient.discover(Path(args.state_dir), timeout=timeout)
+    raise ServiceError("give --url or --state-dir to locate the server")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    serve(
+        Path(args.state_dir),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        registry=_registry_from(args),
+    )
+    return 0
+
+
+def _watch_job(client: ServiceClient, job_id: str, as_json: bool) -> int:
+    for event in client.stream_events(job_id):
+        if as_json:
+            print(json.dumps(event, sort_keys=True))
+        else:
+            kind = event.get("kind", "?")
+            detail = {
+                k: v for k, v in event.items() if k not in ("kind", "t", "job")
+            }
+            print(f"[{job_id}] {kind}  {json.dumps(detail, sort_keys=True)}")
+    final = client.wait(job_id, timeout=30)
+    if not as_json:
+        print(
+            f"[{job_id}] {final['status']}: executed={final['executed']} "
+            f"cache_hits={final['cache_hits']} digest={final.get('digest', '')}"
+        )
+    return 0 if final["status"] == "done" else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _client_from(args)
+    if args.template is not None:
+        snapshot = client.submit(template=args.template)
+    else:
+        if args.scenario is None:
+            raise ServiceError("submit needs a scenario argument or --template")
+        document, _name = _scenario_document(args.scenario, _registry_from(args))
+        snapshot = client.submit(document=document)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(
+            f"job {snapshot['id']} submitted: '{snapshot['name']}', "
+            f"{snapshot['total_specs']} spec(s)"
+        )
+    if args.watch:
+        return _watch_job(client, snapshot["id"], args.json)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    client = _client_from(args)
+    snapshots = client.jobs()
+    if args.json:
+        print(json.dumps({"jobs": snapshots}, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        (
+            snap["id"],
+            snap["name"],
+            snap["status"],
+            f"{snap['done_specs']}/{snap['total_specs']}",
+            snap["executed"],
+            snap["cache_hits"],
+            snap.get("digest", "")[:12] or "-",
+        )
+        for snap in snapshots
+    ]
+    print(
+        format_table(
+            ["job", "scenario", "status", "specs", "executed", "cached", "digest"],
+            rows,
+            title=f"{len(snapshots)} job(s)",
+        )
+    )
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    return _watch_job(_client_from(args), args.job, args.json)
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    client = _client_from(args)
+    if args.what == "result":
+        payload = client.result(args.job)
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    elif args.what == "serialized":
+        text = client.serialized(args.job)
+    elif args.what == "figure":
+        text = client.figure(args.job)
+    else:  # trace
+        manifest = client.trace_manifest(args.job)
+        if args.out is None:
+            print(json.dumps({"traces": manifest}, indent=2))
+            return 0
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        for name in manifest:
+            target = out / name.replace("/", "_")
+            target.write_bytes(client.trace(args.job, name))
+            print(f"fetched {name} -> {target}")
+        return 0
+    if args.out is not None:
+        Path(args.out).write_text(
+            text if text.endswith("\n") else text + "\n", encoding="utf-8"
+        )
+        print(f"fetched {args.what} -> {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
 def _cmd_compare_policies(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     spec = multiprogram_spec(
@@ -415,12 +593,23 @@ def _cmd_compare_policies(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
     )
+    failed = [row for row in rows if row.failed]
+    if args.json:
+        payload = {
+            "benchmark": args.benchmark,
+            "version": args.version,
+            "scale": scale.name,
+            "rows": [
+                {**row.snapshot(), "failed": row.failed} for row in rows
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if failed else 0
     print(
         f"{args.benchmark} version {args.version} at scale '{scale.name}' "
         "across memory policies:"
     )
     print(format_policy_table(rows))
-    failed = [row for row in rows if row.failed]
     if failed:
         # A partial table must not masquerade as a complete comparison:
         # summarise what failed and exit non-zero.
@@ -539,6 +728,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"pruned {len(removed)} entries, {freed} bytes")
         return 0
     entries = cache_entries(args.cache_dir)
+    if args.json:
+        payload = {
+            "cache_dir": str(args.cache_dir),
+            "entries": [
+                {
+                    "name": entry.path.name,
+                    "status": entry.status,
+                    "size_bytes": entry.size_bytes,
+                    "prunable": entry.prunable,
+                }
+                for entry in entries
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not entries:
         print(f"cache at {args.cache_dir} is empty")
         return 0
@@ -646,28 +850,54 @@ def _cmd_sweep_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    if args.expect is not None and not args.digest:
+        raise SweepError("sweep status: --expect needs --digest")
     info = sweep_status(args.state_dir)
-    rows = [
-        ("total", info["total"]),
-        ("done", info["done"]),
-        ("pending", info["pending"]),
-        ("ok", info["ok"]),
-        ("failed", info["failure"]),
-        ("quarantined", info["quarantined"]),
-        ("attempts", info["attempts"]),
-        ("aborted", "yes" if info["aborted"] else "no"),
-    ]
-    rows += [(f"cached in {shard}", count) for shard, count in info["by_shard"].items()]
-    print(
-        format_table(
-            ["field", "value"], rows, title=f"sweep checkpoint at {info['state_dir']}"
-        )
-    )
+    digest = None
     if args.digest:
-        if info["pending"]:
-            print(f"digest: (partial — {info['pending']} specs still pending)")
         report = collect_report(specs_from_meta(args.state_dir), args.state_dir)
-        print(f"merged digest: {report.digest}")
+        digest = report.digest
+    if args.json:
+        payload = dict(info)
+        payload["state_dir"] = str(payload["state_dir"])
+        if digest is not None:
+            payload["digest"] = digest
+            payload["digest_partial"] = bool(info["pending"])
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [
+            ("total", info["total"]),
+            ("done", info["done"]),
+            ("pending", info["pending"]),
+            ("ok", info["ok"]),
+            ("failed", info["failure"]),
+            ("quarantined", info["quarantined"]),
+            ("attempts", info["attempts"]),
+            ("aborted", "yes" if info["aborted"] else "no"),
+        ]
+        rows += [
+            (f"cached in {shard}", count) for shard, count in info["by_shard"].items()
+        ]
+        print(
+            format_table(
+                ["field", "value"],
+                rows,
+                title=f"sweep checkpoint at {info['state_dir']}",
+            )
+        )
+        if digest is not None:
+            if info["pending"]:
+                print(f"digest: (partial — {info['pending']} specs still pending)")
+            print(f"merged digest: {digest}")
+    if args.expect is not None and digest != args.expect:
+        # The reproducibility gate: CI pins the expected merged digest and
+        # any drift (different results, partial sweep) fails the build.
+        print(
+            f"repro sweep status: digest mismatch — expected {args.expect}, "
+            f"got {digest}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -954,7 +1184,42 @@ def build_parser() -> argparse.ArgumentParser:
             "simulated platform, benchmarks, and evaluation artifacts."
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    def _add_scenario_dirs(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scenario-dir",
+            action="append",
+            default=None,
+            metavar="DIR",
+            help="directory of *.json scenario templates to register "
+            "alongside the builtins (repeatable)",
+        )
+
+    def _add_client(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url",
+            default=None,
+            help="server base URL (e.g. http://127.0.0.1:8742)",
+        )
+        sub.add_argument(
+            "--state-dir",
+            default=None,
+            help="server state directory: discovers the URL from its "
+            "server.json",
+        )
+        sub.add_argument(
+            "--http-timeout",
+            type=float,
+            default=None,
+            help="HTTP timeout in seconds (default 300)",
+        )
 
     list_parser = commands.add_parser("list", help="list the benchmarks (Table 2)")
     _add_scale(list_parser)
@@ -1024,6 +1289,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=40,
         help="how many trailing trace events to print (default 40)",
     )
+    run_parser.add_argument(
+        "--scenario",
+        default=None,
+        help="run a scenario (template name, file path, or inline JSON) "
+        "in-process; overrides --benchmark/--spec",
+    )
+    run_parser.add_argument(
+        "--digest",
+        action="store_true",
+        help="with --scenario: print the merged result digest (the same "
+        "formula the service and sweeps use)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="with --scenario: content-addressed result cache directory",
+    )
+    _add_scenario_dirs(run_parser)
     _add_scale(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
@@ -1053,6 +1336,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME[:K=V,...]",
         help="policy to include (repeatable; default: every registered "
         f"policy: {', '.join(policy_names())})",
+    )
+    compare_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as machine-readable JSON",
     )
     _add_scale(compare_parser)
     _add_runner(compare_parser)
@@ -1154,6 +1442,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         required=True,
         help="the result cache directory to inspect",
+    )
+    cache_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with 'list': emit the entries as machine-readable JSON",
     )
     cache_parser.set_defaults(handler=_cmd_cache)
 
@@ -1272,6 +1565,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest",
         action="store_true",
         help="also compute the merged result digest (loads cached results)",
+    )
+    sweep_status_parser.add_argument(
+        "--expect",
+        default=None,
+        metavar="SHA256",
+        help="with --digest: exit non-zero unless the merged digest equals "
+        "this value (a reproducibility gate for CI)",
+    )
+    sweep_status_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status (and digest) as machine-readable JSON",
     )
     sweep_status_parser.set_defaults(handler=_cmd_sweep_status)
 
@@ -1468,6 +1773,134 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("trace", nargs="+", help="trace file(s)")
     verify_parser.set_defaults(handler=_cmd_trace_verify)
 
+    validate_parser = commands.add_parser(
+        "validate",
+        help="validate scenario files/templates without running anything "
+        "(exit 2 with a path-precise error on a bad scenario)",
+    )
+    validate_parser.add_argument(
+        "scenario",
+        nargs="+",
+        help="scenario template name(s) or *.json file path(s)",
+    )
+    _add_scenario_dirs(validate_parser)
+    validate_parser.set_defaults(handler=_cmd_validate)
+
+    scenarios_parser = commands.add_parser(
+        "scenarios", help="list the registered scenario templates"
+    )
+    scenarios_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_scenario_dirs(scenarios_parser)
+    scenarios_parser.set_defaults(handler=_cmd_scenarios)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the experiment server: submit scenarios over HTTP, "
+        "dedupe through the shared result cache, survive restarts",
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        required=True,
+        help="server state: job journal, shared result cache, per-job "
+        "events and traces",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default 0: ephemeral, published in server.json)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent job worker threads (default 2)",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget per spec in seconds (default: none)",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts for a failing spec (default 0)",
+    )
+    _add_scenario_dirs(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    submit_parser = commands.add_parser(
+        "submit", help="submit a scenario to a running experiment server"
+    )
+    submit_parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario to submit: template name, file path, or inline JSON",
+    )
+    submit_parser.add_argument(
+        "--template",
+        default=None,
+        help="submit a template registered on the server by name",
+    )
+    submit_parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream the job's events until it finishes (exit 1 on failure)",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_client(submit_parser)
+    _add_scenario_dirs(submit_parser)
+    submit_parser.set_defaults(handler=_cmd_submit)
+
+    jobs_parser = commands.add_parser(
+        "jobs", help="list the jobs on a running experiment server"
+    )
+    jobs_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_client(jobs_parser)
+    jobs_parser.set_defaults(handler=_cmd_jobs)
+
+    watch_parser = commands.add_parser(
+        "watch", help="stream one job's events until it finishes"
+    )
+    watch_parser.add_argument("job", help="job id (e.g. j-000001)")
+    watch_parser.add_argument(
+        "--json", action="store_true", help="emit raw JSONL events"
+    )
+    _add_client(watch_parser)
+    watch_parser.set_defaults(handler=_cmd_watch)
+
+    fetch_parser = commands.add_parser(
+        "fetch", help="fetch a finished job's result, text, or traces"
+    )
+    fetch_parser.add_argument("job", help="job id (e.g. j-000001)")
+    fetch_parser.add_argument(
+        "--what",
+        choices=["result", "serialized", "figure", "trace"],
+        default="result",
+        help="result: digest + outcome rows (JSON); serialized: canonical "
+        "result text; figure: rendered tables; trace: recorded op streams "
+        "(default result)",
+    )
+    fetch_parser.add_argument(
+        "--out",
+        default=None,
+        help="write to this file (trace: directory) instead of stdout",
+    )
+    _add_client(fetch_parser)
+    fetch_parser.set_defaults(handler=_cmd_fetch)
+
     return parser
 
 
@@ -1476,9 +1909,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (SpecError, FaultPlanError, PolicyError, TraceError, SweepError, OSError) as exc:
-        # Bad input — missing spec file, corrupt trace, invalid plan —
-        # is an exit-2 one-liner, not a traceback.
+    except (
+        SpecError,
+        FaultPlanError,
+        PolicyError,
+        TraceError,
+        SweepError,
+        ScenarioError,
+        ServiceError,
+        JobError,
+        OSError,
+    ) as exc:
+        # Bad input — missing spec file, corrupt trace, invalid plan,
+        # malformed scenario, unreachable server — is an exit-2 one-liner,
+        # not a traceback.
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 

@@ -57,6 +57,14 @@ class PolicyFailure:
     policy: str
     failure: ExperimentFailure
 
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "failed": True,
+            "kind": self.failure.kind,
+            "message": self.failure.message,
+        }
+
     @property
     def failed(self) -> bool:
         return True

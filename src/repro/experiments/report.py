@@ -10,7 +10,55 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "normalize", "percent"]
+__all__ = ["format_process_table", "format_table", "normalize", "percent"]
+
+
+def format_process_table(result, label: str) -> str:
+    """The per-process summary table for one experiment result.
+
+    Shared by ``repro run --spec``, trace replay, and the service's
+    ``GET /v1/jobs/<id>/figure`` rendering, so every surface prints the
+    same shape for the same result.
+    """
+    rows = []
+    for process in result.processes:
+        rows.append(
+            (
+                process.name,
+                process.workload,
+                process.version or "-",
+                "yes" if process.completed else "no",
+                round(process.buckets.user, 3),
+                round(process.buckets.system, 3),
+                round(process.buckets.stall_memory, 3),
+                round(process.buckets.stall_io, 3),
+                process.stats.hard_faults,
+                process.stats.soft_faults,
+                len(process.sweeps) if process.interactive else "-",
+            )
+        )
+    return format_table(
+        [
+            "process",
+            "workload",
+            "ver",
+            "done",
+            "user_s",
+            "system_s",
+            "stall_mem_s",
+            "stall_io_s",
+            "hard",
+            "soft",
+            "sweeps",
+        ],
+        rows,
+        title=(
+            f"{label} at scale '{result.scale}': "
+            f"elapsed_s={result.elapsed_s:.3f}  "
+            f"engine_steps={result.engine_steps}  "
+            f"pages_released={result.vm.releaser_pages_freed}"
+        ),
+    )
 
 
 def format_table(

@@ -1,0 +1,175 @@
+"""The scenario registry: built-in templates plus user scenario directories.
+
+The built-ins name the paper's canonical runs so the service (and
+``repro submit``) can run them with no scenario file at all — the same
+role Pj-OGUN's template library plays for its scenario JSON.  Every
+template is a complete, valid scenario document; a test compiles each
+one, so a template can never rot silently.
+
+User templates come from ``--scenario-dir``: every ``*.json`` file in the
+directory registers under its ``name`` field (or the file stem), and may
+``extends:`` a built-in or another file in the directory.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.scenarios.schema import ScenarioError, load_scenario_file
+
+__all__ = ["BUILTIN_TEMPLATES", "ScenarioRegistry", "builtin_registry"]
+
+
+#: Named scenarios for the paper's figure/table runs.  Scales are ``tiny``
+#: so a template submission answers in seconds; callers override ``scale``
+#: (directly or via ``extends``) for paper-fidelity runs.
+BUILTIN_TEMPLATES: Dict[str, Dict[str, object]] = {
+    "standard-mix": {
+        "scenario": 1,
+        "name": "standard-mix",
+        "description": (
+            "The paper's standard multiprogrammed mix: one MATVEC hog "
+            "(full hint build) beside the interactive task."
+        ),
+        "scale": "tiny",
+        "benchmark": "MATVEC",
+        "version": "B",
+    },
+    "release-only": {
+        "scenario": 1,
+        "name": "release-only",
+        "description": (
+            "The release-hinted build (version R) of the standard mix — "
+            "the paper's headline memory-hog taming configuration."
+        ),
+        "extends": "standard-mix",
+        "version": "R",
+    },
+    "interactive-baseline": {
+        "scenario": 1,
+        "name": "interactive-baseline",
+        "description": (
+            "The interactive task on a dedicated machine (Figures 1/10's "
+            "response-time baseline): no hog, eight bounded sweeps."
+        ),
+        "scale": "tiny",
+        "processes": [{"workload": "interactive", "sweeps": 8}],
+    },
+    "version-suite": {
+        "scenario": 1,
+        "name": "version-suite",
+        "description": (
+            "Figure 7's sweep: MATVEC under all four program versions "
+            "(original, prefetch, release, both)."
+        ),
+        "scale": "tiny",
+        "sweep": {
+            "axes": {
+                "benchmark": ["MATVEC"],
+                "version": ["O", "P", "R", "B"],
+            }
+        },
+    },
+    "policy-shootout": {
+        "scenario": 1,
+        "name": "policy-shootout",
+        "description": (
+            "compare-policies as a scenario: the release build of MATVEC "
+            "under each registered memory policy."
+        ),
+        "scale": "tiny",
+        "sweep": {
+            "axes": {
+                "benchmark": ["MATVEC"],
+                "version": ["R"],
+                "policy": ["paging-directed", "global-clock", "user-mode"],
+            }
+        },
+    },
+    "fault-storm": {
+        "scenario": 1,
+        "name": "fault-storm",
+        "description": (
+            "The standard mix under deterministic disk chaos: transient "
+            "I/O errors at 2% with a fixed seed."
+        ),
+        "extends": "release-only",
+        "faults": {"seed": 7, "disk": {"io_error_prob": 0.02}},
+    },
+}
+
+
+class ScenarioRegistry:
+    """Named scenario documents: built-ins plus registered files.
+
+    ``get`` returns deep copies — callers mutate merged documents during
+    ``extends`` resolution, and a registry must hand out pristine
+    templates forever.
+    """
+
+    def __init__(self, templates: Optional[Dict[str, Dict[str, object]]] = None) -> None:
+        self._templates: Dict[str, Dict[str, object]] = {}
+        self._origins: Dict[str, str] = {}
+        for name, document in (templates or {}).items():
+            self.register(name, document, origin="builtin")
+
+    def register(
+        self, name: str, document: Dict[str, object], origin: str = "registered"
+    ) -> None:
+        if not name:
+            raise ScenarioError("a template needs a non-empty name")
+        self._templates[name] = copy.deepcopy(document)
+        self._origins[name] = origin
+
+    def load_dir(self, directory: os.PathLike) -> List[str]:
+        """Register every ``*.json`` scenario in ``directory``; returns names."""
+        root = Path(directory)
+        if not root.is_dir():
+            raise ScenarioError(f"no such scenario directory: {root}")
+        names: List[str] = []
+        for path in sorted(root.glob("*.json")):
+            document = load_scenario_file(path)
+            name = document.get("name") or path.stem
+            if not isinstance(name, str):
+                raise ScenarioError(f"expected a string, got {name!r}", "name")
+            self.register(name, document, origin=str(path))
+            names.append(name)
+        return names
+
+    def get(self, name: str) -> Dict[str, object]:
+        """The named template document (a private copy).  KeyError if absent."""
+        return copy.deepcopy(self._templates[name])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._templates
+
+    def names(self) -> List[str]:
+        return sorted(self._templates)
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Listing rows for ``repro scenarios`` and ``GET /v1/scenarios``."""
+        rows = []
+        for name in self.names():
+            document = self._templates[name]
+            rows.append(
+                {
+                    "name": name,
+                    "description": str(document.get("description", "")),
+                    "origin": self._origins[name],
+                    "extends": document.get("extends"),
+                }
+            )
+        return rows
+
+
+def builtin_registry(
+    scenario_dirs: Iterable[os.PathLike] = (),
+) -> ScenarioRegistry:
+    """The built-in template library, plus any scenario directories."""
+    registry = ScenarioRegistry(BUILTIN_TEMPLATES)
+    for directory in scenario_dirs:
+        registry.load_dir(directory)
+    return registry

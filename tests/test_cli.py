@@ -358,3 +358,161 @@ class TestComparePoliciesExit:
         captured = capsys.readouterr()
         assert "FAILED(timeout)" in captured.out
         assert "policy cells failed" in captured.err
+
+
+class TestVersionFlag:
+    def test_version_matches_package(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestScenarioCommands:
+    def test_validate_template_ok(self, capsys):
+        assert main(["validate", "standard-mix"]) == 0
+        output = capsys.readouterr().out
+        assert "OK" in output
+        assert "digest" in output
+
+    def test_validate_bad_file_exits_2_with_path(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"scenario": 1, "benchmark": "MATVEC", "version": "Z"}),
+            encoding="utf-8",
+        )
+        assert main(["validate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: version:")
+        assert "Z" in err
+
+    def test_validate_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.json")]) == 2
+        assert "no such scenario file" in capsys.readouterr().err
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        assert "standard-mix" in capsys.readouterr().out
+
+    def test_scenarios_json(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in payload["scenarios"]}
+        assert "version-suite" in names
+
+    def test_run_scenario_digest_matches_service_formula(self, capsys):
+        from repro.scenarios import builtin_registry, compile_scenario
+        from repro.service import run_direct
+
+        assert main(["run", "--scenario", "standard-mix", "--digest"]) == 0
+        output = capsys.readouterr().out
+        registry = builtin_registry()
+        compiled = compile_scenario(
+            registry.get("standard-mix"), registry=registry, name="standard-mix"
+        )
+        _outcomes, digest = run_direct(compiled)
+        assert f"scenario digest: {digest}" in output
+
+
+class TestJsonOutputs:
+    def test_cache_list_json(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "run", "--scenario", "standard-mix",
+                    "--cache-dir", str(cache),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "list", "--cache-dir", str(cache), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"]
+        assert payload["entries"][0]["status"] == "ok"
+
+    def test_sweep_status_json_and_expect_gate(self, tmp_path, capsys):
+        state = str(tmp_path / "sweep")
+        assert main(["sweep", "run", "--state-dir", state, "--synthetic", "2"]) == 0
+        capsys.readouterr()
+        assert (
+            main(["sweep", "status", "--state-dir", state, "--digest", "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["done"] == 2
+        digest = payload["digest"]
+        # The gate: matching digest exits 0, anything else exits non-zero.
+        assert (
+            main(
+                [
+                    "sweep", "status", "--state-dir", state,
+                    "--digest", "--expect", digest,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "sweep", "status", "--state-dir", state,
+                "--digest", "--expect", "0" * 64,
+            ]
+        )
+        assert code == 1
+        assert "digest mismatch" in capsys.readouterr().err
+
+    def test_sweep_status_expect_requires_digest(self, tmp_path, capsys):
+        state = str(tmp_path / "sweep")
+        assert main(["sweep", "run", "--state-dir", state, "--synthetic", "1"]) == 0
+        capsys.readouterr()
+        assert (
+            main(["sweep", "status", "--state-dir", state, "--expect", "x"]) == 2
+        )
+        assert "--expect needs --digest" in capsys.readouterr().err
+
+    def test_compare_policies_json(self, capsys):
+        code = main(
+            [
+                "compare-policies", "--benchmark", "MATVEC", "--scale", "tiny",
+                "--policy", "paging-directed", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["policy"] == "paging-directed"
+        assert payload["rows"][0]["failed"] is False
+
+
+class TestServiceCommands:
+    def test_submit_requires_server_location(self, capsys):
+        assert main(["submit", "standard-mix"]) == 2
+        assert "--url or --state-dir" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_2(self, capsys):
+        assert main(["jobs", "--url", "http://127.0.0.1:1"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_serve_submit_watch_fetch_roundtrip(self, tmp_path, capsys):
+        from repro.service import ExperimentServer
+
+        state = tmp_path / "state"
+        with ExperimentServer(state, workers=1) as server:
+            url = server.url
+            assert main(["submit", "standard-mix", "--url", url, "--json"]) == 0
+            snap = json.loads(capsys.readouterr().out)
+            assert main(["watch", snap["id"], "--url", url]) == 0
+            watched = capsys.readouterr().out
+            assert "job.finished" in watched
+            assert main(["jobs", "--url", url]) == 0
+            assert "standard-mix" in capsys.readouterr().out
+            assert (
+                main(["fetch", snap["id"], "--url", url, "--what", "result"])
+                == 0
+            )
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["status"] == "done"
+            assert payload["digest"]
