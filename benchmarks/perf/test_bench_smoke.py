@@ -130,6 +130,26 @@ def test_engine_churn_record_is_deterministic():
     assert again.sim_s == record.sim_s
 
 
+def test_pooled_case_record_carries_pool_telemetry(tmp_path):
+    record, profile_text = bench.run_case("interactive_sweep_pool", repeats=1)
+    assert profile_text is None
+    assert record.name == "interactive_sweep_pool"
+    assert record.specs == 7
+    assert record.engine_steps > 0
+    meta = record.meta
+    assert meta["pool_workers"] >= 1
+    assert meta["pool_dispatches"] >= 1
+    assert meta["pool_specs_per_dispatch"] > 0
+    assert 0.0 <= meta["pool_snapshot_hit_rate"] <= 1.0
+    assert 0.0 <= meta["pool_worker_reuse_rate"] <= 1.0
+    assert meta["pool_crashes"] == 0
+    # Dispatcher-scope RSS: the workers' memory is theirs, not ours.
+    assert meta["rss_scope"] == "dispatcher"
+    path = bench.write_record(record, tmp_path)
+    data = json.loads(path.read_text())
+    assert data["meta"]["pool_workers"] == meta["pool_workers"]
+
+
 def test_missing_baseline_entry_skips_gate():
     record = bench.BenchRecord(
         name="brand_new_case",

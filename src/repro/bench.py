@@ -29,6 +29,7 @@ import cProfile
 import gc
 import io
 import json
+import os
 import platform
 import pstats
 import resource
@@ -54,6 +55,7 @@ from repro.machine import (
 __all__ = [
     "BENCH_CASES",
     "MICRO_CASES",
+    "POOL_CASES",
     "TRACE_CASES",
     "BenchRecord",
     "all_case_names",
@@ -137,8 +139,8 @@ BENCH_CASES: Dict[str, Callable[[], List[ExperimentSpec]]] = {
 
 
 def all_case_names() -> List[str]:
-    """Every runnable case: spec lists, trace cases, and micro cases."""
-    return list(BENCH_CASES) + list(TRACE_CASES) + list(MICRO_CASES)
+    """Every runnable case: spec lists, trace, micro, and pooled cases."""
+    return list(BENCH_CASES) + list(TRACE_CASES) + list(MICRO_CASES) + list(POOL_CASES)
 
 
 @dataclass
@@ -505,6 +507,121 @@ MICRO_CASES: Dict[str, Callable[..., tuple]] = {
 }
 
 
+# -- pooled cases -----------------------------------------------------------
+
+
+def _pool_meta(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Warm-pool telemetry for one case, from :meth:`WarmPool.telemetry`
+    snapshot deltas around the timed repeat loop."""
+    delta = {
+        key: int(after[key]) - int(before[key])
+        for key in (
+            "workers_spawned",
+            "dispatches",
+            "warm_dispatches",
+            "specs_dispatched",
+            "snapshot_hits",
+            "snapshot_misses",
+            "crashes",
+        )
+    }
+    dispatches = delta["dispatches"]
+    lookups = delta["snapshot_hits"] + delta["snapshot_misses"]
+    return {
+        "pool_workers": after["workers"],
+        "pool_workers_spawned": delta["workers_spawned"],
+        "pool_dispatches": dispatches,
+        "pool_specs_per_dispatch": (
+            round(delta["specs_dispatched"] / dispatches, 2) if dispatches else 0.0
+        ),
+        "pool_worker_reuse_rate": (
+            round(delta["warm_dispatches"] / dispatches, 4) if dispatches else 0.0
+        ),
+        "pool_snapshot_hits": delta["snapshot_hits"],
+        "pool_snapshot_misses": delta["snapshot_misses"],
+        "pool_snapshot_hit_rate": (
+            round(delta["snapshot_hits"] / lookups, 4) if lookups else 0.0
+        ),
+        "pool_crashes": delta["crashes"],
+        # Workers are separate processes; peak_rss_mb above covers the
+        # dispatching process only.
+        "rss_scope": "dispatcher",
+    }
+
+
+def _pool_case(name: str, make_specs: Callable[[], List[ExperimentSpec]]):
+    """A spec-list case run through the shared warm pool.
+
+    The pool persists across repeats (and across cases in one bench
+    invocation), so with ``repeats >= 2`` the best-of run is fully warm:
+    resident workers, hot template cache, batched dispatch.  That is the
+    deployment shape — the service and sweeps reuse one pool for their
+    whole lifetime — and it is what the pooled baselines gate.
+    """
+
+    def run(repeats: int = 2, profile: bool = False, profile_top: int = 25) -> tuple:
+        from repro.experiments import pool as pool_mod
+        from repro.experiments.runner import ExperimentFailure
+
+        specs = make_specs()
+        # Up to 4 workers, never more than the machine has: oversubscribing
+        # a small box turns parallelism into pure context-switch overhead.
+        workers = max(1, min(4, os.cpu_count() or 1))
+        warm = pool_mod.get_pool(workers)
+        meter = _RssMeter()
+        tel_before = warm.telemetry()
+        best = float("inf")
+        engine_steps = 0
+        sim_s = 0.0
+        for _ in range(max(1, repeats)):
+            engine_steps = 0
+            sim_s = 0.0
+            started = time.perf_counter()
+            outcomes = warm.run(specs)
+            best = min(best, time.perf_counter() - started)
+            for outcome in outcomes:
+                if isinstance(outcome, ExperimentFailure):
+                    raise RuntimeError(f"pooled case {name}: {outcome}")
+                engine_steps += outcome.engine_steps
+                sim_s += outcome.elapsed_s
+        tel_after = warm.telemetry()
+        peak_rss_mb, alloc_meta = meter.finish()
+        profile_text = (
+            _profile_call(lambda: warm.run(specs), profile_top) if profile else None
+        )
+        record = BenchRecord(
+            name=name,
+            wall_s=round(best, 4),
+            engine_steps=engine_steps,
+            sim_s=round(sim_s, 4),
+            specs=len(specs),
+            events_per_s=round(engine_steps / best, 1),
+            sim_s_per_wall_s=round(sim_s / best, 3),
+            peak_rss_mb=round(peak_rss_mb, 2),
+            repeats=max(1, repeats),
+            meta={
+                **machine_metadata(),
+                **alloc_meta,
+                **_pool_meta(tel_before, tel_after),
+            },
+        )
+        return record, profile_text
+
+    return run
+
+
+#: Pooled twins of the two widest spec-list cases.  Their baselines are
+#: pinned to the *serial* twins' committed numbers, so the bench gate's
+#: ``--min-speedup`` floor directly encodes "the pool must beat serial by
+#: that factor" on the same spec list.
+POOL_CASES: Dict[str, Callable[..., tuple]] = {
+    "grid_wide_pool": _pool_case("grid_wide_pool", _grid_wide),
+    "interactive_sweep_pool": _pool_case("interactive_sweep_pool", _interactive_sweep_tiny),
+}
+
+
 def run_case(
     name: str,
     repeats: int = 2,
@@ -517,7 +634,7 @@ def run_case(
     simulated seconds are identical across repeats (the simulator is
     deterministic), so they are taken from the last pass.
     """
-    bespoke = TRACE_CASES.get(name) or MICRO_CASES.get(name)
+    bespoke = TRACE_CASES.get(name) or MICRO_CASES.get(name) or POOL_CASES.get(name)
     if bespoke is not None:
         return bespoke(repeats=repeats, profile=profile, profile_top=profile_top)
     try:

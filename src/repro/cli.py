@@ -466,6 +466,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        pool_workers=args.pool_workers,
         timeout_s=args.timeout,
         retries=args.retries,
         registry=_registry_from(args),
@@ -773,6 +774,7 @@ def _sweep_options_from(args: argparse.Namespace) -> SweepOptions:
         hang_timeout_s=args.hang_timeout,
         shard_slo_s=args.shard_slo,
         max_failures=args.max_failures,
+        batch_size=args.batch_size,
     )
 
 
@@ -878,6 +880,17 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
         rows += [
             (f"cached in {shard}", count) for shard, count in info["by_shard"].items()
         ]
+        pool = info.get("pool")
+        if pool:
+            rows += [
+                ("pool workers", pool.get("workers", "-")),
+                ("pool batch size", pool.get("batch_size", "-")),
+                ("pool dispatches", pool.get("dispatches", "-")),
+                (
+                    "pool specs/dispatch",
+                    f"{pool.get('specs_per_dispatch', 0.0):.2f}",
+                ),
+            ]
         print(
             format_table(
                 ["field", "value"],
@@ -998,6 +1011,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         meta = record.meta
         ops_per_s = meta.get("ops_per_s", 0.0)
         hit_rate = meta.get("bulk_hit_rate")
+        pooled = "pool_workers" in meta
         rows.append(
             (
                 record.name,
@@ -1010,6 +1024,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 else f"{hit_rate:.1%}",
                 f"{record.sim_s_per_wall_s:.2f}",
                 f"{record.peak_rss_mb:.1f}",
+                "-"
+                if not pooled
+                else f"{meta.get('pool_worker_reuse_rate', 0.0):.0%}",
+                "-"
+                if not pooled
+                else f"{meta.get('pool_snapshot_hit_rate', 0.0):.0%}",
+                "-"
+                if not pooled
+                else f"{meta.get('pool_specs_per_dispatch', 0.0):.1f}",
                 "-"
                 if record.speedup_vs_baseline is None
                 else f"{record.speedup_vs_baseline:.2f}x",
@@ -1026,6 +1049,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "bulk hit",
                 "sim s / wall s",
                 "rss MB",
+                "reuse",
+                "snap",
+                "specs/disp",
                 "vs baseline",
             ],
             rows,
@@ -1501,6 +1527,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="abort the sweep after this many failed specs (default: off)",
         )
+        parser.add_argument(
+            "--batch-size",
+            type=int,
+            default=1,
+            help="specs per dispatch to each worker shard (default 1)",
+        )
 
     sweep_parser = commands.add_parser(
         "sweep",
@@ -1820,6 +1852,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="concurrent job worker threads (default 2)",
+    )
+    serve_parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=None,
+        help="warm execution-pool processes backing the job threads "
+        "(default: match --workers)",
     )
     serve_parser.add_argument(
         "--timeout",

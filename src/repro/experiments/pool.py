@@ -1,0 +1,808 @@
+"""The warm-worker execution pool: persistent workers, batched dispatch.
+
+Every throughput surface in the repository — grid figures through
+:func:`~repro.experiments.runner.run_specs`, sharded sweeps
+(:mod:`repro.experiments.sweep`), and the service JobManager
+(:mod:`repro.service.jobs`) — used to pay per-grid process churn: spawn a
+pool, import ``repro`` in every worker, rebuild workload state per spec,
+pickle every result back, tear the pool down.  This module amortizes all
+of it:
+
+- **Warm workers** — long-lived child processes that import once and stay
+  resident.  A process-wide shared pool (:func:`get_pool`) survives across
+  grids, bench repeats, and service jobs, so only the first dispatch pays
+  interpreter startup.
+- **Batched dispatch** — many small specs ride one pipe round-trip
+  (``{"frame": "batch", "items": [...]}``), which matters when the specs
+  are cheap (synthetic sweep cells) and the IPC is not.
+- **Zero-pickle frames** — specs and results travel as canonical-JSON
+  frames (:mod:`repro.experiments.wire`), not pickles.
+- **Snapshot/reset** — workers keep :mod:`repro.machine`'s workload
+  template cache warm across same-family specs; hit/miss deltas ride back
+  on every result frame as telemetry.
+
+Byte-identity is the contract: a spec executed here produces exactly the
+result the inline path produces, and ``REPRO_POOL=0`` switches every
+caller back to the legacy executor as the reference path.
+
+Worker reuse raises a hygiene problem process churn used to hide: state a
+spec leaves behind (an env-var lane override, a leaked ``SIGALRM``
+handler) would flow into the next spec.  So every dispatched item carries
+the parent's env-knob profile, applied (plus
+:func:`repro.vm.fastlane.refresh_from_env`) before the spec runs, and the
+deadline timer is forcibly disarmed between items.
+
+Crash containment follows the sweep orchestrator's rule: when a worker
+dies mid-batch, the first unfinished item is the suspect — requeued once,
+alone, then failed with ``kind="crash"`` — and the rest requeue
+unblamed; finished items are never re-run.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import machine as machine_mod
+from repro.experiments import wire
+from repro.experiments.runner import (
+    ExperimentFailure,
+    _SpecTimeout,
+    call_with_deadline,
+    execute_guarded,
+    spec_key,
+)
+from repro.machine import ExperimentResult, ExperimentSpec
+
+__all__ = [
+    "EMPTY_POOL_CHAOS",
+    "PoolChaos",
+    "WarmPool",
+    "capture_env",
+    "get_pool",
+    "item_key",
+    "pool_enabled",
+    "recv_frame",
+    "send_frame",
+    "shutdown_shared_pool",
+    "worker_entry",
+]
+
+# One requeue for a crash suspect, then blame it — same as the sweep.
+REQUEUE_LIMIT = 1
+
+_DISABLED_VALUES = {"0", "off", "false", "no"}
+
+
+def pool_enabled() -> bool:
+    """``REPRO_POOL`` gate: on by default, ``0``/``off``/``false``/``no``
+    selects the legacy per-grid executor as the reference path."""
+    return os.environ.get("REPRO_POOL", "1").strip().lower() not in _DISABLED_VALUES
+
+
+# -- env-knob hygiene -------------------------------------------------------
+#
+# The knobs that change *how* a spec executes without being part of the
+# spec.  (REPRO_ENGINE died with the heap backend in the policy-seam PR;
+# REPRO_POOL itself only selects the executor, never the physics, so it
+# deliberately does not travel.)
+
+ENV_KNOBS: Tuple[str, ...] = ("REPRO_FAST_LANE",)
+
+
+def capture_env() -> Dict[str, Optional[str]]:
+    """The dispatching process's knob profile, shipped with every item."""
+    return {knob: os.environ.get(knob) for knob in ENV_KNOBS}
+
+
+def _apply_env(profile: Optional[Dict[str, Optional[str]]]) -> None:
+    if profile is None:
+        return
+    for knob, value in profile.items():
+        if value is None:
+            os.environ.pop(knob, None)
+        else:
+            os.environ[knob] = value
+    from repro.vm import fastlane
+
+    fastlane.refresh_from_env()
+
+
+# -- chaos (worker-side fault injection, test-only) -------------------------
+
+
+@dataclass(frozen=True)
+class PoolChaos:
+    """Same declarative shape as the sweep's chaos (the worker loop
+    duck-types across both): crash or hang a worker when it picks up one
+    of these keys, while the attempt number is ``<= max_attempt``."""
+
+    crash_keys: Tuple[str, ...] = ()
+    hang_keys: Tuple[str, ...] = ()
+    max_attempt: int = 10**9
+    hang_s: float = 3600.0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.crash_keys or self.hang_keys)
+
+
+EMPTY_POOL_CHAOS = PoolChaos()
+
+
+# -- wire frames ------------------------------------------------------------
+
+
+def send_frame(conn, frame: Dict[str, object]) -> None:
+    conn.send_bytes(wire.encode(frame))
+
+
+def recv_frame(conn) -> Dict[str, object]:
+    return wire.decode(conn.recv_bytes())
+
+
+def item_key(spec) -> str:
+    """Content key for any pool item (experiment or sweep-synthetic)."""
+    if isinstance(spec, ExperimentSpec):
+        return spec_key(spec)
+    from repro.experiments.sweep import sweep_spec_key
+
+    return sweep_spec_key(spec)
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# -- worker side ------------------------------------------------------------
+
+
+def _disarm_deadline() -> None:
+    """Defense in depth between items: whatever the previous spec did,
+    no timer may survive into the next one."""
+    if hasattr(signal, "SIGALRM"):
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+        except (OSError, ValueError):
+            pass
+
+
+def _execute_item(spec, timeout_s: Optional[float], retries: int):
+    """Warm-mode execution: ``("ok", result)`` or ``("failure", dict)``.
+
+    Experiments go through the runner's guarded primitive; synthetic sweep
+    cells get the same deadline/retry envelope (unlike the sweep's inline
+    path, which never bounds them — the sweep orchestrator preserves that
+    by dispatching in sweep mode, see :func:`worker_entry`).
+    """
+    if isinstance(spec, ExperimentSpec):
+        outcome = execute_guarded(spec, timeout_s, retries)
+        if isinstance(outcome, ExperimentFailure):
+            return "failure", {
+                "kind": outcome.kind,
+                "message": outcome.message,
+                "attempts": outcome.attempts,
+            }
+        return "ok", outcome
+
+    from repro.experiments.sweep import SyntheticSpec, _run_synthetic
+
+    if not isinstance(spec, SyntheticSpec):
+        return "failure", {
+            "kind": "error",
+            "message": f"unsupported spec type: {type(spec).__name__}",
+            "attempts": 1,
+        }
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            result = call_with_deadline(lambda: _run_synthetic(spec), timeout_s)
+            return "ok", result
+        except _SpecTimeout:
+            failure = {
+                "kind": "timeout",
+                "message": f"exceeded the wall-clock budget of {timeout_s}s",
+                "attempts": attempts,
+            }
+        except Exception as exc:
+            failure = {"kind": "error", "message": str(exc), "attempts": attempts}
+        if attempts > retries:
+            return "failure", failure
+
+
+def _execute_sweep_item(cache_dir: str, namespace: str, key: str, spec, timeout_s):
+    """Sweep-mode execution: byte-for-byte the old shard behavior.
+
+    Delegates to the sweep's own ``_execute_any`` (so summaries — and
+    therefore journal lines and digests — cannot drift from the inline
+    path) and stores successful results in this shard's private cache
+    namespace *before* the result frame is sent, preserving the
+    kill/resume contract.
+    """
+    from repro.experiments import sweep as sweep_mod
+
+    status, result = sweep_mod._execute_any(spec, timeout_s)
+    if status == "ok":
+        root = sweep_mod.Path(cache_dir).parent
+        path_state = sweep_mod._State(
+            root=root,
+            journal=root / sweep_mod.JOURNAL_NAME,
+            events=root / sweep_mod.EVENTS_NAME,
+            cache=sweep_mod.Path(cache_dir),
+        )
+        sweep_mod._store_result(path_state, namespace, key, result)
+        return "ok", None
+    return "failure", result  # {"kind", "message"}
+
+
+def worker_entry(
+    conn,
+    name: str,
+    heartbeat_s: Optional[float],
+    chaos,
+) -> None:
+    """Persistent worker loop, shared by warm-pool workers and sweep shards.
+
+    Pulls batch frames off the pipe, runs each item, pushes one result
+    frame per item.  With ``heartbeat_s`` set (sweep shards) a thread
+    beats on the pipe so the orchestrator's watchdog can see hangs; either
+    way the thread watches ``os.getppid()`` and exits if the parent dies,
+    so a SIGKILLed dispatcher never leaves orphans.  ``chaos`` is any
+    object with the :class:`PoolChaos` fields (the sweep passes its own
+    ``SweepChaos``).
+    """
+    # The fork copies the dispatcher's signal dispositions.  `repro serve`
+    # installs a SIGTERM handler that merely sets an event — inherited by a
+    # worker it would turn terminate() into a no-op, and exit-time joins in
+    # the parent would block forever.  Workers answer to the pipe protocol:
+    # SIGTERM must kill, and a terminal's Ctrl-C SIGINT is the parent's to
+    # coordinate, not ours to crash on.
+    if hasattr(signal, "SIGTERM"):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    if hasattr(signal, "SIGINT"):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    parent = os.getppid()
+    send_lock = threading.Lock()
+    beats_stopped = threading.Event()
+
+    def _send(frame) -> bool:
+        try:
+            payload = wire.encode(frame)
+            with send_lock:
+                conn.send_bytes(payload)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def _beats() -> None:
+        period = heartbeat_s if heartbeat_s else 1.0
+        while not beats_stopped.wait(period):
+            if os.getppid() != parent:
+                os._exit(2)  # dispatcher died; do not linger as an orphan
+            if heartbeat_s is not None:
+                if not _send({"frame": "heartbeat", "worker": name}):
+                    os._exit(2)
+
+    threading.Thread(target=_beats, daemon=True).start()
+
+    stop = False
+    while not stop:
+        try:
+            frame = recv_frame(conn)
+        except (EOFError, OSError, wire.WireError):
+            break
+        if frame.get("frame") == "stop":
+            break
+        if frame.get("frame") != "batch":
+            continue
+        cache_dir = frame.get("cache_dir")
+        namespace = frame.get("namespace")
+        for item in frame["items"]:
+            index = item["index"]
+            attempt = item.get("attempt", 1)
+            key = item["key"]
+            spec = item["spec"]
+            if chaos.enabled and attempt <= chaos.max_attempt:
+                if key in chaos.crash_keys:
+                    os._exit(3)  # stands in for a segfault / OOM kill
+                if key in chaos.hang_keys:
+                    beats_stopped.set()  # a wedge the watchdog must catch
+                    time.sleep(chaos.hang_s)
+            _apply_env(item.get("env"))
+            _disarm_deadline()
+            snap_before = machine_mod.template_counters()
+            started = time.monotonic()
+            if cache_dir is not None:
+                status, payload = _execute_sweep_item(
+                    cache_dir, namespace, key, spec, item.get("timeout_s")
+                )
+            else:
+                status, payload = _execute_item(
+                    spec, item.get("timeout_s"), item.get("retries", 0)
+                )
+            elapsed = time.monotonic() - started
+            snap_after = machine_mod.template_counters()
+            result_frame: Dict[str, object] = {
+                "frame": "result",
+                "worker": name,
+                "index": index,
+                "attempt": attempt,
+                "status": status,
+                "elapsed_s": elapsed,
+                "snap_hits": snap_after["hits"] - snap_before["hits"],
+                "snap_misses": snap_after["misses"] - snap_before["misses"],
+            }
+            try:
+                from repro.vm import fastlane
+
+                result_frame["lane"] = fastlane.lane_name()
+            except Exception:
+                result_frame["lane"] = "unknown"
+            if status == "ok":
+                if cache_dir is None:
+                    # Detach the spec: the dispatcher reattaches its own
+                    # object, so the frame carries only the result data.
+                    if isinstance(payload, ExperimentResult):
+                        payload.spec = None
+                    result_frame["result"] = payload
+                else:
+                    result_frame["stored"] = True
+            else:
+                result_frame.update(payload)
+            if not _send(result_frame):
+                stop = True
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# -- dispatcher side --------------------------------------------------------
+
+
+class _Worker:
+    __slots__ = ("name", "process", "conn", "dispatches", "specs_done")
+
+    def __init__(self, name, process, conn) -> None:
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.dispatches = 0
+        self.specs_done = 0
+
+
+Outcome = Union[ExperimentResult, ExperimentFailure, object]
+
+
+class WarmPool:
+    """A leasable set of persistent workers plus a batching dispatcher.
+
+    Thread-safe: the service's job threads each lease workers through
+    :meth:`run`/:meth:`run_one` concurrently (a worker pipe is only ever
+    read and written by the thread that holds its lease).  Workers are
+    spawned lazily up to ``workers`` and returned warm; the pool grows on
+    demand (:meth:`grow`) and never shrinks until :meth:`shutdown`.
+    """
+
+    def __init__(self, workers: int, chaos: Optional[PoolChaos] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"pool needs at least 1 worker, got {workers}")
+        self._target = int(workers)
+        self._chaos = chaos if chaos is not None else EMPTY_POOL_CHAOS
+        self._ctx = _mp_context()
+        self._cv = threading.Condition()
+        self._idle: List[_Worker] = []
+        self._alive = 0  # leased + idle
+        self._seq = 0
+        self._closed = False
+        self._tlock = threading.Lock()
+        self._counters = {
+            "workers_spawned": 0,
+            "dispatches": 0,
+            "warm_dispatches": 0,
+            "specs_dispatched": 0,
+            "max_batch": 0,
+            "crashes": 0,
+            "snapshot_hits": 0,
+            "snapshot_misses": 0,
+            "specs_done": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._target
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def grow(self, workers: int) -> None:
+        with self._cv:
+            if workers > self._target:
+                self._target = int(workers)
+                self._cv.notify_all()
+
+    def shutdown(self) -> None:
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._alive -= len(idle)
+            self._cv.notify_all()
+        for worker in idle:
+            self._stop_worker(worker)
+
+    def _stop_worker(self, worker: _Worker) -> None:
+        try:
+            send_frame(worker.conn, {"frame": "stop"})
+        except (BrokenPipeError, OSError, wire.WireError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1.0)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+
+    # -- worker leasing ----------------------------------------------------
+
+    def _spawn_locked(self) -> _Worker:
+        self._seq += 1
+        self._alive += 1
+        name = f"pool-{self._seq}"
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_entry,
+            args=(child_conn, name, None, self._chaos),
+            daemon=True,
+            name=f"repro-{name}",
+        )
+        process.start()
+        child_conn.close()
+        with self._tlock:
+            self._counters["workers_spawned"] += 1
+        return _Worker(name, process, parent_conn)
+
+    def _checkout(self) -> _Worker:
+        """Lease a worker, blocking until one is available."""
+        with self._cv:
+            while True:
+                if self._closed:
+                    raise RuntimeError("pool is shut down")
+                if self._idle:
+                    return self._idle.pop()
+                if self._alive < self._target:
+                    return self._spawn_locked()
+                self._cv.wait()
+
+    def _try_checkout(self) -> Optional[_Worker]:
+        with self._cv:
+            if self._closed:
+                return None
+            if self._idle:
+                return self._idle.pop()
+            if self._alive < self._target:
+                return self._spawn_locked()
+            return None
+
+    def _checkin(self, worker: _Worker) -> None:
+        stop = False
+        with self._cv:
+            if self._closed:
+                self._alive -= 1
+                stop = True
+            else:
+                self._idle.append(worker)
+                self._cv.notify()
+        if stop:
+            self._stop_worker(worker)
+
+    def _discard(self, worker: _Worker) -> None:
+        """Drop a dead worker's lease so a replacement may be spawned."""
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=0.5)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+        with self._cv:
+            self._alive -= 1
+            self._cv.notify()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _auto_batch(self, count: int) -> int:
+        """Batch so each worker sees ~2 dispatch rounds: enough batching to
+        amortize the pipe; the two-deep pipeline rebalances uneven items."""
+        rounds = max(1, self._target * 2)
+        return max(1, min(8, -(-count // rounds)))
+
+    def run(
+        self,
+        specs: Sequence[object],
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        batch_size: Optional[int] = None,
+        env: Optional[Dict[str, Optional[str]]] = None,
+    ) -> List[Outcome]:
+        """Run ``specs`` on warm workers; outcomes align with input order.
+
+        Never raises for a spec's own sake: failures (error, timeout,
+        crash) come back as :class:`ExperimentFailure` values in their
+        grid slots, exactly like the legacy executor.
+        """
+        specs = list(specs)
+        count = len(specs)
+        if count == 0:
+            return []
+        keys = [item_key(spec) for spec in specs]
+        if env is None:
+            env = capture_env()
+        if batch_size is None:
+            batch_size = self._auto_batch(count)
+        batch_size = max(1, int(batch_size))
+
+        # Lease workers: at least one (blocking), more if free right now.
+        want = min(self._target, max(1, -(-count // batch_size)))
+        leased = [self._checkout()]
+        while len(leased) < want:
+            worker = self._try_checkout()
+            if worker is None:
+                break
+            leased.append(worker)
+
+        pending = deque(range(count))
+        attempts = [1] * count
+        crash_counts: Dict[int, int] = {}
+        solo: set = set()
+        inflight: Dict[_Worker, List[int]] = {}
+        results: List[Optional[Outcome]] = [None] * count
+        done = 0
+
+        def _fill(worker: _Worker) -> bool:
+            """Top the worker up to two batches of outstanding items.
+
+            Keeping a second batch buffered in the pipe is what removes
+            the round-trip stall: while the dispatcher is decoding one
+            result, the worker is already executing the next item instead
+            of idling.  A crash suspect (``solo``) is only ever sent to a
+            worker with *nothing* outstanding, so a second death
+            unambiguously blames it.
+            """
+            while pending and len(inflight.get(worker, ())) < 2 * batch_size:
+                if pending[0] in solo:
+                    if inflight.get(worker):
+                        return True  # suspects need an empty worker
+                    batch = [pending.popleft()]
+                else:
+                    batch = []
+                    while (
+                        pending
+                        and len(batch) < batch_size
+                        and pending[0] not in solo
+                    ):
+                        batch.append(pending.popleft())
+                    if not batch:
+                        return True  # head of queue is a suspect
+                if not _dispatch(worker, batch):
+                    inflight.setdefault(worker, []).extend(batch)
+                    _handle_crash(worker)
+                    return False
+                inflight.setdefault(worker, []).extend(batch)
+                if batch[0] in solo:
+                    return True  # nothing may ride along with a suspect
+            return True
+
+        def _dispatch(worker: _Worker, batch: List[int]) -> bool:
+            items = [
+                {
+                    "index": index,
+                    "attempt": attempts[index],
+                    "key": keys[index],
+                    "spec": specs[index],
+                    "timeout_s": timeout_s,
+                    "retries": retries,
+                    "env": env,
+                }
+                for index in batch
+            ]
+            try:
+                send_frame(worker.conn, {"frame": "batch", "items": items})
+            except (BrokenPipeError, OSError):
+                return False
+            with self._tlock:
+                self._counters["dispatches"] += 1
+                if worker.dispatches > 0:
+                    self._counters["warm_dispatches"] += 1
+                self._counters["specs_dispatched"] += len(items)
+                self._counters["max_batch"] = max(
+                    self._counters["max_batch"], len(items)
+                )
+            worker.dispatches += 1
+            return True
+
+        def _handle_crash(worker: _Worker) -> None:
+            nonlocal done
+            batch = inflight.pop(worker, [])
+            with self._tlock:
+                self._counters["crashes"] += 1
+            leased.remove(worker)
+            self._discard(worker)
+            if batch:
+                suspect = batch[0]
+                crash_counts[suspect] = crash_counts.get(suspect, 0) + 1
+                for index in reversed(batch[1:]):
+                    pending.appendleft(index)  # unblamed, same attempt
+                if crash_counts[suspect] > REQUEUE_LIMIT:
+                    results[suspect] = ExperimentFailure(
+                        specs[suspect],
+                        "crash",
+                        "worker process died while running this spec",
+                        attempts=attempts[suspect],
+                    )
+                    done += 1
+                else:
+                    attempts[suspect] += 1
+                    solo.add(suspect)
+                    pending.appendleft(suspect)
+            if pending or inflight:
+                replacement = self._try_checkout()
+                if replacement is None and not leased:
+                    replacement = self._checkout()
+                if replacement is not None:
+                    leased.append(replacement)
+
+        def _absorb(worker: _Worker) -> None:
+            """Drain every frame the worker has ready; EOF means crash."""
+            nonlocal done
+            try:
+                while True:
+                    frame = recv_frame(worker.conn)
+                    if frame.get("frame") != "result":
+                        continue
+                    index = frame["index"]
+                    batch = inflight.get(worker, [])
+                    if index in batch:
+                        batch.remove(index)
+                    if not batch:
+                        inflight.pop(worker, None)
+                    if frame["status"] == "ok":
+                        payload = frame.get("result")
+                        if isinstance(payload, ExperimentResult):
+                            payload.spec = specs[index]
+                        results[index] = payload
+                    else:
+                        results[index] = ExperimentFailure(
+                            specs[index],
+                            frame.get("kind", "error"),
+                            frame.get("message", ""),
+                            attempts=frame.get("attempts", attempts[index]),
+                        )
+                    done += 1
+                    worker.specs_done += 1
+                    with self._tlock:
+                        self._counters["specs_done"] += 1
+                        self._counters["snapshot_hits"] += frame.get("snap_hits", 0)
+                        self._counters["snapshot_misses"] += frame.get(
+                            "snap_misses", 0
+                        )
+                    if not worker.conn.poll():
+                        return
+            except (EOFError, OSError, wire.WireError):
+                _handle_crash(worker)
+
+        from multiprocessing.connection import wait as conn_wait
+
+        try:
+            while done < count:
+                for worker in list(leased):
+                    if pending and worker in leased:
+                        _fill(worker)
+                if not inflight:
+                    if done < count and not pending:
+                        # Every remaining item crashed out; nothing left.
+                        break
+                    continue
+                ready = conn_wait([w.conn for w in inflight], timeout=1.0)
+                by_conn = {w.conn: w for w in inflight}
+                for conn in ready:
+                    worker = by_conn.get(conn)
+                    if worker is not None:
+                        _absorb(worker)
+        finally:
+            for worker in list(leased):
+                if worker in inflight:
+                    # Mid-batch abandon (an exception above): the worker
+                    # may still be executing — do not reuse its pipe.
+                    leased.remove(worker)
+                    self._discard(worker)
+                else:
+                    self._checkin(worker)
+
+        for index in range(count):
+            if results[index] is None:
+                results[index] = ExperimentFailure(
+                    specs[index],
+                    "crash",
+                    "worker process died while running this spec",
+                    attempts=attempts[index],
+                )
+        return results  # type: ignore[return-value]
+
+    def run_one(
+        self,
+        spec,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+    ) -> Outcome:
+        """One spec on one leased worker — the service's per-job-thread
+        entry point.  Thread-safe against concurrent ``run_one`` calls."""
+        return self.run([spec], timeout_s=timeout_s, retries=retries, batch_size=1)[0]
+
+    # -- telemetry ---------------------------------------------------------
+
+    def telemetry(self) -> Dict[str, object]:
+        with self._tlock:
+            snap = dict(self._counters)
+        snap["workers"] = self._target
+        dispatches = snap["dispatches"]
+        snap["specs_per_dispatch"] = (
+            snap["specs_dispatched"] / dispatches if dispatches else 0.0
+        )
+        snap["worker_reuse_rate"] = (
+            snap["warm_dispatches"] / dispatches if dispatches else 0.0
+        )
+        lookups = snap["snapshot_hits"] + snap["snapshot_misses"]
+        snap["snapshot_hit_rate"] = snap["snapshot_hits"] / lookups if lookups else 0.0
+        return snap
+
+
+# -- the process-wide shared pool -------------------------------------------
+
+_shared: Optional[WarmPool] = None
+_shared_lock = threading.Lock()
+
+
+def get_pool(workers: int = 0) -> WarmPool:
+    """The shared warm pool, created on first use; grows, never shrinks."""
+    global _shared
+    if workers <= 0:
+        workers = os.cpu_count() or 2
+    with _shared_lock:
+        if _shared is None or _shared.closed:
+            _shared = WarmPool(workers)
+        else:
+            _shared.grow(workers)
+        return _shared
+
+
+def shutdown_shared_pool() -> None:
+    global _shared
+    with _shared_lock:
+        pool, _shared = _shared, None
+    if pool is not None:
+        pool.shutdown()
+
+
+# multiprocessing's own exit hook joins leftover children with no timeout.
+# The module-level `import multiprocessing` above registers that hook before
+# this one, so (LIFO) the stop frames below go out first and the workers are
+# already gone when it runs.
+atexit.register(shutdown_shared_pool)

@@ -48,6 +48,7 @@ __all__ = [
     "ExperimentFailure",
     "ExperimentGridError",
     "cache_entries",
+    "call_with_deadline",
     "code_version",
     "execute_guarded",
     "load_cached",
@@ -259,44 +260,64 @@ def prune_cache(cache_dir: os.PathLike) -> List[CacheEntry]:
 # -- guarded execution ------------------------------------------------------
 
 
-def _run_with_deadline(spec: ExperimentSpec, timeout_s: Optional[float]):
-    """Run one experiment, bounded by ``timeout_s`` of wall clock.
+def call_with_deadline(fn, timeout_s: Optional[float]):
+    """Call ``fn()``, bounded by ``timeout_s`` of wall clock.
 
     The deadline uses ``SIGALRM``/``setitimer``, which interrupts even a
     simulation stuck in a tight Python loop.  It is only armed where it
     can work — the main thread of a Unix process (which a pool worker's
-    entry point always is); elsewhere the experiment runs unbounded.
+    entry point always is); elsewhere the call runs unbounded.
+
+    On timeout, raises :class:`_SpecTimeout` — but only while ``fn`` is
+    actually running.  Whatever happens, ``SIGALRM`` is left exactly as it
+    was found: handler restored, timer disarmed.  That invariant is what
+    lets a persistent pool worker run specs back to back without one
+    spec's deadline machinery leaking into the next.
     """
     if (
         timeout_s is None
         or not hasattr(signal, "SIGALRM")
         or threading.current_thread() is not threading.main_thread()
     ):
-        return run_experiment(spec)
+        return fn()
 
     def _alarm(signum, frame):
         raise _SpecTimeout()
 
     # Ordering matters for every exit path.  The timer is armed *inside*
-    # the outer try so the handler is restored even if arming raises; the
-    # timer is disarmed in its own finally *before* the handler swap so a
-    # pending alarm can never fire into the caller's handler; and the
-    # handler restore sits in the outermost finally so an alarm delivered
-    # inside the disarm window (after ``run_experiment`` returns, before
-    # ``setitimer(0)`` takes effect — Python runs the handler at the next
-    # bytecode boundary, which may be inside this ``finally``) still
-    # leaves ``SIGALRM`` exactly as we found it.  Such a late alarm
-    # converts the attempt into a timeout failure, which is accurate: the
-    # deadline genuinely expired.
+    # the outer try so the handler is restored even if arming raises, and
+    # the timer is disarmed in its own finally *before* the handler swap
+    # so a pending alarm can never fire into the caller's handler.  One
+    # hazard remains: an alarm delivered in the disarm window (after
+    # ``fn`` returns, before ``setitimer(0)`` takes effect) runs the
+    # handler at the next bytecode boundary — which may be *inside* the
+    # outer finally, aborting the ``signal.signal`` restore and leaking
+    # our handler into the caller.  In a short-lived pool worker that was
+    # survivable; in a persistent warm worker the leaked handler would
+    # turn some later spec's alarm into a spurious timeout.  The retry
+    # loop absorbs any such late alarm (the timer is already disarmed, so
+    # at most one is pending) and guarantees the restore completes; the
+    # completed call's result is then returned as a success, which is the
+    # deterministic choice — the work did finish.
     previous = signal.signal(signal.SIGALRM, _alarm)
     try:
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
         try:
-            return run_experiment(spec)
+            return fn()
         finally:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
     finally:
-        signal.signal(signal.SIGALRM, previous)
+        while True:
+            try:
+                signal.signal(signal.SIGALRM, previous)
+                break
+            except _SpecTimeout:
+                continue
+
+
+def _run_with_deadline(spec: ExperimentSpec, timeout_s: Optional[float]):
+    """Run one experiment under :func:`call_with_deadline`."""
+    return call_with_deadline(lambda: run_experiment(spec), timeout_s)
 
 
 def execute_guarded(
@@ -452,7 +473,21 @@ def run_specs(
             for index in missing:
                 results[index] = execute_guarded(specs[index], timeout_s, retries)
         else:
-            _run_pool(specs, missing, results, jobs, timeout_s, retries)
+            # The warm pool is the default parallel executor; REPRO_POOL=0
+            # selects the legacy per-grid ProcessPoolExecutor as the
+            # byte-identical reference path.
+            from repro.experiments import pool as pool_mod
+
+            if pool_mod.pool_enabled():
+                outcomes = pool_mod.get_pool(jobs).run(
+                    [specs[index] for index in missing],
+                    timeout_s=timeout_s,
+                    retries=retries,
+                )
+                for index, outcome in zip(missing, outcomes):
+                    results[index] = outcome
+            else:
+                _run_pool(specs, missing, results, jobs, timeout_s, retries)
         if cache is not None:
             for index in missing:
                 store_cached(cache, keys[index], results[index])

@@ -46,7 +46,6 @@ import hashlib
 import itertools
 import os
 import pickle
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -58,6 +57,7 @@ from repro.faults import EMPTY_PLAN, FaultPlan
 from repro.ioutil import append_journal_line, atomic_open, atomic_write_json, read_journal
 from repro.machine import ExperimentResult, ExperimentSpec, SpecError
 from repro.obs import Bus, JsonlSink, Sink, WallClock
+from repro.experiments import wire
 from repro.experiments.runner import execute_guarded, spec_key
 
 __all__ = [
@@ -137,6 +137,12 @@ class SyntheticResult:
     index: int
     value: int
     from_cache: bool = False
+
+
+# Synthetic cells ride the pool's zero-pickle wire frames like any other
+# spec; registering here keeps the wire registry free of a sweep import.
+wire.register(SyntheticSpec)
+wire.register(SyntheticResult)
 
 
 def synthetic_specs(
@@ -221,6 +227,7 @@ class SweepOptions:
     """
 
     jobs: int = 1
+    batch_size: int = 1
     timeout_s: Optional[float] = None
     retries: int = 0
     backoff_base_s: float = 0.25
@@ -235,6 +242,8 @@ class SweepOptions:
     def validate(self) -> None:
         if self.jobs < 1:
             raise SweepError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batch_size < 1:
+            raise SweepError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.retries < 0:
             raise SweepError(f"retries must be >= 0, got {self.retries}")
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -501,82 +510,17 @@ def _execute_any(spec: AnySpec, timeout_s: Optional[float]) -> Tuple[str, object
 
 
 # -- shard workers ----------------------------------------------------------
-
-
-def _worker_main(
-    conn,
-    shard: str,
-    cache_dir: str,
-    timeout_s: Optional[float],
-    heartbeat_s: float,
-    chaos: SweepChaos,
-) -> None:
-    """Shard entry point: pull tasks off the pipe, push outcomes back.
-
-    Results go to this shard's private cache namespace *before* the done
-    message is sent, so an orchestrator killed between the two finds the
-    result on resume.  A heartbeat thread beats every ``heartbeat_s`` and
-    exits the process if the parent disappears (no orphan shards after an
-    orchestrator SIGKILL).  The pipe is guarded by a lock because the
-    heartbeat thread and the task loop both send on it.
-    """
-    parent = os.getppid()
-    send_lock = threading.Lock()
-    beats_stopped = threading.Event()
-
-    def _send(message) -> bool:
-        try:
-            with send_lock:
-                conn.send(message)
-            return True
-        except (BrokenPipeError, OSError):
-            return False
-
-    def _beats() -> None:
-        while not beats_stopped.wait(heartbeat_s):
-            if os.getppid() != parent:
-                os._exit(2)  # orchestrator died; do not linger as an orphan
-            if not _send(("heartbeat", shard)):
-                os._exit(2)
-
-    threading.Thread(target=_beats, daemon=True).start()
-
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        if message[0] == "stop":
-            break
-        _, index, attempt, key, spec = message
-        if chaos.enabled and attempt <= chaos.max_attempt:
-            if key in chaos.crash_keys:
-                os._exit(3)  # stands in for a segfault / OOM kill
-            if key in chaos.hang_keys:
-                beats_stopped.set()  # a wedge the watchdog must catch
-                time.sleep(chaos.hang_s)
-        started = time.monotonic()
-        status, result = _execute_any(spec, timeout_s)
-        elapsed = time.monotonic() - started
-        if status == "ok":
-            root = Path(cache_dir).parent
-            path_state = _State(
-                root=root,
-                journal=root / JOURNAL_NAME,
-                events=root / EVENTS_NAME,
-                cache=Path(cache_dir),
-            )
-            _store_result(path_state, shard, key, result)
-            summary: Dict[str, object] = {"status": "ok", "elapsed_s": elapsed}
-        else:
-            summary = {"status": "failure", "elapsed_s": elapsed}
-            summary.update(result)  # kind, message
-        if not _send(("done", shard, index, attempt, summary)):
-            break
-    try:
-        conn.close()
-    except OSError:
-        pass
+#
+# Shards are warm-pool workers (:func:`repro.experiments.pool.worker_entry`)
+# dispatched in *sweep mode*: each batch frame carries this sweep's cache
+# dir and the shard's namespace, so results land in the shard's private
+# cache namespace *before* the result frame is sent — an orchestrator
+# killed between the two finds the result on resume, exactly as before.
+# The worker executes through this module's ``_execute_any``, which keeps
+# sharded summaries (and therefore journal lines and digests) byte-equal
+# to the inline path.  Specs and result summaries travel as canonical-JSON
+# wire frames (:mod:`repro.experiments.wire`), not pickles, and up to
+# ``SweepOptions.batch_size`` cells ride one pipe round-trip.
 
 
 def _mp_context():
@@ -594,7 +538,7 @@ class _Shard:
         "process",
         "conn",
         "busy",
-        "current",  # (index, attempt, key) while busy
+        "current",  # in-flight [(index, attempt, key), ...], dispatch order
         "last_beat",
         "started_at",
         "stopped",
@@ -605,7 +549,7 @@ class _Shard:
         self.process = None
         self.conn = None
         self.busy = False
-        self.current: Optional[Tuple[int, int, str]] = None
+        self.current: List[Tuple[int, int, str]] = []
         self.last_beat = 0.0
         self.started_at = 0.0
         self.stopped = False
@@ -808,19 +752,26 @@ class _Orchestrator:
     def run_sharded(self) -> None:
         from multiprocessing.connection import wait as conn_wait
 
+        from repro.experiments import pool as pool_mod
+
         ctx = _mp_context()
         count = min(self.options.jobs, max(1, len(self.queue)))
         shards: List[_Shard] = []
+        env_profile = pool_mod.capture_env()
+        telemetry = {
+            "workers_spawned": 0,
+            "dispatches": 0,
+            "specs_dispatched": 0,
+            "max_batch": 0,
+        }
 
         def spawn(shard: _Shard) -> None:
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
-                target=_worker_main,
+                target=pool_mod.worker_entry,
                 args=(
                     child_conn,
                     shard.name,
-                    str(self.state.cache),
-                    self.options.timeout_s,
                     self.options.heartbeat_s,
                     self.options.chaos,
                 ),
@@ -828,10 +779,11 @@ class _Orchestrator:
             )
             process.start()
             child_conn.close()
+            telemetry["workers_spawned"] += 1
             shard.process = process
             shard.conn = parent_conn
             shard.busy = False
-            shard.current = None
+            shard.current = []
             shard.stopped = False
             now = time.monotonic()
             shard.last_beat = now
@@ -851,7 +803,7 @@ class _Orchestrator:
                 return
             shard.stopped = True
             try:
-                shard.conn.send(("stop",))
+                pool_mod.send_frame(shard.conn, {"frame": "stop"})
             except (BrokenPipeError, OSError):
                 pass
 
@@ -865,14 +817,23 @@ class _Orchestrator:
                 pass
 
         def lose_shard(shard: _Shard, reason: str) -> None:
-            """Common path for crash (EOF/death) and hang (watchdog kill)."""
+            """Common path for crash (EOF/death) and hang (watchdog kill).
+
+            With batching, only the *first* unfinished item is the suspect
+            (results stream back in dispatch order, so the head of
+            ``current`` is what the worker was executing) and goes through
+            the requeue-once-then-quarantine accounting; the rest of the
+            batch never started and requeues unblamed at the same attempt.
+            """
             kill_shard(shard)
-            if shard.busy and shard.current is not None:
-                index, attempt, _key = shard.current
-                self.in_flight -= 1
+            if shard.current:
+                index, attempt, _key = shard.current[0]
+                self.in_flight -= len(shard.current)
+                for rest_index, rest_attempt, _k in reversed(shard.current[1:]):
+                    self.queue.appendleft((rest_index, rest_attempt))
                 self.handle_worker_loss(shard.name, index, attempt, reason)
             shard.busy = False
-            shard.current = None
+            shard.current = []
             # Respawn into the same namespace unless the sweep is winding
             # down or the shard already spent its SLO.
             if not self.aborting and self.outstanding > 0 and not slo_spent(shard):
@@ -902,20 +863,43 @@ class _Orchestrator:
                         )
                         stop_shard(shard)
                         continue
-                    index, attempt = self.queue.popleft()
-                    key = self.keys[index]
+                    batch: List[Tuple[int, int, str]] = []
+                    while self.queue and len(batch) < self.options.batch_size:
+                        index, attempt = self.queue.popleft()
+                        batch.append((index, attempt, self.keys[index]))
+                    items = [
+                        {
+                            "index": index,
+                            "attempt": attempt,
+                            "key": key,
+                            "spec": self.specs[index],
+                            "timeout_s": self.options.timeout_s,
+                            "env": env_profile,
+                        }
+                        for index, attempt, key in batch
+                    ]
                     try:
-                        shard.conn.send(
-                            ("task", index, attempt, key, self.specs[index])
+                        pool_mod.send_frame(
+                            shard.conn,
+                            {
+                                "frame": "batch",
+                                "cache_dir": str(self.state.cache),
+                                "namespace": shard.name,
+                                "items": items,
+                            },
                         )
                     except (BrokenPipeError, OSError):
-                        self.queue.appendleft((index, attempt))
+                        for index, attempt, _key in reversed(batch):
+                            self.queue.appendleft((index, attempt))
                         lose_shard(shard, "crash")
                         continue
                     shard.busy = True
-                    shard.current = (index, attempt, key)
+                    shard.current = batch
                     shard.last_beat = time.monotonic()
-                    self.in_flight += 1
+                    self.in_flight += len(batch)
+                    telemetry["dispatches"] += 1
+                    telemetry["specs_dispatched"] += len(batch)
+                    telemetry["max_batch"] = max(telemetry["max_batch"], len(batch))
 
                 live = [s for s in shards if not s.stopped and s.conn is not None]
                 if not live:
@@ -929,18 +913,36 @@ class _Orchestrator:
                     shard = next(s for s in live if s.conn is conn)
                     try:
                         while conn.poll():
-                            message = conn.recv()
-                            if message[0] == "heartbeat":
+                            message = pool_mod.recv_frame(conn)
+                            kind = message.get("frame")
+                            if kind == "heartbeat":
                                 shard.last_beat = time.monotonic()
                                 self.emit("sweep.heartbeat", {"shard": shard.name})
-                            elif message[0] == "done":
-                                _tag, name, index, attempt, summary = message
-                                shard.busy = False
-                                shard.current = None
+                            elif kind == "result":
+                                index = message["index"]
+                                attempt = message["attempt"]
+                                shard.current = [
+                                    entry
+                                    for entry in shard.current
+                                    if entry[0] != index
+                                ]
+                                shard.busy = bool(shard.current)
                                 shard.last_beat = time.monotonic()
                                 self.in_flight -= 1
-                                self.handle_completion(name, index, attempt, summary)
-                                if slo_spent(shard):
+                                summary: Dict[str, object] = {
+                                    "status": message["status"],
+                                    "elapsed_s": message.get("elapsed_s"),
+                                }
+                                if message["status"] != "ok":
+                                    summary["kind"] = message.get("kind", "error")
+                                    summary["message"] = message.get("message", "")
+                                self.handle_completion(
+                                    message.get("worker", shard.name),
+                                    index,
+                                    attempt,
+                                    summary,
+                                )
+                                if not shard.busy and slo_spent(shard):
                                     self.emit(
                                         "sweep.shard_slo",
                                         {
@@ -952,7 +954,7 @@ class _Orchestrator:
                                         },
                                     )
                                     stop_shard(shard)
-                    except (EOFError, OSError):
+                    except (EOFError, OSError, pool_mod.wire.WireError):
                         lose_shard(shard, "crash")
 
                 # Watchdog: a busy shard whose heartbeats stopped is hung.
@@ -980,6 +982,30 @@ class _Orchestrator:
                     shard.conn.close()
                 except (OSError, AttributeError):
                     pass
+            # Pool telemetry for `sweep status --json`: how well dispatch
+            # batching amortized the pipe, and how warm the shards ran.
+            dispatches = telemetry["dispatches"]
+            try:
+                append_journal_line(
+                    self.state.journal,
+                    {
+                        "event": "pool",
+                        "workers": count,
+                        "workers_spawned": telemetry["workers_spawned"],
+                        "batch_size": self.options.batch_size,
+                        "dispatches": dispatches,
+                        "specs_dispatched": telemetry["specs_dispatched"],
+                        "specs_per_dispatch": round(
+                            telemetry["specs_dispatched"] / dispatches, 3
+                        )
+                        if dispatches
+                        else 0.0,
+                        "max_batch": telemetry["max_batch"],
+                    },
+                    fsync=False,
+                )
+            except OSError:
+                pass
 
 
 # -- digest / report --------------------------------------------------------
@@ -1158,9 +1184,16 @@ def sweep_status(state_dir: os.PathLike) -> Dict[str, object]:
         if outcome.shard:
             by_shard[outcome.shard] = by_shard.get(outcome.shard, 0) + 1
     total = int(meta.get("count", 0))
-    aborted = any(
-        record.get("event") == "abort" for record in read_journal(state.journal)
-    )
+    aborted = False
+    pool: Optional[Dict[str, object]] = None
+    for record in read_journal(state.journal):
+        event = record.get("event")
+        if event == "abort":
+            aborted = True
+        elif event == "pool":
+            # Last record wins: one per run/resume pass; a resumed sweep's
+            # status reflects its most recent sharded pass.
+            pool = {k: v for k, v in record.items() if k != "event"}
     return {
         "state_dir": str(root),
         "total": total,
@@ -1172,6 +1205,7 @@ def sweep_status(state_dir: os.PathLike) -> Dict[str, object]:
         "attempts": attempts,
         "by_shard": dict(sorted(by_shard.items())),
         "aborted": aborted,
+        "pool": pool,
         "meta": meta,
     }
 

@@ -346,6 +346,52 @@ def _delayed(engine: Engine, generator, delay: float):
     return result
 
 
+# -- workload template cache (warm-worker snapshot/reset) -------------------
+#
+# ``workload.build(scale)`` and ``compile_program`` are pure functions of
+# (workload, scale): they produce the array environment and the compiled
+# nest program, and nothing downstream mutates either — ``app_driver``
+# reads ``instance.env`` (copying when it applies per-process overrides)
+# and the layout/driver state is rebuilt per process.  A persistent pool
+# worker therefore keeps one template per (workload, scale) family and
+# reuses it across specs instead of rebuilding from scratch; "reset" is
+# free because the mutable per-run state (kernel process, PM, runtime
+# layer, nest runner) was never part of the template.  Honesty about the
+# win: construction is ~1ms against a 100–300ms run at tiny scale, so
+# this trims the constant term, not the loop — the pool's warmth and
+# batching do the heavy lifting.  Counters feed the pool's telemetry.
+
+_TEMPLATE_LIMIT = 64
+_template_cache: "Dict[Tuple[str, str], Tuple[object, object]]" = {}
+_template_counters = {"hits": 0, "misses": 0}
+
+
+def template_counters() -> Dict[str, int]:
+    """Snapshot of the template cache hit/miss counters."""
+    return dict(_template_counters)
+
+
+def clear_template_cache() -> None:
+    _template_cache.clear()
+
+
+def _workload_template(workload, scale: SimScale):
+    """Return the cached ``(instance, compiled)`` pair for a spec family."""
+    key = (workload.name, repr(scale))
+    entry = _template_cache.get(key)
+    if entry is not None:
+        _template_counters["hits"] += 1
+        return entry
+    _template_counters["misses"] += 1
+    instance = workload.build(scale)
+    compiled = instance.compiled(scale)
+    if len(_template_cache) >= _TEMPLATE_LIMIT:
+        # Drop the oldest insertion; dicts preserve insertion order.
+        _template_cache.pop(next(iter(_template_cache)))
+    _template_cache[key] = (instance, compiled)
+    return instance, compiled
+
+
 class Machine:
     """The simulated machine, fully wired: engine + kernel + processes.
 
@@ -420,7 +466,7 @@ class Machine:
         version = VERSIONS[wspec.version]
         scale = self.scale
         attached = _Attached(wspec, self._unique_name(wspec.name or workload.name))
-        instance = workload.build(scale)
+        instance, compiled = _workload_template(workload, scale)
         process = self.kernel.create_process(attached.name)
         layout = build_layout(process, instance, scale.machine.page_size)
         pm = self.kernel.attach_policy(process)
@@ -428,7 +474,6 @@ class Machine:
             self.faults.hint_model(attached.name) if self.faults is not None else None
         )
         runtime = RuntimeLayer(process, pm, scale.runtime, version, faults=hint_faults)
-        compiled = instance.compiled(scale)
         attached.kprocess = process
         attached.runtime = runtime
         if self.bus is not None and self.bus.wants("trace.spawn"):

@@ -237,6 +237,7 @@ class JobManager:
         retries: int = 0,
         fsync: bool = True,
         chaos: Optional[JobChaos] = None,
+        pool_workers: Optional[int] = None,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.registry = registry if registry is not None else builtin_registry()
@@ -246,6 +247,9 @@ class JobManager:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self._workers = max(1, int(workers))
+        self._pool_workers = (
+            max(1, int(pool_workers)) if pool_workers is not None else self._workers
+        )
         self._timeout_s = timeout_s
         self._retries = int(retries)
         self._fsync = bool(fsync)
@@ -657,6 +661,18 @@ class JobManager:
     def _execute(self, job_id, index, spec, key) -> Union[ExperimentResult, ExperimentFailure]:
         record = self._jobs[job_id]
         if not record.record_trace:
+            # Route through the shared warm pool: job threads each lease a
+            # worker, so interpreter startup is paid once per server, not
+            # per job — and because pool workers run specs on their *main*
+            # thread, the SIGALRM per-spec deadline works here, which it
+            # never could on a JobManager thread.  REPRO_POOL=0 restores
+            # the in-thread reference path.
+            from repro.experiments import pool as pool_mod
+
+            if pool_mod.pool_enabled():
+                return pool_mod.get_pool(self._pool_workers).run_one(
+                    spec, timeout_s=self._timeout_s, retries=self._retries
+                )
             return execute_guarded(spec, timeout_s=self._timeout_s, retries=self._retries)
         # Trace scenarios run through the recorder so the op streams land
         # next to the job; the returned result is the normal live result.

@@ -261,6 +261,7 @@ class ExperimentServer:
         retries: int = 0,
         fsync: bool = True,
         echo=None,
+        pool_workers: Optional[int] = None,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.manager = JobManager(
@@ -270,6 +271,7 @@ class ExperimentServer:
             timeout_s=timeout_s,
             retries=retries,
             fsync=fsync,
+            pool_workers=pool_workers,
         )
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.daemon_threads = True
@@ -331,6 +333,7 @@ def serve(
     registry: Optional[ScenarioRegistry] = None,
     echo=print,
     install_signals: bool = True,
+    pool_workers: Optional[int] = None,
 ) -> None:
     """Run a server until SIGINT/SIGTERM — the body of ``repro serve``.
 
@@ -346,6 +349,7 @@ def serve(
         workers=workers,
         timeout_s=timeout_s,
         retries=retries,
+        pool_workers=pool_workers,
     )
     stop_event = threading.Event()
     if install_signals:
@@ -361,3 +365,8 @@ def serve(
         if echo is not None:
             echo("shutting down (running jobs stay adoptable on restart)")
         server.stop()
+        # This process is done serving: retire the process-wide warm pool
+        # here, deterministically, instead of leaning on exit-time hooks.
+        from repro.experiments.pool import shutdown_shared_pool
+
+        shutdown_shared_pool()

@@ -295,11 +295,15 @@ class TestRunnerContainment:
         assert calls["count"] == 2
 
     def test_worker_crash_fails_only_its_spec(self, scale, monkeypatch):
-        # Relies on fork-start pool workers inheriting the monkeypatch.
+        # Relies on fork-start pool workers inheriting the monkeypatch —
+        # so the shared warm pool must be recycled on both sides: fresh
+        # workers fork *after* the patch, and the crash-injecting workers
+        # must not survive into later tests.
         import multiprocessing
 
         if multiprocessing.get_start_method() != "fork":
             pytest.skip("crash injection requires fork-start pool workers")
+        from repro.experiments import pool as pool_mod
         import repro.experiments.runner as runner_module
 
         real = runner_module.run_experiment
@@ -310,9 +314,13 @@ class TestRunnerContainment:
             return real(spec)
 
         monkeypatch.setattr(runner_module, "run_experiment", die)
-        crasher = _spec(scale, version="P")
-        survivor = _spec(scale, version="B")
-        results = run_specs([crasher, survivor], jobs=2, on_error="return")
+        pool_mod.shutdown_shared_pool()
+        try:
+            crasher = _spec(scale, version="P")
+            survivor = _spec(scale, version="B")
+            results = run_specs([crasher, survivor], jobs=2, on_error="return")
+        finally:
+            pool_mod.shutdown_shared_pool()
         assert isinstance(results[0], ExperimentFailure)
         assert results[0].kind == "crash"
         assert not isinstance(results[1], ExperimentFailure)
